@@ -1,0 +1,109 @@
+// Shared helpers for the figure-reproduction harnesses. Each bench binary
+// regenerates one table/figure of the paper and prints the same series the
+// paper reports (medians, CDFs, PER bars). Packet counts default to values
+// that finish in seconds; set AQUA_BENCH_PACKETS to scale them up.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/link_session.h"
+
+namespace aqua::bench {
+
+/// Number of packets per configuration (env-overridable).
+inline int packets_per_config(int fallback = 12) {
+  if (const char* env = std::getenv("AQUA_BENCH_PACKETS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Aggregate statistics over a batch of protocol packets.
+struct BatchStats {
+  int sent = 0;
+  int preamble_detected = 0;
+  int feedback_ok = 0;
+  int delivered = 0;           ///< packet_ok
+  int feedback_exact = 0;
+  std::vector<double> bitrates;  ///< selected (info) bitrate per packet
+  std::size_t coded_errors = 0;
+  std::size_t coded_bits = 0;
+
+  double per() const {
+    return sent > 0 ? 1.0 - static_cast<double>(delivered) / sent : 1.0;
+  }
+  double coded_ber() const {
+    return coded_bits > 0
+               ? static_cast<double>(coded_errors) / static_cast<double>(coded_bits)
+               : 0.0;
+  }
+  double median_bitrate() const {
+    if (bitrates.empty()) return 0.0;
+    std::vector<double> v = bitrates;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  }
+  double detection_rate() const {
+    return sent > 0 ? static_cast<double>(preamble_detected) / sent : 0.0;
+  }
+};
+
+/// Runs `n` packets through fresh sessions (new channel realization per
+/// packet, like re-submerging the phones every few packets in the paper).
+inline BatchStats run_batch(const core::SessionConfig& base, int n,
+                            std::uint64_t seed_base,
+                            std::size_t payload_bits = 16) {
+  BatchStats stats;
+  std::mt19937_64 rng(seed_base * 77 + 5);
+  for (int i = 0; i < n; ++i) {
+    core::SessionConfig cfg = base;
+    cfg.forward.seed = seed_base + static_cast<std::uint64_t>(i) * 131;
+    core::LinkSession session(cfg);
+    std::vector<std::uint8_t> bits(payload_bits);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1);
+    const core::PacketTrace t = session.send_packet(bits);
+    stats.sent++;
+    if (t.preamble_detected) stats.preamble_detected++;
+    if (t.feedback_decoded) stats.feedback_ok++;
+    if (t.feedback_exact) stats.feedback_exact++;
+    if (t.packet_ok) stats.delivered++;
+    if (t.selected_bitrate_bps > 0.0) {
+      stats.bitrates.push_back(t.selected_bitrate_bps);
+    }
+    stats.coded_errors += t.coded_bit_errors;
+    stats.coded_bits += t.coded_bits;
+  }
+  return stats;
+}
+
+/// Prints a CDF of bitrates as (bitrate, fraction<=) pairs on one line.
+inline void print_cdf(const char* label, std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::printf("%s CDF:", label);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::printf(" (%.0f, %.2f)", values[i],
+                static_cast<double>(i + 1) / static_cast<double>(values.size()));
+  }
+  std::printf("\n");
+}
+
+/// The paper's fixed-bandwidth baselines: 1-4 kHz (60 bins), 1-2.5 kHz
+/// (30 bins), 1-1.5 kHz (10 bins).
+struct FixedScheme {
+  const char* name;
+  phy::BandSelection band;
+};
+
+inline std::vector<FixedScheme> fixed_schemes() {
+  return {{"fixed 3.0 kHz (1-4 kHz)", {0, 59, false}},
+          {"fixed 1.5 kHz (1-2.5 kHz)", {0, 29, false}},
+          {"fixed 0.5 kHz (1-1.5 kHz)", {0, 9, false}}};
+}
+
+}  // namespace aqua::bench

@@ -1,0 +1,68 @@
+// Fig. 9 reproduction: effect of different environments at 5 m.
+// (a) CDF of selected bitrates per site, (b,c) example received spectra
+// with the selected band, (d) PER of the adaptive system vs the three
+// fixed-bandwidth baselines at bridge/park/lake.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace aqua;
+
+int main() {
+  const int n = bench::packets_per_config(12);
+  const channel::Site sites[] = {channel::Site::kBridge, channel::Site::kPark,
+                                 channel::Site::kLake};
+
+  std::printf("=== Fig. 9a: CDF of selected bitrate at 5 m ===\n");
+  std::vector<bench::BatchStats> adaptive;
+  for (channel::Site site : sites) {
+    core::SessionConfig cfg;
+    cfg.forward.site = channel::site_preset(site);
+    cfg.forward.range_m = 5.0;
+    bench::BatchStats s = bench::run_batch(cfg, n, 9000 + 13 * static_cast<int>(site));
+    bench::print_cdf(channel::site_name(site).c_str(), s.bitrates);
+    adaptive.push_back(std::move(s));
+  }
+
+  std::printf("\n=== Fig. 9b,c: example spectrum + selected band ===\n");
+  for (channel::Site site : {channel::Site::kBridge, channel::Site::kLake}) {
+    core::SessionConfig cfg;
+    cfg.forward.site = channel::site_preset(site);
+    cfg.forward.range_m = 5.0;
+    cfg.forward.seed = 4242;
+    core::LinkSession session(cfg);
+    const std::vector<double> snr = session.probe_snr();
+    if (snr.empty()) continue;
+    const phy::BandSelection band = phy::select_band(snr);
+    std::printf("%-8s per-bin SNR (dB), selected band %.0f-%.0f Hz:\n",
+                channel::site_name(site).c_str(),
+                cfg.params.bin_freq_hz(band.begin_bin),
+                cfg.params.bin_freq_hz(band.end_bin));
+    for (std::size_t k = 0; k < snr.size(); ++k) {
+      std::printf("%6.1f%s", snr[k], (k % 12 == 11) ? "\n" : " ");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Fig. 9d: PER at 5 m, adaptive vs fixed bandwidth ===\n");
+  std::printf("%-28s %10s %10s %10s\n", "scheme", "Bridge", "Park", "Lake");
+  std::printf("%-28s", "adaptive (ours)");
+  for (const auto& s : adaptive) std::printf(" %9.1f%%", 100.0 * s.per());
+  std::printf("\n");
+  for (const bench::FixedScheme& scheme : bench::fixed_schemes()) {
+    std::printf("%-28s", scheme.name);
+    for (channel::Site site : sites) {
+      core::SessionConfig cfg;
+      cfg.forward.site = channel::site_preset(site);
+      cfg.forward.range_m = 5.0;
+      cfg.fixed_band = scheme.band;
+      const bench::BatchStats s =
+          bench::run_batch(cfg, n, 9500 + 17 * static_cast<int>(site));
+      std::printf(" %9.1f%%", 100.0 * s.per());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper: adaptive PER ~1%% at all three sites; fixed schemes "
+              "degrade with multipath, worst at the lake)\n");
+  return 0;
+}

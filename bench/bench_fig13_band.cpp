@@ -1,0 +1,42 @@
+// Fig. 13 reproduction: the adaptive system narrows its selected band as
+// attenuation grows with distance. Prints the selected band edges and
+// width at each range.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace aqua;
+
+int main() {
+  const int n = bench::packets_per_config(8);
+  std::printf("%8s %14s %14s %10s %12s\n", "range(m)", "f_begin(Hz)",
+              "f_end(Hz)", "width", "bitrate");
+  for (double r : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+    double fb = 0.0, fe = 0.0, width = 0.0, rate = 0.0;
+    int ok = 0;
+    for (int i = 0; i < n; ++i) {
+      core::SessionConfig cfg;
+      cfg.forward.site = channel::site_preset(channel::Site::kLake);
+      cfg.forward.range_m = r;
+      cfg.forward.seed = 14000 + static_cast<std::uint64_t>(r) * 31 + i;
+      core::LinkSession session(cfg);
+      const std::vector<double> snr = session.probe_snr();
+      if (snr.empty()) continue;
+      const phy::BandSelection band = phy::select_band(snr);
+      fb += cfg.params.bin_freq_hz(band.begin_bin);
+      fe += cfg.params.bin_freq_hz(band.end_bin);
+      width += static_cast<double>(band.width());
+      rate += cfg.params.reported_bitrate_bps(band.width());
+      ++ok;
+    }
+    if (ok == 0) {
+      std::printf("%8.0f   (no preamble detections)\n", r);
+      continue;
+    }
+    std::printf("%8.0f %14.0f %14.0f %10.1f %10.1f\n", r, fb / ok, fe / ok,
+                width / ok, rate / ok);
+  }
+  std::printf("\n(paper Fig. 13: the band narrows with distance, keeping the "
+              "per-bin SNR above threshold by concentrating power)\n");
+  return 0;
+}

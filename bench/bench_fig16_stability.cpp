@@ -1,0 +1,52 @@
+// Fig. 16 reproduction: channel stability between the band-selection
+// preamble and the data transmission. Two preambles are sent back to back
+// (lake, 10 m); the band picked from the first is scored by the minimum
+// SNR it would see on the second. The 4 dB line marks ~1% BER.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace aqua;
+
+int main() {
+  const int n = 2 * bench::packets_per_config(10);
+  const std::pair<channel::MotionKind, const char*> kinds[] = {
+      {channel::MotionKind::kStatic, "static"},
+      {channel::MotionKind::kSlow, "slow"},
+      {channel::MotionKind::kFast, "fast"},
+  };
+  for (const auto& [kind, label] : kinds) {
+    std::printf("=== %s: min SNR (dB) in the band picked from the previous "
+                "preamble ===\n", label);
+    int below = 0, total = 0;
+    for (int i = 0; i < n; ++i) {
+      core::SessionConfig cfg;
+      cfg.forward.site = channel::site_preset(channel::Site::kLake);
+      cfg.forward.range_m = 10.0;
+      cfg.forward.motion = kind;
+      cfg.forward.seed = 17000 + static_cast<std::uint64_t>(kind) * 97 + i;
+      core::LinkSession session(cfg);
+      const std::vector<double> first = session.probe_snr();
+      if (first.empty()) continue;
+      const phy::BandSelection band = phy::select_band(first);
+      // The feedback exchange takes a few symbols; the session clock
+      // advanced during probe_snr's transmit, so the second probe sees the
+      // channel a realistic interval later.
+      const std::vector<double> second = session.probe_snr();
+      if (second.empty()) continue;
+      double min_snr = 1e9;
+      for (std::size_t k = band.begin_bin; k <= band.end_bin; ++k) {
+        min_snr = std::min(min_snr, second[k]);
+      }
+      std::printf(" %5.1f", min_snr);
+      if (min_snr < 4.0) ++below;
+      ++total;
+    }
+    std::printf("\n  -> %d/%d probes below the 4 dB (1%% BER) line\n\n", below,
+                total);
+  }
+  std::printf("(paper: static stays well above 4 dB; slow/fast motion dips "
+              "below occasionally, explaining the mobility PER)\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 17 reproduction: effect of OFDM subcarrier spacing (50/25/10 Hz) at
+// the lake, 5 m and 20 m. Prints bitrate CDFs and PER per spacing.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace aqua;
+
+int main() {
+  const int n = bench::packets_per_config(8);
+  std::printf("%10s %8s %14s %10s %12s\n", "spacing", "range", "median bps",
+              "PER", "detection");
+  for (double spacing : {50.0, 25.0, 10.0}) {
+    for (double range : {5.0, 20.0}) {
+      core::SessionConfig cfg;
+      cfg.params = phy::OfdmParams::with_spacing(spacing);
+      cfg.forward.site = channel::site_preset(channel::Site::kLake);
+      cfg.forward.range_m = range;
+      const bench::BatchStats s = bench::run_batch(
+          cfg, n,
+          18000 + static_cast<int>(spacing) * 13 + static_cast<int>(range));
+      std::printf("%7.0f Hz %6.0f m %14.1f %9.1f%% %11.2f\n", spacing, range,
+                  s.median_bitrate(), 100.0 * s.per(), s.detection_rate());
+    }
+  }
+  std::printf("\n(paper: ~1%% PER for every spacing at 5 m; at 20 m the 50 Hz "
+              "spacing rises to 4.6%% while 25/10 Hz stay below 1%% thanks to "
+              "finer SNR estimation and equalizer resolution)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 18 reproduction: effect of air in the waterproof case. Compares the
+// end-to-end frequency response with the case fully deflated vs filled
+// with air; the paper found the average 1-4 kHz power barely changes.
+#include <cmath>
+#include <cstdio>
+
+#include "channel/channel.h"
+
+using namespace aqua;
+
+int main() {
+  // Air in the pouch behaves as a slightly different acoustic impedance
+  // match: a small broadband loss plus extra ripple. We model "air-filled"
+  // as a unit-seed change (different coupling resonances) plus 1 dB.
+  auto make = [&](bool air_filled) {
+    channel::LinkConfig lc;
+    lc.site = channel::site_preset(channel::Site::kBridge);
+    lc.range_m = 5.0;
+    lc.noise_enabled = false;
+    lc.tx_device = channel::DeviceProfile(channel::DeviceModel::kGalaxyS9,
+                                          air_filled ? 7 : 1,
+                                          channel::CaseType::kSoftPouch);
+    lc.rx_device = channel::DeviceProfile(channel::DeviceModel::kGalaxyS9, 2,
+                                          channel::CaseType::kSoftPouch);
+    return channel::UnderwaterChannel(lc);
+  };
+  channel::UnderwaterChannel expelled = make(false);
+  channel::UnderwaterChannel filled = make(true);
+
+  std::printf("%10s %16s %16s\n", "freq (Hz)", "air expelled", "air filled");
+  double p_expelled = 0.0, p_filled = 0.0;
+  int cnt = 0;
+  for (double f = 1000.0; f <= 4000.0; f += 150.0) {
+    const double a = expelled.frequency_response_mag(f);
+    const double b = filled.frequency_response_mag(f) * std::pow(10.0, -1.0 / 20.0);
+    std::printf("%10.0f %16.2f %16.2f\n", f, dsp::amplitude_to_db(a),
+                dsp::amplitude_to_db(b));
+    p_expelled += a * a;
+    p_filled += b * b;
+    ++cnt;
+  }
+  const double diff_db = 10.0 * std::log10(p_expelled / p_filled);
+  std::printf("\naverage 1-4 kHz power difference: %.2f dB "
+              "(paper: not significantly different)\n", diff_db);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Two divers exchange a conversation while drifting in a busy bay.
+//
+// Demonstrates per-packet adaptation under mobility: every message rides a
+// fresh band selection, and the selected bitrate follows the changing
+// channel. Mirrors the paper's use case of divers using hand-signal
+// messages instead of visual signals in low-visibility water.
+#include <cstdio>
+
+#include "core/aquaapp.h"
+
+int main() {
+  using namespace aqua;
+
+  core::SessionConfig cfg;
+  cfg.forward.site = channel::site_preset(channel::Site::kBay);
+  cfg.forward.range_m = 8.0;
+  cfg.forward.tx_depth_m = 5.0;
+  cfg.forward.rx_depth_m = 5.0;
+  cfg.forward.motion = channel::MotionKind::kSlow;  // divers drift and sway
+  cfg.forward.seed = 21;
+  core::LinkSession session(cfg);
+
+  core::MessageCodebook book;
+  // A realistic dive conversation, two signals per packet.
+  const std::pair<std::uint8_t, std::uint8_t> conversation[] = {
+      {0, 1},     // "OK?" / "OK!"
+      {30, 34},   // "How much air do you have?" / "I have 70 bar"
+      {36, 63},   // "I am low on air" / "Turn around"
+      {60, 69},   // "Go up" / "Follow me"
+      {205, 1},   // "Too far away" / "OK!"
+  };
+
+  int delivered = 0, sent = 0;
+  for (const auto& [a, b] : conversation) {
+    const core::MessageResult r = core::send_signals(session, a, b);
+    ++sent;
+    std::printf("[%d] \"%s\" + \"%s\"\n", sent, book.by_id(a).text.c_str(),
+                book.by_id(b).text.c_str());
+    if (!r.trace.preamble_detected) {
+      std::printf("     lost: preamble not detected\n");
+      continue;
+    }
+    std::printf("     band %.0f-%.0f Hz, %.0f bps, %s\n",
+                cfg.params.bin_freq_hz(r.trace.band_used.begin_bin),
+                cfg.params.bin_freq_hz(r.trace.band_used.end_bin),
+                r.trace.selected_bitrate_bps,
+                r.trace.packet_ok ? "delivered + ACKed" : "packet error");
+    if (r.trace.packet_ok) ++delivered;
+  }
+  std::printf("\ndelivered %d/%d packets while drifting (%.0f%% PER)\n",
+              delivered, sent, 100.0 * (sent - delivered) / sent);
+  return 0;
+}

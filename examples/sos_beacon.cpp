@@ -1,0 +1,40 @@
+// Long-range SoS beacon: a diver in trouble 90 m from shore transmits a
+// 6-bit ID at 10 bps FSK; a rescuer's phone decodes it through the
+// beach-site channel. Also shows the bitrate/range trade (5/10/20 bps).
+#include <cstdio>
+
+#include "core/aquaapp.h"
+
+int main() {
+  using namespace aqua;
+
+  const std::uint8_t diver_id = 42;
+  std::printf("diver %u transmitting SoS beacons from 90 m...\n\n", diver_id);
+
+  for (double bps : {5.0, 10.0, 20.0}) {
+    core::SosBeaconService sos(bps);
+    channel::LinkConfig lc;
+    lc.site = channel::site_preset(channel::Site::kBeach);
+    lc.range_m = 90.0;
+    lc.tx_depth_m = 1.0;
+    lc.rx_depth_m = 1.0;
+    lc.seed = 1234 + static_cast<std::uint64_t>(bps);
+    channel::UnderwaterChannel ch(lc);
+
+    const auto got = sos.send_and_receive(ch, diver_id);
+    const double airtime =
+        (8 + 6 + 8) / bps;  // sync + id + crc symbols at `bps`
+    if (got) {
+      std::printf("%5.0f bps: decoded diver ID %2u (airtime %.1f s) %s\n", bps,
+                  *got, airtime, *got == diver_id ? "- CORRECT" : "- WRONG!");
+    } else {
+      std::printf("%5.0f bps: beacon not decoded (airtime %.1f s)\n", bps,
+                  airtime);
+    }
+  }
+
+  std::printf("\nlower bitrates concentrate energy per symbol, buying range —\n"
+              "the paper reaches 100+ m at 5-10 bps where the OFDM modem "
+              "stops at ~30 m.\n");
+  return 0;
+}

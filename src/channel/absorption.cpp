@@ -1,0 +1,27 @@
+#include "channel/absorption.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqua::channel {
+
+double thorp_absorption_db_per_km(double freq_hz) {
+  // Thorp (1967): alpha [dB/km] with f in kHz.
+  const double f = std::max(freq_hz, 1.0) / 1000.0;
+  const double f2 = f * f;
+  return 0.11 * f2 / (1.0 + f2) + 44.0 * f2 / (4100.0 + f2) +
+         2.75e-4 * f2 + 0.003;
+}
+
+double transmission_loss_db(double range_m, double freq_hz) {
+  const double r = std::max(range_m, 1.0);  // reference at 1 m
+  const double spreading = 20.0 * std::log10(r);
+  const double absorption = thorp_absorption_db_per_km(freq_hz) * r / 1000.0;
+  return spreading + absorption;
+}
+
+double transmission_amplitude(double range_m, double freq_hz) {
+  return std::pow(10.0, -transmission_loss_db(range_m, freq_hz) / 20.0);
+}
+
+}  // namespace aqua::channel

@@ -1,0 +1,24 @@
+// Seawater/freshwater acoustic absorption (Thorp's formula) and spherical
+// spreading loss. At the modem's 1-4 kHz band and <150 m ranges absorption
+// is a fraction of a dB, but it is modeled for physical fidelity and so the
+// simulator extrapolates correctly to longer ranges.
+#pragma once
+
+namespace aqua::channel {
+
+/// Thorp absorption coefficient in dB/km at frequency `freq_hz` (valid for
+/// a few hundred Hz up to ~50 kHz, temperate water).
+double thorp_absorption_db_per_km(double freq_hz);
+
+/// Total one-way transmission loss in dB over `range_m` meters at
+/// `freq_hz`: spherical spreading (20 log10 r) plus Thorp absorption.
+double transmission_loss_db(double range_m, double freq_hz);
+
+/// Linear amplitude factor corresponding to transmission_loss_db.
+double transmission_amplitude(double range_m, double freq_hz);
+
+/// Speed of sound used throughout the simulator (m/s).
+inline constexpr double kSoundSpeedWater = 1500.0;
+inline constexpr double kSoundSpeedAir = 343.0;
+
+}  // namespace aqua::channel

@@ -1,0 +1,198 @@
+#include "channel/channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/absorption.h"
+
+namespace aqua::channel {
+
+namespace {
+
+constexpr std::size_t kBlockSamples = 480;   // 10 ms update rate
+constexpr std::size_t kDeviceFirTaps = 512;  // ~94 Hz response resolution
+constexpr double kReferenceMargin_s = 0.002; // room for motion toward rx
+
+double clamp_depth(double z, double water_depth) {
+  return std::clamp(z, 0.05, std::max(water_depth - 0.05, 0.1));
+}
+
+}  // namespace
+
+LinkConfig reverse_link(const LinkConfig& fwd) {
+  LinkConfig rev = fwd;
+  std::swap(rev.tx_device, rev.rx_device);
+  std::swap(rev.tx_depth_m, rev.rx_depth_m);
+  rev.seed = fwd.seed ^ 0x5A5A5A5A;
+  return rev;
+}
+
+UnderwaterChannel::UnderwaterChannel(const LinkConfig& config)
+    : config_(config),
+      mobility_(config.motion, config.seed * 7919 + 13,
+                config.in_air ? 0.0 : config.site.drift_mps),
+      roughness_rng_(config.seed * 104729 + 7) {
+  if (config_.range_m <= 0.0) {
+    throw std::invalid_argument("UnderwaterChannel: range must be > 0");
+  }
+  if (config_.noise_enabled) {
+    NoiseParams np = config_.site.noise;
+    if (config_.in_air) {
+      // Quiet room: keep only a faint flat floor.
+      np.level_db -= 20.0;
+      np.bubble_rate_hz = 0.0;
+      np.boat_tones_hz.clear();
+    }
+    noise_.emplace(np, config_.sample_rate_hz, config_.seed * 6151 + 3);
+  }
+  tx_fir_ = device_fir(/*speaker=*/true);
+  rx_fir_ = device_fir(/*speaker=*/false);
+
+  base_paths_ = paths_at(0.0, /*block_index=*/0);
+  if (base_paths_.empty()) {
+    throw std::runtime_error("UnderwaterChannel: no propagation paths");
+  }
+  reference_delay_s_ =
+      std::max(base_paths_.front().delay_s - kReferenceMargin_s, 0.0);
+}
+
+Geometry UnderwaterChannel::geometry_at(double t_s) const {
+  Geometry g;
+  g.range_m = std::max(0.5, config_.range_m + mobility_.range_offset_m(t_s));
+  const double depth = config_.in_air ? 1e9 : config_.site.water_depth_m;
+  // The acoustic endpoints are the speaker and the microphone, which sit at
+  // different spots on the chassis: this asymmetry breaks forward/backward
+  // reciprocity underwater (Fig. 3d).
+  g.source_depth_m =
+      clamp_depth(config_.tx_depth_m + config_.tx_device.speaker_offset_m() +
+                      mobility_.depth_offset_m(t_s),
+                  depth);
+  g.receiver_depth_m =
+      clamp_depth(config_.rx_depth_m + config_.rx_device.mic_offset_m(), depth);
+  g.water_depth_m = depth;
+  return g;
+}
+
+std::vector<Path> UnderwaterChannel::paths_at(double t_s,
+                                              std::uint64_t block_index) {
+  const Geometry g = geometry_at(t_s);
+  if (config_.in_air) {
+    const double len = std::hypot(g.range_m, g.source_depth_m - g.receiver_depth_m);
+    const double amp = 1.0 / std::max(len, 1.0);
+    return {{len / kSoundSpeedAir, amp, 0, 0}};
+  }
+  WaveguideParams wp = config_.site.waveguide;
+  if (config_.site.surface_roughness > 0.0 && block_index > 0) {
+    // Waves decorrelate the surface bounce from block to block.
+    std::normal_distribution<double> gauss(0.0, config_.site.surface_roughness);
+    wp.surface_reflection = std::clamp(
+        wp.surface_reflection * (1.0 + gauss(roughness_rng_)), 0.3, 1.0);
+  }
+  return compute_paths(g, wp);
+}
+
+std::vector<double> UnderwaterChannel::device_fir(bool speaker) const {
+  const DeviceProfile& dev = speaker ? config_.tx_device : config_.rx_device;
+  const bool immersed = !config_.in_air;
+  std::vector<double> mag(kDeviceFirTaps / 2 + 1);
+  for (std::size_t k = 0; k < mag.size(); ++k) {
+    const double f = static_cast<double>(k) * config_.sample_rate_hz /
+                     static_cast<double>(kDeviceFirTaps);
+    mag[k] = speaker ? dev.speaker_gain(f, immersed) : dev.mic_gain(f, immersed);
+    if (speaker && config_.tx_azimuth_deg != 0.0) {
+      mag[k] *= dev.orientation_gain(config_.tx_azimuth_deg, f);
+    }
+  }
+  return dsp::design_from_magnitude(mag, kDeviceFirTaps);
+}
+
+std::vector<double> UnderwaterChannel::transmit(std::span<const double> tx,
+                                                double lead_in_s,
+                                                double tail_s) {
+  const double fs = config_.sample_rate_hz;
+  // 1. Speaker (+ case + static orientation) response.
+  std::vector<double> shaped = dsp::convolve(tx, tx_fir_);
+
+  // 2. Time-varying multipath. Static links collapse to one convolution.
+  const bool static_link = config_.motion == MotionKind::kStatic &&
+                           config_.site.surface_roughness <= 0.0 &&
+                           config_.site.drift_mps <= 0.0 && !config_.in_air;
+  const std::size_t ref_offset =
+      static_cast<std::size_t>(std::llround(reference_delay_s_ * fs));
+  std::vector<double> propagated;
+  if (static_link || config_.in_air) {
+    const std::vector<double> ir = paths_to_impulse_response_ref(
+        base_paths_, fs, reference_delay_s_);
+    propagated = dsp::convolve(shaped, ir);
+  } else {
+    // Block-wise overlap-add with a per-block impulse response. Mobility
+    // moves tap positions between blocks, which is physical Doppler.
+    std::vector<double> ir = paths_to_impulse_response_ref(
+        base_paths_, fs, reference_delay_s_);
+    std::size_t max_ir = ir.size();
+    std::vector<std::pair<std::size_t, std::vector<double>>> blocks;
+    for (std::size_t start = 0; start < shaped.size(); start += kBlockSamples) {
+      const std::size_t len = std::min(kBlockSamples, shaped.size() - start);
+      const double t_mid =
+          time_s_ + (static_cast<double>(start) + 0.5 * static_cast<double>(len)) / fs;
+      std::vector<Path> paths = paths_at(t_mid, start / kBlockSamples + 1);
+      std::vector<double> block_ir = paths_to_impulse_response_ref(
+          paths, fs, reference_delay_s_);
+      max_ir = std::max(max_ir, block_ir.size());
+      std::vector<double> y = dsp::convolve(
+          std::span<const double>(shaped).subspan(start, len), block_ir);
+      blocks.emplace_back(start, std::move(y));
+    }
+    propagated.assign(shaped.size() + max_ir, 0.0);
+    for (auto& [start, y] : blocks) {
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        if (start + i < propagated.size()) propagated[start + i] += y[i];
+      }
+    }
+  }
+
+  // 3. Microphone response.
+  std::vector<double> received = dsp::convolve(propagated, rx_fir_);
+
+  // 4. Assemble the receiver timeline with noise.
+  const std::size_t lead = static_cast<std::size_t>(lead_in_s * fs);
+  const std::size_t tail = static_cast<std::size_t>(tail_s * fs);
+  std::vector<double> out(lead + ref_offset + received.size() + tail, 0.0);
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    out[lead + ref_offset + i] = received[i];
+  }
+  if (noise_) {
+    std::vector<double> nz = noise_->generate(out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += nz[i];
+  }
+  time_s_ += static_cast<double>(out.size()) / fs;
+  return out;
+}
+
+std::vector<double> UnderwaterChannel::ambient(std::size_t n) {
+  time_s_ += static_cast<double>(n) / config_.sample_rate_hz;
+  if (!noise_) return std::vector<double>(n, 0.0);
+  return noise_->generate(n);
+}
+
+double UnderwaterChannel::frequency_response_mag(double freq_hz) const {
+  const double tx = std::abs(dsp::fir_response(tx_fir_, freq_hz,
+                                               config_.sample_rate_hz));
+  const double rx = std::abs(dsp::fir_response(rx_fir_, freq_hz,
+                                               config_.sample_rate_hz));
+  const double medium = std::abs(paths_frequency_response(base_paths_, freq_hz));
+  return tx * medium * rx;
+}
+
+double UnderwaterChannel::analytic_snr_db(double freq_hz, double low_hz,
+                                          double high_hz) const {
+  if (!noise_) return 300.0;
+  const double h = frequency_response_mag(freq_hz);
+  const double signal_psd = h * h / std::max(high_hz - low_hz, 1.0);
+  const double noise_psd = noise_->psd_one_sided(freq_hz);
+  if (noise_psd <= 0.0) return 300.0;
+  return dsp::power_to_db(signal_psd / noise_psd);
+}
+
+}  // namespace aqua::channel

@@ -1,0 +1,99 @@
+// The full end-to-end acoustic link simulator.
+//
+// Transmit chain: waveform -> speaker response (incl. case + static
+// orientation) -> time-varying waveguide multipath (image method, surface
+// roughness, mobility-induced tap drift = physical Doppler) -> microphone
+// response -> ambient noise at the receiver. This object substitutes for
+// "two phones in a lake" in every experiment of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "channel/device.h"
+#include "channel/environment.h"
+#include "channel/mobility.h"
+#include "channel/multipath.h"
+#include "channel/noise.h"
+#include "dsp/fir.h"
+#include "dsp/types.h"
+
+namespace aqua::channel {
+
+/// Configuration of one directed acoustic link (transmitter -> receiver).
+struct LinkConfig {
+  SitePreset site = site_preset(Site::kBridge);
+  double range_m = 5.0;
+  double tx_depth_m = 1.0;
+  double rx_depth_m = 1.0;
+  DeviceProfile tx_device{DeviceModel::kGalaxyS9, 1};
+  DeviceProfile rx_device{DeviceModel::kGalaxyS9, 2};
+  double tx_azimuth_deg = 0.0;     ///< static orientation offset (Fig. 15)
+  MotionKind motion = MotionKind::kStatic;
+  bool in_air = false;             ///< air link (Fig. 3c reciprocity baseline)
+  bool noise_enabled = true;
+  double sample_rate_hz = 48000.0;
+  std::uint64_t seed = 1;
+};
+
+/// Simulates one direction of an acoustic link.
+class UnderwaterChannel {
+ public:
+  explicit UnderwaterChannel(const LinkConfig& config);
+
+  /// Passes `tx` through the link. The output contains `lead_in_s` seconds
+  /// of ambient noise, then the (delayed, distorted) signal, then
+  /// `tail_s` seconds of trailing noise. The bulk propagation delay of the
+  /// earliest arrival is included in the output timeline.
+  std::vector<double> transmit(std::span<const double> tx,
+                               double lead_in_s = 0.05, double tail_s = 0.05);
+
+  /// Ambient noise only (carrier sensing, noise characterization).
+  std::vector<double> ambient(std::size_t n);
+
+  /// Bulk delay of the earliest arrival for the *initial* geometry.
+  double bulk_delay_s() const { return reference_delay_s_; }
+
+  /// End-to-end magnitude response (speaker x medium x mic) at `freq_hz`
+  /// for the initial geometry — used by the characterization benches.
+  double frequency_response_mag(double freq_hz) const;
+
+  /// Per-bin linear SNR the receiver would see for a unit-RMS transmit
+  /// signal that concentrates its power uniformly over the bins
+  /// [low_hz, high_hz] (diagnostic; the modem estimates its own SNR).
+  double analytic_snr_db(double freq_hz, double low_hz, double high_hz) const;
+
+  const LinkConfig& config() const { return config_; }
+
+  /// Advances the internal clock without transmitting (models the silence
+  /// between protocol phases so mobility keeps evolving).
+  void advance_time(double seconds) { time_s_ += seconds; }
+
+  /// Current link time (seconds since construction).
+  double time_s() const { return time_s_; }
+
+ private:
+  Geometry geometry_at(double t_s) const;
+  std::vector<Path> paths_at(double t_s, std::uint64_t block_index);
+  std::vector<double> device_fir(bool speaker) const;
+
+  LinkConfig config_;
+  MobilityModel mobility_;
+  std::optional<NoiseGenerator> noise_;
+  std::vector<double> tx_fir_;      ///< speaker + case + static orientation
+  std::vector<double> rx_fir_;      ///< microphone + case
+  std::vector<Path> base_paths_;    ///< paths for the initial geometry
+  double reference_delay_s_ = 0.0;  ///< shared tap-delay origin
+  double time_s_ = 0.0;             ///< link clock (advances per transmit)
+  std::mt19937_64 roughness_rng_;
+};
+
+/// Builds the reverse-direction config (swaps devices/depths and accounts
+/// for the speaker/mic physical offsets, which is what breaks reciprocity
+/// underwater).
+LinkConfig reverse_link(const LinkConfig& fwd);
+
+}  // namespace aqua::channel

@@ -1,0 +1,116 @@
+#include "channel/environment.h"
+
+#include <stdexcept>
+
+namespace aqua::channel {
+
+SitePreset site_preset(Site site) {
+  SitePreset p;
+  p.site = site;
+  p.name = site_name(site);
+  switch (site) {
+    case Site::kBridge:
+      // Quiet, still water under a bridge; 20 m span, modest depth.
+      p.water_depth_m = 4.0;
+      p.max_range_m = 20.0;
+      p.waveguide.bottom_reflection = 0.40;
+      p.waveguide.scatterer_count = 2;
+      p.waveguide.scatter_strength = 0.15;
+      p.waveguide.scatter_seed = 101;
+      p.noise.level_db = 0.0;  // quietest reference site
+      p.noise.bubble_rate_hz = 0.2;
+      p.surface_roughness = 0.01;
+      p.drift_mps = 0.0;
+      break;
+    case Site::kPark:
+      // Busy waterfront: boats and strong currents.
+      p.water_depth_m = 3.5;
+      p.max_range_m = 40.0;
+      p.waveguide.bottom_reflection = 0.50;
+      p.waveguide.scatterer_count = 5;
+      p.waveguide.scatter_strength = 0.30;
+      p.waveguide.scatter_seed = 202;
+      p.noise.level_db = 6.0;
+      p.noise.bubble_rate_hz = 1.5;
+      p.noise.boat_tones_hz = {180.0, 420.0, 750.0};
+      p.surface_roughness = 0.05;
+      p.drift_mps = 0.08;
+      break;
+    case Site::kLake:
+      // Fishing dock: wall and pillars underwater -> dense scatter, the
+      // most frequency-selective site in the paper.
+      p.water_depth_m = 5.0;
+      p.max_range_m = 30.0;
+      p.waveguide.bottom_reflection = 0.55;
+      p.waveguide.scatterer_count = 12;
+      p.waveguide.scatter_strength = 0.9;
+      p.waveguide.scatter_max_extra_delay_s = 0.007;
+      p.waveguide.scatter_seed = 303;
+      p.noise.level_db = 9.0;  // loudest site (9 dB above bridge, Fig. 4b)
+      p.noise.bubble_rate_hz = 2.5;
+      p.noise.boat_tones_hz = {240.0, 610.0};
+      p.surface_roughness = 0.04;
+      p.drift_mps = 0.05;
+      break;
+    case Site::kBeach:
+      // Long waterfront used for the 100 m range tests.
+      p.water_depth_m = 3.0;
+      p.max_range_m = 113.0;
+      p.waveguide.bottom_reflection = 0.35;
+      p.waveguide.scatterer_count = 3;
+      p.waveguide.scatter_strength = 0.25;
+      p.waveguide.scatter_seed = 404;
+      p.noise.level_db = 4.0;
+      p.noise.bubble_rate_hz = 1.0;
+      p.surface_roughness = 0.06;
+      p.drift_mps = 0.04;
+      break;
+    case Site::kMuseum:
+      // Ship dock, 9 m water depth, heavily occupied.
+      p.water_depth_m = 9.0;
+      p.max_range_m = 20.0;
+      p.waveguide.bottom_reflection = 0.60;
+      p.waveguide.scatterer_count = 6;
+      p.waveguide.scatter_strength = 0.35;
+      p.waveguide.scatter_seed = 505;
+      p.noise.level_db = 7.0;
+      p.noise.bubble_rate_hz = 1.2;
+      p.noise.boat_tones_hz = {150.0, 330.0, 880.0};
+      p.surface_roughness = 0.03;
+      p.drift_mps = 0.03;
+      break;
+    case Site::kBay:
+      // 15 m deep, lots of waves; kayak-based experiments.
+      p.water_depth_m = 15.0;
+      p.max_range_m = 20.0;
+      p.waveguide.bottom_reflection = 0.45;
+      p.waveguide.scatterer_count = 4;
+      p.waveguide.scatter_strength = 0.25;
+      p.waveguide.scatter_seed = 606;
+      p.noise.level_db = 5.0;
+      p.noise.bubble_rate_hz = 2.0;
+      p.surface_roughness = 0.12;
+      p.drift_mps = 0.10;
+      break;
+  }
+  return p;
+}
+
+std::vector<Site> all_sites() {
+  return {Site::kBridge, Site::kPark, Site::kLake,
+          Site::kBeach,  Site::kMuseum, Site::kBay};
+}
+
+std::string site_name(Site site) {
+  switch (site) {
+    case Site::kBridge: return "Bridge";
+    case Site::kPark: return "Park";
+    case Site::kLake: return "Lake";
+    case Site::kBeach: return "Beach";
+    case Site::kMuseum: return "Museum";
+    case Site::kBay: return "Bay";
+  }
+  throw std::invalid_argument("site_name: unknown site");
+}
+
+}  // namespace aqua::channel

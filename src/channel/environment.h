@@ -1,0 +1,44 @@
+// Presets for the six real-world sites of the paper's evaluation (Fig. 7).
+//
+// Each preset fixes water depth, boundary reflectivity, scatterer density
+// (dock pillars / walls), ambient-noise level and character, and the
+// maximum usable range — chosen so the simulated channels land in the same
+// qualitative regimes the paper reports per site (bridge quiet/still, lake
+// busy with severe selectivity, bay deep with waves, ...).
+#pragma once
+
+#include <string>
+
+#include "channel/multipath.h"
+#include "channel/noise.h"
+
+namespace aqua::channel {
+
+/// The paper's six evaluation environments.
+enum class Site { kBridge, kPark, kLake, kBeach, kMuseum, kBay };
+
+/// Full environmental description assembled from a Site.
+struct SitePreset {
+  Site site = Site::kBridge;
+  std::string name;
+  double water_depth_m = 5.0;
+  double max_range_m = 30.0;
+  WaveguideParams waveguide;
+  NoiseParams noise;
+  /// Surface roughness: std-dev of the per-block surface-reflection
+  /// perturbation (waves make the surface bounce incoherent).
+  double surface_roughness = 0.0;
+  /// Current-induced drift speed (m/s) applied even in "static" tests.
+  double drift_mps = 0.0;
+};
+
+/// Returns the preset for a site.
+SitePreset site_preset(Site site);
+
+/// All six sites, in the paper's order.
+std::vector<Site> all_sites();
+
+/// Human-readable site name.
+std::string site_name(Site site);
+
+}  // namespace aqua::channel

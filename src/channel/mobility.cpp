@@ -1,0 +1,76 @@
+#include "channel/mobility.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace aqua::channel {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+MobilityModel::MobilityModel(MotionKind kind, std::uint64_t seed,
+                             double drift_mps)
+    : kind_(kind), drift_mps_(drift_mps) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> phase(0.0, kTwoPi);
+  std::uniform_real_distribution<double> fjit(0.85, 1.15);
+
+  // Target RMS accelerations from the paper's accelerometer readings.
+  double target_accel = 0.0;
+  switch (kind) {
+    case MotionKind::kStatic: target_accel = 0.0; break;
+    case MotionKind::kSlow: target_accel = 2.5; break;
+    case MotionKind::kFast: target_accel = 5.1; break;
+  }
+  rms_accel_ = target_accel;
+
+  // Split the acceleration budget between two sinusoids per axis. For a
+  // sinusoid A sin(wt), RMS accel = A w^2 / sqrt(2).
+  const double base_freq = (kind == MotionKind::kFast) ? 0.9 : 0.55;
+  for (int c = 0; c < 2; ++c) {
+    const double f_h = base_freq * (c == 0 ? 1.0 : 1.9) * fjit(rng);
+    const double f_v = base_freq * (c == 0 ? 0.8 : 1.6) * fjit(rng);
+    const double share = (c == 0) ? 0.75 : 0.25;
+    const double a_h = target_accel * share / std::sqrt(2.0);
+    const double a_v = target_accel * (1.0 - share + 0.25) / std::sqrt(2.0);
+    const double wh = kTwoPi * f_h;
+    const double wv = kTwoPi * f_v;
+    horiz_[c] = {wh > 0 ? a_h * std::sqrt(2.0) / (wh * wh) : 0.0, f_h,
+                 phase(rng)};
+    vert_[c] = {wv > 0 ? 0.5 * a_v * std::sqrt(2.0) / (wv * wv) : 0.0, f_v,
+                phase(rng)};
+  }
+  // Rotation: the roped phone spins slowly; faster swing spins faster.
+  switch (kind) {
+    case MotionKind::kStatic: rot_rate_deg_s_ = 1.0; break;
+    case MotionKind::kSlow: rot_rate_deg_s_ = 10.0; break;
+    case MotionKind::kFast: rot_rate_deg_s_ = 25.0; break;
+  }
+  rot_phase_ = phase(rng) / kTwoPi * 360.0;
+}
+
+double MobilityModel::range_offset_m(double t_s) const {
+  double x = drift_mps_ * t_s;
+  for (const Component& c : horiz_) {
+    x += c.amp * std::sin(kTwoPi * c.freq * t_s + c.phase);
+  }
+  return x;
+}
+
+double MobilityModel::depth_offset_m(double t_s) const {
+  double z = 0.0;
+  for (const Component& c : vert_) {
+    z += c.amp * std::sin(kTwoPi * c.freq * t_s + c.phase);
+  }
+  return z;
+}
+
+double MobilityModel::azimuth_deg(double t_s) const {
+  // Bounded wander: oscillate across +/-90 degrees rather than spinning
+  // without limit.
+  return 90.0 * std::sin(kTwoPi * (rot_rate_deg_s_ / 360.0) * t_s +
+                         rot_phase_ * std::numbers::pi / 180.0);
+}
+
+}  // namespace aqua::channel

@@ -1,0 +1,164 @@
+#include "coding/convolutional.h"
+
+#include <array>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace aqua::coding {
+
+namespace {
+
+constexpr int kStates = 64;  // 2^(K-1)
+
+inline std::uint8_t parity(unsigned v) {
+  return static_cast<std::uint8_t>(std::popcount(v) & 1);
+}
+
+// Branch outputs for (state, input) pairs, precomputed once.
+struct Trellis {
+  // out[state][input] packs (bit1 << 1) | bit2.
+  std::array<std::array<std::uint8_t, 2>, kStates> out{};
+  std::array<std::array<std::uint8_t, 2>, kStates> next{};
+  Trellis() {
+    for (int s = 0; s < kStates; ++s) {
+      for (int b = 0; b < 2; ++b) {
+        const unsigned reg = (static_cast<unsigned>(s) << 1) | static_cast<unsigned>(b);
+        const std::uint8_t o1 = parity(reg & ConvolutionalCodec::kG1);
+        const std::uint8_t o2 = parity(reg & ConvolutionalCodec::kG2);
+        out[static_cast<std::size_t>(s)][static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>((o1 << 1) | o2);
+        next[static_cast<std::size_t>(s)][static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(reg & 0x3F);
+      }
+    }
+  }
+};
+
+const Trellis& trellis() {
+  static const Trellis t;
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::pair<bool, bool>> puncture_pattern(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kRate1_2:
+      return {{true, true}};
+    case CodeRate::kRate2_3:
+      // Standard 2/3 pattern: [1 1; 1 0] over two input bits.
+      return {{true, true}, {true, false}};
+    case CodeRate::kRate3_4:
+      // Standard 3/4 pattern: [1 1; 1 0; 0 1].
+      return {{true, true}, {true, false}, {false, true}};
+  }
+  throw std::invalid_argument("puncture_pattern: unknown rate");
+}
+
+std::size_t coded_length(std::size_t info_bits, CodeRate rate) {
+  const auto pattern = puncture_pattern(rate);
+  const std::size_t total = info_bits + 6;  // terminated trellis
+  std::size_t coded = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto& [keep1, keep2] = pattern[i % pattern.size()];
+    coded += static_cast<std::size_t>(keep1) + static_cast<std::size_t>(keep2);
+  }
+  return coded;
+}
+
+ConvolutionalCodec::ConvolutionalCodec(CodeRate rate)
+    : rate_(rate), pattern_(puncture_pattern(rate)) {}
+
+std::vector<std::uint8_t> ConvolutionalCodec::encode(
+    std::span<const std::uint8_t> info) const {
+  const Trellis& t = trellis();
+  std::vector<std::uint8_t> out;
+  out.reserve(2 * (info.size() + 6));
+  unsigned state = 0;
+  std::size_t step = 0;
+  auto push = [&](std::uint8_t bit) {
+    const auto& [keep1, keep2] = pattern_[step % pattern_.size()];
+    const std::uint8_t o1 = static_cast<std::uint8_t>((t.out[state][bit] >> 1) & 1);
+    const std::uint8_t o2 = static_cast<std::uint8_t>(t.out[state][bit] & 1);
+    if (keep1) out.push_back(o1);
+    if (keep2) out.push_back(o2);
+    state = t.next[state][bit];
+    ++step;
+  };
+  for (std::uint8_t b : info) push(b & 1);
+  for (int i = 0; i < 6; ++i) push(0);  // flush to state 0
+  return out;
+}
+
+std::vector<std::uint8_t> ConvolutionalCodec::decode(
+    std::span<const double> llr, std::size_t info_bits) const {
+  const Trellis& t = trellis();
+  const std::size_t total = info_bits + 6;
+
+  // De-puncture: rebuild the rate-1/2 LLR stream with 0 (erasure) at
+  // punctured positions.
+  std::vector<double> l1(total, 0.0), l2(total, 0.0);
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto& [keep1, keep2] = pattern_[i % pattern_.size()];
+    if (keep1) {
+      if (idx >= llr.size()) throw std::invalid_argument("decode: llr too short");
+      l1[i] = llr[idx++];
+    }
+    if (keep2) {
+      if (idx >= llr.size()) throw std::invalid_argument("decode: llr too short");
+      l2[i] = llr[idx++];
+    }
+  }
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> metric(kStates, kNegInf);
+  metric[0] = 0.0;
+  // survivor[i][s] = input bit and predecessor packed: (prev << 1) | bit.
+  std::vector<std::array<std::uint16_t, kStates>> survivor(total);
+
+  for (std::size_t i = 0; i < total; ++i) {
+    std::vector<double> next_metric(kStates, kNegInf);
+    std::array<std::uint16_t, kStates>& surv = survivor[i];
+    for (int s = 0; s < kStates; ++s) {
+      if (metric[static_cast<std::size_t>(s)] == kNegInf) continue;
+      const int max_bit = (i < info_bits) ? 1 : 0;  // tail forces zeros
+      for (int b = 0; b <= max_bit; ++b) {
+        const std::uint8_t o = t.out[static_cast<std::size_t>(s)][static_cast<std::size_t>(b)];
+        const double c1 = ((o >> 1) & 1) ? -l1[i] : l1[i];
+        const double c2 = (o & 1) ? -l2[i] : l2[i];
+        const double m = metric[static_cast<std::size_t>(s)] + c1 + c2;
+        const int ns = t.next[static_cast<std::size_t>(s)][static_cast<std::size_t>(b)];
+        if (m > next_metric[static_cast<std::size_t>(ns)]) {
+          next_metric[static_cast<std::size_t>(ns)] = m;
+          surv[static_cast<std::size_t>(ns)] =
+              static_cast<std::uint16_t>((s << 1) | b);
+        }
+      }
+    }
+    metric = std::move(next_metric);
+  }
+
+  // Traceback from the all-zero state (trellis is terminated).
+  std::vector<std::uint8_t> decoded(total);
+  int state = 0;
+  for (std::size_t i = total; i-- > 0;) {
+    const std::uint16_t sv = survivor[i][static_cast<std::size_t>(state)];
+    decoded[i] = static_cast<std::uint8_t>(sv & 1);
+    state = sv >> 1;
+  }
+  decoded.resize(info_bits);
+  return decoded;
+}
+
+std::vector<std::uint8_t> ConvolutionalCodec::decode_hard(
+    std::span<const std::uint8_t> coded, std::size_t info_bits) const {
+  std::vector<double> llr(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llr[i] = (coded[i] & 1) ? -1.0 : 1.0;
+  }
+  return decode(llr, info_bits);
+}
+
+}  // namespace aqua::coding

@@ -1,0 +1,57 @@
+// Rate-1/2 constraint-length-7 convolutional code (industry-standard
+// generators 133/171 octal, as used in GSM and satellite links the paper
+// cites), with puncturing to the paper's rate 2/3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aqua::coding {
+
+/// Code rates supported by the codec. The paper's modem uses rate 2/3.
+enum class CodeRate { kRate1_2, kRate2_3, kRate3_4 };
+
+/// Puncture pattern for a code rate: pairs of (keep-first, keep-second)
+/// flags applied cyclically to the rate-1/2 output pairs.
+std::vector<std::pair<bool, bool>> puncture_pattern(CodeRate rate);
+
+/// Number of coded bits produced for `info_bits` at `rate`, including the
+/// K-1 = 6 flush (tail) bits appended by the encoder.
+std::size_t coded_length(std::size_t info_bits, CodeRate rate);
+
+/// Convolutional encoder/decoder pair.
+///
+/// encode(): appends 6 tail zeros (terminated trellis), produces the rate-1/2
+/// stream and then punctures to the requested rate.
+/// decode(): soft-decision Viterbi; punctured positions are treated as
+/// erasures (zero branch metric contribution).
+class ConvolutionalCodec {
+ public:
+  explicit ConvolutionalCodec(CodeRate rate = CodeRate::kRate2_3);
+
+  /// Encodes info bits (0/1 values) into coded bits (0/1 values).
+  std::vector<std::uint8_t> encode(std::span<const std::uint8_t> info) const;
+
+  /// Soft-decision decode. `llr[i]` > 0 means coded bit i more likely 0;
+  /// magnitude is the confidence. Returns the info bits.
+  /// `info_bits` must match the encoder's input length.
+  std::vector<std::uint8_t> decode(std::span<const double> llr,
+                                   std::size_t info_bits) const;
+
+  /// Hard-decision convenience wrapper: maps bits to +/-1 LLRs.
+  std::vector<std::uint8_t> decode_hard(std::span<const std::uint8_t> coded,
+                                        std::size_t info_bits) const;
+
+  CodeRate rate() const { return rate_; }
+
+  static constexpr int kConstraintLength = 7;
+  static constexpr unsigned kG1 = 0155;  // 133 octal, reversed-bit convention
+  static constexpr unsigned kG2 = 0117;  // 171 octal, reversed-bit convention
+
+ private:
+  CodeRate rate_;
+  std::vector<std::pair<bool, bool>> pattern_;
+};
+
+}  // namespace aqua::coding

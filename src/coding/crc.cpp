@@ -1,0 +1,52 @@
+#include "coding/crc.h"
+
+namespace aqua::coding {
+
+std::uint8_t crc8(std::span<const std::uint8_t> bits) {
+  std::uint8_t crc = 0;
+  for (std::uint8_t b : bits) {
+    const std::uint8_t in = static_cast<std::uint8_t>((crc >> 7) ^ (b & 1));
+    crc = static_cast<std::uint8_t>(crc << 1);
+    if (in) crc ^= 0x07;
+  }
+  return crc;
+}
+
+std::uint16_t crc16(std::span<const std::uint8_t> bits) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t b : bits) {
+    const std::uint16_t in = static_cast<std::uint16_t>(((crc >> 15) ^ (b & 1)) & 1);
+    crc = static_cast<std::uint16_t>(crc << 1);
+    if (in) crc ^= 0x1021;
+  }
+  return crc;
+}
+
+std::vector<std::uint8_t> append_crc8(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out(bits.begin(), bits.end());
+  const std::uint8_t c = crc8(bits);
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>((c >> i) & 1));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> check_crc8(std::span<const std::uint8_t> bits,
+                                     bool* ok) {
+  if (bits.size() < 8) {
+    if (ok) *ok = false;
+    return {};
+  }
+  const std::size_t n = bits.size() - 8;
+  std::uint8_t expect = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    expect = static_cast<std::uint8_t>((expect << 1) | (bits[n + i] & 1));
+  }
+  const std::uint8_t got = crc8(bits.first(n));
+  const bool good = (expect == got);
+  if (ok) *ok = good;
+  if (!good) return {};
+  return {bits.begin(), bits.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+}  // namespace aqua::coding

@@ -1,0 +1,24 @@
+// CRC-8 (poly 0x07) and CRC-16-CCITT over bit streams, used by packet
+// integrity checks in the protocol layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aqua::coding {
+
+/// CRC-8/ATM (poly x^8 + x^2 + x + 1), MSB-first over a 0/1 bit vector.
+std::uint8_t crc8(std::span<const std::uint8_t> bits);
+
+/// CRC-16-CCITT (poly 0x1021, init 0xFFFF), MSB-first over a 0/1 bit vector.
+std::uint16_t crc16(std::span<const std::uint8_t> bits);
+
+/// Appends the CRC-8 of `bits` to the stream (8 extra bits, MSB first).
+std::vector<std::uint8_t> append_crc8(std::span<const std::uint8_t> bits);
+
+/// Verifies and strips a trailing CRC-8; returns empty vector on failure.
+std::vector<std::uint8_t> check_crc8(std::span<const std::uint8_t> bits,
+                                     bool* ok);
+
+}  // namespace aqua::coding

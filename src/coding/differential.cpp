@@ -1,0 +1,57 @@
+#include "coding/differential.h"
+
+#include <stdexcept>
+
+namespace aqua::coding {
+
+std::vector<std::uint8_t> differential_encode(
+    std::span<const std::uint8_t> bits, std::size_t subcarriers) {
+  if (subcarriers == 0) {
+    throw std::invalid_argument("differential_encode: zero subcarriers");
+  }
+  if (bits.size() % subcarriers != 0) {
+    throw std::invalid_argument("differential_encode: ragged symbol matrix");
+  }
+  const std::size_t symbols = bits.size() / subcarriers;
+  std::vector<std::uint8_t> out((symbols + 1) * subcarriers, 0);
+  // Reference symbol (all zeros) occupies out[0..subcarriers).
+  for (std::size_t s = 0; s < symbols; ++s) {
+    for (std::size_t k = 0; k < subcarriers; ++k) {
+      const std::uint8_t prev = out[s * subcarriers + k];
+      out[(s + 1) * subcarriers + k] =
+          static_cast<std::uint8_t>(prev ^ (bits[s * subcarriers + k] & 1));
+    }
+  }
+  return out;
+}
+
+std::vector<double> differential_decode_soft(std::span<const dsp::cplx> rx,
+                                             std::size_t subcarriers) {
+  if (subcarriers == 0 || rx.size() % subcarriers != 0) {
+    throw std::invalid_argument("differential_decode: ragged symbol matrix");
+  }
+  const std::size_t symbols = rx.size() / subcarriers;
+  if (symbols < 2) return {};
+  std::vector<double> soft((symbols - 1) * subcarriers, 0.0);
+  for (std::size_t s = 1; s < symbols; ++s) {
+    for (std::size_t k = 0; k < subcarriers; ++k) {
+      // Re{y_i * conj(y_{i-1})} > 0 when the phases agree (bit 0).
+      const dsp::cplx a = rx[s * subcarriers + k];
+      const dsp::cplx b = rx[(s - 1) * subcarriers + k];
+      soft[(s - 1) * subcarriers + k] = (a * std::conj(b)).real();
+    }
+  }
+  return soft;
+}
+
+std::vector<std::uint8_t> differential_decode(std::span<const dsp::cplx> rx,
+                                              std::size_t subcarriers) {
+  std::vector<double> soft = differential_decode_soft(rx, subcarriers);
+  std::vector<std::uint8_t> bits(soft.size());
+  for (std::size_t i = 0; i < soft.size(); ++i) {
+    bits[i] = soft[i] >= 0.0 ? 0 : 1;
+  }
+  return bits;
+}
+
+}  // namespace aqua::coding

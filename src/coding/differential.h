@@ -1,0 +1,36 @@
+// Differential XOR coding across consecutive OFDM symbols (section 2.3.1).
+//
+// A coded bit b is transmitted as y_i(k) = y_{i-1}(k) XOR b on subcarrier k,
+// i.e. the BPSK phase on subcarrier k flips between consecutive symbols iff
+// b == 1. The receiver recovers b from the phase difference of consecutive
+// symbols, which cancels any channel rotation whose coherence time exceeds
+// one OFDM symbol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace aqua::coding {
+
+/// Differentially encodes a matrix of bits laid out symbol-major:
+/// `bits[sym * subcarriers + k]`. Returns the absolute (transmitted) BPSK
+/// bits including the reference symbol prepended (all zeros), so the output
+/// has (symbols + 1) * subcarriers entries.
+std::vector<std::uint8_t> differential_encode(
+    std::span<const std::uint8_t> bits, std::size_t subcarriers);
+
+/// Recovers coded bits from received frequency-domain values by phase
+/// difference between consecutive symbols. `rx[sym * subcarriers + k]` must
+/// include the reference symbol at sym = 0. Output has
+/// (symbols - 1) * subcarriers soft values: positive = bit 0 (no flip).
+std::vector<double> differential_decode_soft(std::span<const dsp::cplx> rx,
+                                             std::size_t subcarriers);
+
+/// Hard-decision variant of differential_decode_soft.
+std::vector<std::uint8_t> differential_decode(std::span<const dsp::cplx> rx,
+                                              std::size_t subcarriers);
+
+}  // namespace aqua::coding

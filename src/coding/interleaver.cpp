@@ -1,0 +1,81 @@
+#include "coding/interleaver.h"
+
+#include <stdexcept>
+
+namespace aqua::coding {
+
+SubcarrierInterleaver::SubcarrierInterleaver(std::size_t subcarriers)
+    : subcarriers_(subcarriers), order_(make_order(subcarriers)) {
+  if (subcarriers == 0) {
+    throw std::invalid_argument("SubcarrierInterleaver: zero subcarriers");
+  }
+}
+
+std::vector<std::size_t> SubcarrierInterleaver::make_order(std::size_t n) {
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  if (n < 3) {
+    // Paper: "If we use less than three bins then this defaults to not
+    // using interleaving."
+    for (std::size_t i = 0; i < n; ++i) order.push_back(i);
+    return order;
+  }
+  const std::size_t step = (n + 2) / 3;  // one-third of the selected bins
+  std::vector<bool> used(n, false);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Advance to the next unused slot (cyclic with the 1/3 stride).
+    while (used[pos]) pos = (pos + 1) % n;
+    order.push_back(pos);
+    used[pos] = true;
+    pos = (pos + step) % n;
+  }
+  return order;
+}
+
+std::vector<std::uint8_t> SubcarrierInterleaver::interleave(
+    std::span<const std::uint8_t> bits) const {
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t base = 0; base < bits.size(); base += subcarriers_) {
+    const std::size_t len = std::min(subcarriers_, bits.size() - base);
+    if (len == subcarriers_) {
+      for (std::size_t i = 0; i < len; ++i) out[base + order_[i]] = bits[base + i];
+    } else {
+      const std::vector<std::size_t> partial = make_order(len);
+      for (std::size_t i = 0; i < len; ++i) out[base + partial[i]] = bits[base + i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> SubcarrierInterleaver::deinterleave(
+    std::span<const std::uint8_t> bits) const {
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t base = 0; base < bits.size(); base += subcarriers_) {
+    const std::size_t len = std::min(subcarriers_, bits.size() - base);
+    if (len == subcarriers_) {
+      for (std::size_t i = 0; i < len; ++i) out[base + i] = bits[base + order_[i]];
+    } else {
+      const std::vector<std::size_t> partial = make_order(len);
+      for (std::size_t i = 0; i < len; ++i) out[base + i] = bits[base + partial[i]];
+    }
+  }
+  return out;
+}
+
+std::vector<double> SubcarrierInterleaver::deinterleave(
+    std::span<const double> llr) const {
+  std::vector<double> out(llr.size());
+  for (std::size_t base = 0; base < llr.size(); base += subcarriers_) {
+    const std::size_t len = std::min(subcarriers_, llr.size() - base);
+    if (len == subcarriers_) {
+      for (std::size_t i = 0; i < len; ++i) out[base + i] = llr[base + order_[i]];
+    } else {
+      const std::vector<std::size_t> partial = make_order(len);
+      for (std::size_t i = 0; i < len; ++i) out[base + i] = llr[base + partial[i]];
+    }
+  }
+  return out;
+}
+
+}  // namespace aqua::coding

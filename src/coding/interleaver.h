@@ -1,0 +1,47 @@
+// The paper's subcarrier interleaver (section 2.3.1).
+//
+// Coded bits are assigned symbol-by-symbol; within a symbol, successive bits
+// are placed `ceil(L/3)` subcarriers apart (L = number of active subcarriers)
+// so that a fade hitting one or two adjacent subcarriers never produces a
+// run of consecutive coded-bit errors. With fewer than three subcarriers the
+// mapping degenerates to the identity, exactly as the paper states.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aqua::coding {
+
+/// Bit interleaver across the subcarriers of one OFDM symbol.
+class SubcarrierInterleaver {
+ public:
+  /// `subcarriers` = number of active OFDM bins per symbol (the paper's L).
+  explicit SubcarrierInterleaver(std::size_t subcarriers);
+
+  /// Permutation for one symbol: position i in the coded stream maps to
+  /// subcarrier slot order()[i].
+  const std::vector<std::size_t>& order() const { return order_; }
+
+  /// Interleaves a full packet of coded bits. The stream is chunked into
+  /// symbols of `subcarriers` bits; a final partial symbol is permuted with
+  /// the same rule restricted to its length.
+  std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> bits) const;
+
+  /// Inverse permutation (bits) — restores encoder order.
+  std::vector<std::uint8_t> deinterleave(std::span<const std::uint8_t> bits) const;
+
+  /// Inverse permutation applied to soft values (LLRs).
+  std::vector<double> deinterleave(std::span<const double> llr) const;
+
+  std::size_t subcarriers() const { return subcarriers_; }
+
+ private:
+  static std::vector<std::size_t> make_order(std::size_t n);
+
+  std::size_t subcarriers_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace aqua::coding

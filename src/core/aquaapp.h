@@ -1,0 +1,45 @@
+// Top-level convenience API: what the Android app does, minus the UI.
+//
+// Wraps the protocol session with the message codebook (send two hand
+// signals per 16-bit packet) and the long-range FSK SoS beacon service.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/link_session.h"
+#include "core/messages.h"
+#include "phy/fsk.h"
+
+namespace aqua::core {
+
+/// Result of sending a two-signal message over a link.
+struct MessageResult {
+  PacketTrace trace;
+  /// The two signals Bob decoded (only meaningful when trace.data_found).
+  std::optional<std::pair<std::uint8_t, std::uint8_t>> received;
+};
+
+/// Sends two hand-signal messages through one protocol packet.
+MessageResult send_signals(LinkSession& session, std::uint8_t first_id,
+                           std::uint8_t second_id);
+
+/// SoS beacon service: FSK at 5/10/20 bps carrying a 6-bit diver ID.
+class SosBeaconService {
+ public:
+  /// `bitrate_bps` must be 5, 10 or 20 (paper's supported rates).
+  explicit SosBeaconService(double bitrate_bps = 10.0,
+                            double sample_rate_hz = 48000.0);
+
+  /// Sends the beacon through `ch` and tries to decode it at the receiver.
+  std::optional<std::uint8_t> send_and_receive(
+      channel::UnderwaterChannel& ch, std::uint8_t diver_id) const;
+
+  const phy::FskBeacon& beacon() const { return beacon_; }
+
+ private:
+  phy::FskBeacon beacon_;
+};
+
+}  // namespace aqua::core

@@ -1,0 +1,91 @@
+// End-to-end execution of the post-preamble feedback protocol over a
+// simulated acoustic link (section 2.2, Fig. 5).
+//
+// One send_packet() call plays out the full sequence:
+//   Alice: preamble + receiver-ID symbol        (forward channel)
+//   Bob:   detect, check ID, estimate per-bin SNR, run Algorithm 1
+//   Bob:   two-tone feedback symbol             (backward channel)
+//   Alice: sliding-FFT feedback decode, encode data in the band
+//   Alice: training symbol + data symbols       (forward channel)
+//   Bob:   locate training, equalize, decode, ACK on success
+// and returns a full trace (band, bitrate, errors) that the benches
+// aggregate into the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "channel/channel.h"
+#include "phy/bandselect.h"
+#include "phy/datamodem.h"
+#include "phy/feedback.h"
+#include "phy/preamble.h"
+
+namespace aqua::core {
+
+/// Configuration of a protocol session between two devices.
+struct SessionConfig {
+  phy::OfdmParams params;
+  channel::LinkConfig forward;      ///< Alice -> Bob link
+  /// Node IDs are active-bin indices (section 2.3: 60 subcarriers => up to
+  /// 60 users). Defaults sit mid-band where every device's response is
+  /// strong; low bins (near 1 kHz) are the noisiest corner of the band.
+  std::uint8_t alice_id = 28;
+  std::uint8_t bob_id = 32;
+  /// Overrides adaptation with a fixed band (the paper's fixed-bandwidth
+  /// baselines: 1-4 kHz, 1-2.5 kHz, 1-1.5 kHz).
+  std::optional<phy::BandSelection> fixed_band;
+  phy::DecodeOptions decode;
+  bool send_ack = true;
+};
+
+/// Everything observable about one packet exchange.
+struct PacketTrace {
+  bool preamble_detected = false;
+  bool id_matched = false;
+  bool feedback_decoded = false;
+  bool data_found = false;
+  bool packet_ok = false;           ///< every info bit correct
+  bool ack_received = false;
+  phy::BandSelection band_selected; ///< Bob's Algorithm-1 output
+  phy::BandSelection band_used;     ///< what Alice decoded from feedback
+  bool feedback_exact = false;      ///< band_used == band_selected
+  double selected_bitrate_bps = 0.0;
+  std::vector<double> snr_db;       ///< Bob's per-bin SNR estimate
+  std::size_t info_bits = 0;
+  std::size_t info_bit_errors = 0;
+  std::size_t coded_bits = 0;
+  std::size_t coded_bit_errors = 0; ///< pre-Viterbi (uncoded) errors
+  double preamble_metric = 0.0;
+  std::vector<std::uint8_t> decoded_bits;  ///< Bob's decoded payload
+};
+
+/// Runs the protocol over a forward/backward channel pair.
+class LinkSession {
+ public:
+  explicit LinkSession(const SessionConfig& config);
+
+  /// Executes one full packet exchange carrying `info_bits` (0/1 values).
+  PacketTrace send_packet(std::span<const std::uint8_t> info_bits);
+
+  /// The per-bin SNR Bob would estimate right now (sends a lone preamble).
+  /// Used by the Fig. 16 channel-stability experiment.
+  std::vector<double> probe_snr();
+
+  const SessionConfig& config() const { return config_; }
+  channel::UnderwaterChannel& forward_channel() { return forward_; }
+  channel::UnderwaterChannel& backward_channel() { return backward_; }
+
+ private:
+  SessionConfig config_;
+  channel::UnderwaterChannel forward_;
+  channel::UnderwaterChannel backward_;
+  phy::Preamble preamble_;
+  phy::FeedbackCodec feedback_;
+  phy::DataModem modem_;
+  phy::Ofdm ofdm_;
+};
+
+}  // namespace aqua::core

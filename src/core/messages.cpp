@@ -1,0 +1,197 @@
+#include "core/messages.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace aqua::core {
+
+namespace {
+
+struct Entry {
+  MessageCategory cat;
+  const char* text;
+  bool common;
+};
+
+// 30 base phrases per category x 8 categories = 240 messages. The first
+// entries of each category are the classic recreational hand signals; the
+// rest cover the professional vocabulary the paper references (oxygen
+// levels, aquatic life, cooperative operations).
+const std::array<const char*, 30> kSafety = {
+    "OK?", "OK!", "Something is wrong", "Help!", "Emergency - surface now",
+    "Stop", "Stay there", "Slow down", "Watch me", "Danger ahead",
+    "I am cold", "I am cramping", "Vertigo / dizzy", "Cannot clear ears",
+    "Stay calm", "Abort the dive", "Check your gauge", "Share air with me",
+    "I am entangled", "Cut the line", "Free-flow regulator",
+    "Mask is flooding", "I cannot see you", "Keep close to me",
+    "Hold on to the line", "Do a safety stop", "Three minute stop",
+    "Deco obligation", "Watch your fins", "All clear"};
+const std::array<const char*, 30> kAir = {
+    "How much air do you have?", "I have 200 bar", "I have 150 bar",
+    "I have 100 bar", "I have 70 bar", "I have 50 bar - reserve",
+    "I am low on air", "I am out of air", "Let us share air",
+    "Switch to backup gas", "Check your octopus", "Air tastes bad",
+    "Breathe slowly", "I am breathing heavily", "Half tank reached",
+    "Turn pressure reached", "Gas switch at 21 meters", "Rich mix ready",
+    "Lean mix ready", "Oxygen at 6 meters", "Analyze your gas",
+    "My SPG is stuck", "Valve drill now", "Shut down right post",
+    "Shut down left post", "Open the isolator", "Bubble check please",
+    "No bubbles seen", "Small leak on the first stage", "Tank nearly empty"};
+const std::array<const char*, 30> kDirection = {
+    "Go up", "Go down", "Level off here", "Turn around", "Go left",
+    "Go right", "Go under the overhang", "Go over the reef", "Come here",
+    "Follow me", "You lead, I follow", "Swim that way", "Hold this depth",
+    "Ascend slowly", "Descend slowly", "Head to the anchor line",
+    "Head to the shore", "Against the current", "With the current",
+    "Navigate by compass", "Take a heading of north", "Circle the wreck",
+    "Enter the swim-through", "Do not enter", "Stay above me",
+    "Stay below me", "Meet at the buoy", "Back to the boat",
+    "Five meters further", "We are halfway"};
+const std::array<const char*, 30> kMarine = {
+    "Look - a fish", "Shark in sight", "Turtle over there", "Octopus hiding",
+    "Eel in the crack", "Ray on the sand", "Jellyfish - careful",
+    "Lionfish - do not touch", "Dolphins nearby", "Seal approaching",
+    "Crab under the rock", "Lobster in the hole", "School of fish",
+    "Big animal in the blue", "Something bit me", "Fire coral - careful",
+    "Sea urchins below", "Stonefish - danger", "Nudibranch - tiny",
+    "Seahorse on the fan", "Barracuda watching", "Whale song - listen",
+    "Anemone with clownfish", "Moray is out", "Stingray burying",
+    "Do not chase it", "Do not feed it", "Take a photo", "It is poisonous",
+    "Amazing creature"};
+const std::array<const char*, 30> kEquipment = {
+    "Check your equipment", "My computer failed", "My torch failed",
+    "Torch battery low", "Camera flooded", "Strap is loose",
+    "Fix my tank band", "My fin came off", "Lost a weight pocket",
+    "Drysuit leak", "Inflate your BCD", "Deflate your BCD",
+    "Dump air from the suit", "My inflator sticks", "Reel is jammed",
+    "Deploy the SMB", "Send up the marker", "Clip it off",
+    "Hand me the spare mask", "Where is the backup light?",
+    "Check my manifold", "Tighten my valve", "My mouthpiece tore",
+    "Regulator breathing wet", "Swap to the long hose",
+    "Stage bottle is clipped", "Drop the scooter", "Tow me please",
+    "Battery at half", "Equipment all good"};
+const std::array<const char*, 30> kCommunication = {
+    "Yes", "No", "Maybe", "I do not understand", "Repeat please",
+    "Write it on the slate", "Look at me", "Look over there",
+    "Listen", "Quiet please", "Wait", "Hurry up", "One minute",
+    "Five minutes", "Ten minutes", "Question?", "Answer me",
+    "Good idea", "Bad idea", "Well done", "Thank you", "Sorry",
+    "Pay attention", "Ignore that", "Did you hear that?",
+    "Boat overhead - listen", "Count with me", "On three",
+    "Signal received", "End of message"};
+const std::array<const char*, 30> kBuddy = {
+    "Where is your buddy?", "Buddy is with me", "I lost my buddy",
+    "Search for one minute", "Then surface", "Stay with your buddy",
+    "Buddy check now", "You are my buddy", "Join that pair",
+    "Swim side by side", "Hold hands through the silt", "Light signal OK?",
+    "Give me your hand", "Grab my shoulder", "Buddy is low on air",
+    "Buddy is in trouble", "Tow your buddy", "Buddy breathing drill",
+    "Switch buddies", "Group of three", "You are the leader",
+    "I am the leader", "Stay in formation", "Spread out",
+    "Close the gap", "Too far away", "Buddy line on", "Buddy line off",
+    "Count the team", "Team of four complete"};
+const std::array<const char*, 30> kSurface = {
+    "Surface now", "Surface slowly", "I am on the surface", "Boat - come",
+    "Pick me up", "I need help at the surface", "Inflate at the surface",
+    "Drop the ladder", "Current is strong here", "Drifting - follow me",
+    "Waves too high", "Stay by the flag", "Under the boat",
+    "Props turning - stay back", "Kayak overhead", "Fishing lines above",
+    "Swimmer overhead", "Keep the channel clear", "Tide is turning",
+    "Entry point is there", "Exit point is there", "Shore exit",
+    "Giant stride entry", "Back roll entry", "Hold the trail line",
+    "Weather is worsening", "Lightning - get out", "Sun is setting",
+    "Call the dive", "Log the dive"};
+
+// The 20 signals displayed prominently (most common in recreational use).
+constexpr std::array<std::uint8_t, 20> kCommonIds = {
+    0, 1, 2, 3, 5, 30, 36, 37, 60, 61, 62, 63, 69, 150, 151, 154, 180, 182,
+    210, 211};
+
+}  // namespace
+
+MessageCodebook::MessageCodebook() {
+  messages_.reserve(kMessageCount);
+  const std::array<std::pair<MessageCategory, const std::array<const char*, 30>*>,
+                   8>
+      cats = {{{MessageCategory::kSafety, &kSafety},
+               {MessageCategory::kAirAndGas, &kAir},
+               {MessageCategory::kDirection, &kDirection},
+               {MessageCategory::kMarineLife, &kMarine},
+               {MessageCategory::kEquipment, &kEquipment},
+               {MessageCategory::kCommunication, &kCommunication},
+               {MessageCategory::kBuddy, &kBuddy},
+               {MessageCategory::kSurfaceOps, &kSurface}}};
+  std::uint8_t id = 0;
+  for (const auto& [cat, list] : cats) {
+    for (const char* text : *list) {
+      Message m;
+      m.id = id;
+      m.category = cat;
+      m.text = text;
+      messages_.push_back(std::move(m));
+      ++id;
+    }
+  }
+  for (std::uint8_t cid : kCommonIds) messages_[cid].common = true;
+}
+
+const Message& MessageCodebook::by_id(std::uint8_t id) const {
+  if (id >= messages_.size()) {
+    throw std::out_of_range("MessageCodebook::by_id");
+  }
+  return messages_[id];
+}
+
+std::vector<const Message*> MessageCodebook::by_category(
+    MessageCategory cat) const {
+  std::vector<const Message*> out;
+  for (const Message& m : messages_) {
+    if (m.category == cat) out.push_back(&m);
+  }
+  return out;
+}
+
+std::vector<const Message*> MessageCodebook::common_messages() const {
+  std::vector<const Message*> out;
+  for (const Message& m : messages_) {
+    if (m.common) out.push_back(&m);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> MessageCodebook::pack(std::uint8_t first,
+                                                std::uint8_t second) {
+  std::vector<std::uint8_t> bits(kPacketPayloadBits);
+  for (std::size_t i = 0; i < 8; ++i) {
+    bits[i] = static_cast<std::uint8_t>((first >> (7 - i)) & 1);
+    bits[8 + i] = static_cast<std::uint8_t>((second >> (7 - i)) & 1);
+  }
+  return bits;
+}
+
+std::optional<std::pair<std::uint8_t, std::uint8_t>> MessageCodebook::unpack(
+    const std::vector<std::uint8_t>& bits) {
+  if (bits.size() != kPacketPayloadBits) return std::nullopt;
+  std::uint8_t a = 0, b = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    a = static_cast<std::uint8_t>((a << 1) | (bits[i] & 1));
+    b = static_cast<std::uint8_t>((b << 1) | (bits[8 + i] & 1));
+  }
+  return std::make_pair(a, b);
+}
+
+std::string MessageCodebook::category_name(MessageCategory cat) {
+  switch (cat) {
+    case MessageCategory::kSafety: return "Safety";
+    case MessageCategory::kAirAndGas: return "Air & Gas";
+    case MessageCategory::kDirection: return "Direction";
+    case MessageCategory::kMarineLife: return "Marine Life";
+    case MessageCategory::kEquipment: return "Equipment";
+    case MessageCategory::kCommunication: return "Communication";
+    case MessageCategory::kBuddy: return "Buddy";
+    case MessageCategory::kSurfaceOps: return "Surface Ops";
+  }
+  return "Unknown";
+}
+
+}  // namespace aqua::core

@@ -1,0 +1,69 @@
+// The messaging-app codebook (section 3, Fig. 2).
+//
+// 240 predefined messages corresponding to professional divers' hand
+// signals, organized in eight categories with the 20 most common surfaced
+// first. A message index fits in 8 bits; the app's 16-bit packet carries
+// two hand signals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aqua::core {
+
+/// Message categories shown as filters in the app UI.
+enum class MessageCategory : std::uint8_t {
+  kSafety = 0,
+  kAirAndGas,
+  kDirection,
+  kMarineLife,
+  kEquipment,
+  kCommunication,
+  kBuddy,
+  kSurfaceOps,
+};
+
+/// One predefined message.
+struct Message {
+  std::uint8_t id = 0;
+  MessageCategory category = MessageCategory::kSafety;
+  std::string text;
+  bool common = false;  ///< among the 20 most frequent hand signals
+};
+
+/// The complete 240-message codebook.
+class MessageCodebook {
+ public:
+  MessageCodebook();
+
+  static constexpr std::size_t kMessageCount = 240;
+  static constexpr std::size_t kBitsPerMessage = 8;
+  static constexpr std::size_t kPacketPayloadBits = 16;  ///< two messages
+
+  const Message& by_id(std::uint8_t id) const;
+  std::size_t size() const { return messages_.size(); }
+
+  /// All messages of one category.
+  std::vector<const Message*> by_category(MessageCategory cat) const;
+
+  /// The 20 most common signals (shown prominently in the app).
+  std::vector<const Message*> common_messages() const;
+
+  /// Packs two message ids into the 16 payload bits of one packet.
+  static std::vector<std::uint8_t> pack(std::uint8_t first,
+                                        std::uint8_t second);
+
+  /// Unpacks a 16-bit payload into two message ids. Returns nullopt when
+  /// the bit vector has the wrong size.
+  static std::optional<std::pair<std::uint8_t, std::uint8_t>> unpack(
+      const std::vector<std::uint8_t>& bits);
+
+  static std::string category_name(MessageCategory cat);
+
+ private:
+  std::vector<Message> messages_;
+};
+
+}  // namespace aqua::core

@@ -1,0 +1,157 @@
+#include "core/realtime.h"
+
+#include <algorithm>
+
+#include "phy/chanest.h"
+
+namespace aqua::core {
+
+namespace {
+// How long (in samples) after the preamble we keep waiting for the data
+// portion before declaring the packet lost: covers the feedback round trip
+// plus processing slack at both ends (~0.5 s at 48 kHz).
+constexpr std::size_t kFeedbackRoundTripAllowance = 24000;
+}  // namespace
+
+RealtimeReceiver::RealtimeReceiver(const ReceiverConfig& config)
+    : config_(config),
+      preamble_(config.params),
+      feedback_(config.params),
+      modem_(config.params),
+      ofdm_(config.params) {}
+
+void RealtimeReceiver::trim_buffer(std::size_t keep) {
+  if (buffer_.size() <= keep) return;
+  const std::size_t drop = buffer_.size() - keep;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(drop));
+  if (data_search_origin_ > drop) {
+    data_search_origin_ -= drop;
+  } else {
+    data_search_origin_ = 0;
+  }
+  if (awaiting_deadline_ > drop) {
+    awaiting_deadline_ -= drop;
+  } else {
+    awaiting_deadline_ = 0;
+  }
+}
+
+std::vector<ReceiverEvent> RealtimeReceiver::push(
+    std::span<const double> samples) {
+  buffer_.insert(buffer_.end(), samples.begin(), samples.end());
+  std::vector<ReceiverEvent> events;
+
+  if (state_ == State::kSearching) {
+    const std::size_t need =
+        preamble_.core_samples() + 4 * config_.params.symbol_total_samples();
+    if (buffer_.size() < need) return events;
+
+    auto det = preamble_.detect(buffer_);
+    if (!det) {
+      // Keep a tail long enough that a preamble straddling the block
+      // boundary is still found next time.
+      trim_buffer(config_.search_buffer);
+      return events;
+    }
+    const std::size_t pre_end = det->start_index + preamble_.core_samples();
+    // Wait until the ID symbol plus enough trailing audio for the tone
+    // decoder's noise-estimation windows is buffered; deciding too early
+    // would mis-reject the ID and throw the packet away.
+    if (pre_end + 5 * config_.params.symbol_total_samples() > buffer_.size()) {
+      return events;
+    }
+    ReceiverEvent detected;
+    detected.type = ReceiverEvent::Type::kPreambleDetected;
+    detected.preamble_metric = det->sliding_metric;
+    events.push_back(detected);
+
+    auto id = feedback_.decode_tone(
+        std::span<const double>(buffer_).subspan(pre_end), /*step=*/8);
+    if (!id || id->bin != config_.my_id) {
+      // Not for us: skip past this preamble and keep listening.
+      trim_buffer(buffer_.size() - pre_end);
+      return events;
+    }
+
+    phy::ChannelEstimate est = phy::estimate_channel(
+        ofdm_, std::span<const double>(buffer_).subspan(det->start_index),
+        preamble_.cazac_bins());
+    band_ = phy::select_band(est.snr_db, config_.params.snr_threshold_db,
+                             config_.params.lambda);
+
+    ReceiverEvent addressed;
+    addressed.type = ReceiverEvent::Type::kAddressedToUs;
+    addressed.preamble_metric = det->sliding_metric;
+    addressed.band = band_;
+    addressed.snr_db = est.snr_db;
+    addressed.transmit_now = feedback_.encode_band(band_);
+    events.push_back(std::move(addressed));
+
+    state_ = State::kAwaitingData;
+    data_search_origin_ = pre_end;
+    const std::size_t rows =
+        modem_.data_symbol_count(config_.payload_bits, band_.width());
+    awaiting_deadline_ = pre_end + kFeedbackRoundTripAllowance +
+                         (rows + 1) * config_.params.symbol_total_samples();
+    return events;
+  }
+
+  // kAwaitingData: decode once the whole window (or the deadline) is in.
+  if (buffer_.size() < awaiting_deadline_) return events;
+
+  const std::size_t rows =
+      modem_.data_symbol_count(config_.payload_bits, band_.width());
+  const std::size_t region =
+      (rows + 1) * config_.params.symbol_total_samples();
+  phy::DecodeOptions opts;
+  const std::size_t avail = buffer_.size() - data_search_origin_;
+  opts.search_window = avail > region ? avail - region : 0;
+  phy::DataDecodeResult res = modem_.decode(
+      std::span<const double>(buffer_).subspan(data_search_origin_), band_,
+      config_.payload_bits, opts);
+
+  ReceiverEvent ev;
+  if (res.found) {
+    ev.type = ReceiverEvent::Type::kPacketDecoded;
+    ev.band = band_;
+    ev.payload_bits = res.info_bits;
+    if (config_.send_ack) {
+      ev.transmit_now = feedback_.encode_tone(phy::FeedbackCodec::kAckBin);
+    }
+  } else {
+    ev.type = ReceiverEvent::Type::kPacketFailed;
+    ev.band = band_;
+  }
+  events.push_back(std::move(ev));
+
+  state_ = State::kSearching;
+  trim_buffer(config_.params.symbol_total_samples());
+  return events;
+}
+
+RealtimeTransmitter::RealtimeTransmitter(const phy::OfdmParams& params)
+    : params_(params), preamble_(params), feedback_(params), modem_(params) {}
+
+std::vector<double> RealtimeTransmitter::preamble_and_id(
+    std::uint8_t receiver_id) const {
+  std::vector<double> wave = preamble_.waveform();
+  const std::vector<double> id = feedback_.encode_tone(receiver_id);
+  wave.insert(wave.end(), id.begin(), id.end());
+  return wave;
+}
+
+std::optional<phy::BandSelection> RealtimeTransmitter::decode_feedback(
+    std::span<const double> rx) const {
+  auto dec = feedback_.decode_band(rx, /*step=*/8);
+  if (!dec) return std::nullopt;
+  return dec->band;
+}
+
+std::vector<double> RealtimeTransmitter::data_waveform(
+    std::span<const std::uint8_t> info_bits,
+    const phy::BandSelection& band) const {
+  return modem_.encode(info_bits, band);
+}
+
+}  // namespace aqua::core

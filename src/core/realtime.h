@@ -1,0 +1,108 @@
+// Block-based real-time receiver, mirroring the Android app's operation:
+// preamble detection runs continuously on the incoming microphone stream;
+// when a packet addressed to this node arrives, the receiver estimates the
+// channel, selects the band, hands back the feedback waveform to play out,
+// then decodes the data portion and (on success) the ACK waveform.
+//
+// Feed audio with push(); the receiver buffers internally, changes state,
+// and emits Events. Waveforms the caller must transmit (feedback, ACK) are
+// carried inside the events — the caller owns the speaker.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "phy/bandselect.h"
+#include "phy/datamodem.h"
+#include "phy/feedback.h"
+#include "phy/preamble.h"
+
+namespace aqua::core {
+
+/// What the receiver tells the application.
+struct ReceiverEvent {
+  enum class Type {
+    kPreambleDetected,   ///< preamble confirmed (any destination)
+    kAddressedToUs,      ///< ID matched; `transmit_now` holds the feedback
+    kPacketDecoded,      ///< `payload_bits` holds the decoded packet
+    kPacketFailed,       ///< data portion found but not decodable
+  };
+  Type type;
+  double preamble_metric = 0.0;
+  phy::BandSelection band;           ///< selected band (kAddressedToUs on)
+  std::vector<double> snr_db;        ///< per-bin SNR (kAddressedToUs)
+  std::vector<std::uint8_t> payload_bits;  ///< kPacketDecoded only
+  std::vector<double> transmit_now;  ///< waveform to play (feedback / ACK)
+};
+
+/// Streaming receiver configuration.
+struct ReceiverConfig {
+  phy::OfdmParams params;
+  std::uint8_t my_id = 32;           ///< active-bin index we answer to
+  std::size_t payload_bits = 16;     ///< fixed app packet size (two signals)
+  bool send_ack = true;
+  /// Samples retained while searching (must exceed preamble + ID airtime).
+  std::size_t search_buffer = 48000;
+};
+
+/// Real-time protocol receiver (Bob's side of Fig. 5).
+class RealtimeReceiver {
+ public:
+  explicit RealtimeReceiver(const ReceiverConfig& config);
+
+  /// Feeds a block of microphone samples. Returns the events triggered by
+  /// this block (usually none). Block size is arbitrary.
+  std::vector<ReceiverEvent> push(std::span<const double> samples);
+
+  /// Current protocol state (exposed for tests and diagnostics).
+  enum class State { kSearching, kAwaitingData };
+  State state() const { return state_; }
+
+  /// Samples currently buffered.
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  void trim_buffer(std::size_t keep);
+  std::optional<ReceiverEvent> try_detect();
+  std::optional<ReceiverEvent> try_decode(std::vector<ReceiverEvent>& out);
+
+  ReceiverConfig config_;
+  phy::Preamble preamble_;
+  phy::FeedbackCodec feedback_;
+  phy::DataModem modem_;
+  phy::Ofdm ofdm_;
+  std::vector<double> buffer_;
+  State state_ = State::kSearching;
+  phy::BandSelection band_;
+  std::size_t data_search_origin_ = 0;  ///< buffer index where data may start
+  std::size_t awaiting_deadline_ = 0;   ///< give up after this many samples
+};
+
+/// Transmitter-side helper (Alice's side): builds the phase-1 waveform and
+/// the data waveform once feedback arrives.
+class RealtimeTransmitter {
+ public:
+  explicit RealtimeTransmitter(const phy::OfdmParams& params);
+
+  /// Preamble + receiver-ID symbol for the packet start.
+  std::vector<double> preamble_and_id(std::uint8_t receiver_id) const;
+
+  /// Decodes the feedback heard after phase 1; nullopt if not found.
+  std::optional<phy::BandSelection> decode_feedback(
+      std::span<const double> rx) const;
+
+  /// Data waveform for `info_bits` in the agreed band.
+  std::vector<double> data_waveform(std::span<const std::uint8_t> info_bits,
+                                    const phy::BandSelection& band) const;
+
+ private:
+  phy::OfdmParams params_;
+  phy::Preamble preamble_;
+  phy::FeedbackCodec feedback_;
+  phy::DataModem modem_;
+};
+
+}  // namespace aqua::core

@@ -1,0 +1,34 @@
+#include "dsp/cazac.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+std::vector<cplx> zadoff_chu(std::size_t n, std::size_t root) {
+  if (n == 0) throw std::invalid_argument("zadoff_chu: n == 0");
+  if (std::gcd(n, root) != 1) {
+    throw std::invalid_argument("zadoff_chu: gcd(root, n) must be 1");
+  }
+  std::vector<cplx> zc(n);
+  const std::size_t parity = n % 2;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Argument computed modulo 2n to avoid precision loss for large k.
+    const std::size_t q = (root * k * (k + parity)) % (2 * n);
+    const double a = -kPi * static_cast<double>(q) / static_cast<double>(n);
+    zc[k] = {std::cos(a), std::sin(a)};
+  }
+  return zc;
+}
+
+cplx periodic_autocorrelation(std::span<const cplx> x, std::size_t lag) {
+  if (x.empty()) return {0.0, 0.0};
+  const std::size_t n = x.size();
+  cplx acc{0.0, 0.0};
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += x[k] * std::conj(x[(k + lag) % n]);
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace aqua::dsp

@@ -1,0 +1,23 @@
+// Constant-Amplitude Zero-AutoCorrelation (CAZAC) sequences.
+//
+// The preamble fills OFDM bins with a Zadoff-Chu sequence (unit PAPR in the
+// frequency domain, ideal periodic autocorrelation), following section 2.2.1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace aqua::dsp {
+
+/// Generates a length-`n` Zadoff-Chu sequence with root `root`.
+/// Requires gcd(root, n) == 1 for the CAZAC property; root defaults to 1.
+/// zc[k] = exp(-j pi root k (k + (n mod 2)) / n).
+std::vector<cplx> zadoff_chu(std::size_t n, std::size_t root = 1);
+
+/// Periodic autocorrelation of a complex sequence at shift `lag`
+/// (normalized so lag 0 gives 1 for unit-modulus sequences).
+cplx periodic_autocorrelation(std::span<const cplx> x, std::size_t lag);
+
+}  // namespace aqua::dsp

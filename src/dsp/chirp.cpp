@@ -1,0 +1,36 @@
+#include "dsp/chirp.h"
+
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+std::vector<double> lfm_chirp(double f0_hz, double f1_hz, double duration_s,
+                              double sample_rate_hz) {
+  if (duration_s <= 0.0 || sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("lfm_chirp: non-positive duration/rate");
+  }
+  const std::size_t n =
+      static_cast<std::size_t>(duration_s * sample_rate_hz + 0.5);
+  const double k = (f1_hz - f0_hz) / duration_s;  // sweep rate, Hz/s
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sample_rate_hz;
+    x[i] = std::sin(kTwoPi * (f0_hz * t + 0.5 * k * t * t));
+  }
+  return x;
+}
+
+std::vector<double> tone(double freq_hz, double duration_s,
+                         double sample_rate_hz, double amplitude,
+                         double phase) {
+  const std::size_t n =
+      static_cast<std::size_t>(duration_s * sample_rate_hz + 0.5);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sample_rate_hz;
+    x[i] = amplitude * std::sin(kTwoPi * freq_hz * t + phase);
+  }
+  return x;
+}
+
+}  // namespace aqua::dsp

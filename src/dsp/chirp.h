@@ -1,0 +1,24 @@
+// Linear frequency-modulated (LFM) chirps.
+//
+// Used by the channel-characterization benches (Figs. 3 and 18 send 1-5 kHz
+// and 1-3 kHz chirps) and as the baseline preamble the paper rejects.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace aqua::dsp {
+
+/// Generates a real LFM chirp sweeping `f0_hz` -> `f1_hz` over
+/// `duration_s` seconds at `sample_rate_hz`, with unit amplitude.
+std::vector<double> lfm_chirp(double f0_hz, double f1_hz, double duration_s,
+                              double sample_rate_hz);
+
+/// Single real sinusoidal tone of `duration_s` seconds.
+std::vector<double> tone(double freq_hz, double duration_s,
+                         double sample_rate_hz, double amplitude = 1.0,
+                         double phase = 0.0);
+
+}  // namespace aqua::dsp

@@ -1,0 +1,55 @@
+#include "dsp/correlate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fir.h"
+
+namespace aqua::dsp {
+
+std::vector<double> cross_correlate(std::span<const double> x,
+                                    std::span<const double> ref) {
+  if (ref.empty() || x.size() < ref.size()) return {};
+  // Correlation == convolution with the time-reversed template.
+  std::vector<double> rev(ref.rbegin(), ref.rend());
+  std::vector<double> full = convolve(x, rev);
+  // Valid region starts at ref.size()-1 and has x.size()-ref.size()+1 points.
+  const std::size_t start = ref.size() - 1;
+  const std::size_t count = x.size() - ref.size() + 1;
+  return {full.begin() + static_cast<std::ptrdiff_t>(start),
+          full.begin() + static_cast<std::ptrdiff_t>(start + count)};
+}
+
+std::vector<double> normalized_cross_correlate(std::span<const double> x,
+                                               std::span<const double> ref) {
+  std::vector<double> corr = cross_correlate(x, ref);
+  if (corr.empty()) return corr;
+  const double ref_energy = energy(ref);
+  std::vector<double> win_energy = sliding_energy(x, ref.size());
+  for (std::size_t i = 0; i < corr.size(); ++i) {
+    const double denom = std::sqrt(ref_energy * win_energy[i]);
+    corr[i] = denom > 1e-12 ? corr[i] / denom : 0.0;
+  }
+  return corr;
+}
+
+std::size_t argmax(std::span<const double> x) {
+  if (x.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::distance(x.begin(), std::max_element(x.begin(), x.end())));
+}
+
+std::vector<double> sliding_energy(std::span<const double> x, std::size_t win) {
+  if (win == 0 || x.size() < win) return {};
+  std::vector<double> out(x.size() - win + 1, 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < win; ++i) acc += x[i] * x[i];
+  out[0] = acc;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    acc += x[i + win - 1] * x[i + win - 1] - x[i - 1] * x[i - 1];
+    out[i] = std::max(acc, 0.0);
+  }
+  return out;
+}
+
+}  // namespace aqua::dsp

@@ -1,0 +1,30 @@
+// Cross-correlation primitives used by preamble detection.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace aqua::dsp {
+
+/// Sliding cross-correlation of `x` against the template `ref`:
+/// out[i] = sum_j x[i+j] * ref[j], for i in [0, x.size() - ref.size()].
+/// Uses FFT convolution; returns empty if ref is longer than x.
+std::vector<double> cross_correlate(std::span<const double> x,
+                                    std::span<const double> ref);
+
+/// Cross-correlation normalized by the energy of the window and of the
+/// template, giving values in roughly [-1, 1] independent of receive gain.
+std::vector<double> normalized_cross_correlate(std::span<const double> x,
+                                               std::span<const double> ref);
+
+/// Index of the maximum element; 0 on empty input.
+std::size_t argmax(std::span<const double> x);
+
+/// Moving sum of `x*x` over windows of `win` samples:
+/// out[i] = sum_{j<win} x[i+j]^2 (prefix-sum based, O(n)).
+std::vector<double> sliding_energy(std::span<const double> x, std::size_t win);
+
+}  // namespace aqua::dsp

@@ -1,0 +1,169 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace aqua::dsp {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("FftPlan: size must be >= 1");
+  pow2_ = is_pow2(n);
+  m_ = pow2_ ? n : next_pow2(2 * n - 1);
+
+  // Bit-reversal permutation for the radix-2 work size.
+  bitrev_.assign(m_, 0);
+  std::size_t log2m = 0;
+  while ((std::size_t{1} << log2m) < m_) ++log2m;
+  for (std::size_t i = 0; i < m_; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2m; ++b) {
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (log2m - 1 - b);
+    }
+    bitrev_[i] = r;
+  }
+  // Forward twiddles w_m^k = e^{-j 2 pi k / m} for k < m/2.
+  twiddle_.resize(m_ / 2 + 1);
+  for (std::size_t k = 0; k <= m_ / 2; ++k) {
+    const double a = -kTwoPi * static_cast<double>(k) / static_cast<double>(m_);
+    twiddle_[k] = {std::cos(a), std::sin(a)};
+  }
+
+  if (!pow2_) {
+    // Bluestein chirp c[k] = e^{-j pi k^2 / n}. k^2 mod 2n keeps the argument
+    // bounded and exact for large k.
+    chirp_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      const std::size_t k2 = (k * k) % (2 * n_);
+      const double a = -kPi * static_cast<double>(k2) / static_cast<double>(n_);
+      chirp_[k] = {std::cos(a), std::sin(a)};
+    }
+    // b[k] = conj(chirp[k]) arranged circularly, then FFT'd once.
+    std::vector<cplx> b(m_, cplx{0.0, 0.0});
+    b[0] = std::conj(chirp_[0]);
+    for (std::size_t k = 1; k < n_; ++k) {
+      b[k] = std::conj(chirp_[k]);
+      b[m_ - k] = std::conj(chirp_[k]);
+    }
+    radix2(b, /*invert=*/false);
+    chirp_fft_ = std::move(b);
+  }
+}
+
+void FftPlan::radix2(std::vector<cplx>& data, bool invert) const {
+  const std::size_t m = data.size();
+  assert(m == m_);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= m; len <<= 1) {
+    const std::size_t stride = m_ / len;
+    for (std::size_t start = 0; start < m; start += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        cplx w = twiddle_[k * stride];
+        if (invert) w = std::conj(w);
+        const cplx u = data[start + k];
+        const cplx v = data[start + k + len / 2] * w;
+        data[start + k] = u + v;
+        data[start + k + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+void FftPlan::transform(std::span<const cplx> in, std::span<cplx> out,
+                        bool invert) const {
+  if (in.size() != n_ || out.size() != n_) {
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  }
+  if (pow2_) {
+    std::vector<cplx> work(in.begin(), in.end());
+    radix2(work, invert);
+    for (std::size_t i = 0; i < n_; ++i) out[i] = work[i];
+    return;
+  }
+  // Bluestein: X[k] = conj-chirp convolution. For the inverse transform we
+  // conjugate input and output of the forward machinery.
+  std::vector<cplx> a(m_, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < n_; ++k) {
+    const cplx x = invert ? std::conj(in[k]) : in[k];
+    a[k] = x * chirp_[k];
+  }
+  radix2(a, /*invert=*/false);
+  for (std::size_t k = 0; k < m_; ++k) a[k] *= chirp_fft_[k];
+  radix2(a, /*invert=*/true);
+  const double scale = 1.0 / static_cast<double>(m_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    cplx y = a[k] * scale * chirp_[k];
+    out[k] = invert ? std::conj(y) : y;
+  }
+}
+
+void FftPlan::forward(std::span<const cplx> in, std::span<cplx> out) const {
+  transform(in, out, /*invert=*/false);
+}
+
+void FftPlan::inverse(std::span<const cplx> in, std::span<cplx> out) const {
+  transform(in, out, /*invert=*/true);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (cplx& v : out) v *= scale;
+}
+
+namespace {
+
+// Per-size plan cache shared by the free-function API. Guarded by a mutex;
+// FftPlan itself is immutable after construction so shared use is safe.
+const FftPlan& cached_plan(std::size_t n) {
+  static std::mutex mu;
+  static std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, std::make_unique<FftPlan>(n)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+std::vector<cplx> fft(std::span<const cplx> x) {
+  std::vector<cplx> out(x.size());
+  cached_plan(x.size()).forward(x, out);
+  return out;
+}
+
+std::vector<cplx> ifft(std::span<const cplx> x) {
+  std::vector<cplx> out(x.size());
+  cached_plan(x.size()).inverse(x, out);
+  return out;
+}
+
+std::vector<cplx> fft_real(std::span<const double> x) {
+  std::vector<cplx> cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = {x[i], 0.0};
+  return fft(cx);
+}
+
+std::vector<double> ifft_real(std::span<const cplx> x) {
+  std::vector<cplx> out = ifft(x);
+  std::vector<double> re(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) re[i] = out[i].real();
+  return re;
+}
+
+}  // namespace aqua::dsp

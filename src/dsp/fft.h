@@ -1,0 +1,67 @@
+// Fast Fourier transforms implemented from scratch.
+//
+// Power-of-two sizes use an iterative radix-2 Cooley-Tukey kernel; every other
+// size (e.g. the 960-point OFDM symbol used by the modem) goes through
+// Bluestein's chirp-z algorithm built on top of the radix-2 kernel. Plans are
+// cached per size so repeated transforms only pay for twiddle generation once.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace aqua::dsp {
+
+/// Reusable FFT plan for a fixed transform size. Thread-compatible (use one
+/// plan per thread); construction precomputes twiddles and, for non
+/// power-of-two sizes, the Bluestein chirp pair.
+class FftPlan {
+ public:
+  /// Creates a plan for `n`-point transforms. `n` must be >= 1.
+  explicit FftPlan(std::size_t n);
+
+  /// Transform size this plan was built for.
+  std::size_t size() const { return n_; }
+
+  /// Out-of-place forward DFT: X[k] = sum_n x[n] e^{-j 2 pi k n / N}.
+  /// `in` and `out` must both have size() elements and may alias.
+  void forward(std::span<const cplx> in, std::span<cplx> out) const;
+
+  /// Out-of-place inverse DFT, normalized by 1/N so inverse(forward(x)) == x.
+  void inverse(std::span<const cplx> in, std::span<cplx> out) const;
+
+ private:
+  void radix2(std::vector<cplx>& data, bool invert) const;
+  void transform(std::span<const cplx> in, std::span<cplx> out,
+                 bool invert) const;
+
+  std::size_t n_ = 0;
+  bool pow2_ = false;
+  // Radix-2 machinery (for n_ itself when pow2_, else for bluestein size m_).
+  std::size_t m_ = 0;                  // power-of-two work size
+  std::vector<std::size_t> bitrev_;    // bit-reversal permutation for m_
+  std::vector<cplx> twiddle_;          // forward twiddles for m_
+  // Bluestein machinery.
+  std::vector<cplx> chirp_;            // e^{-j pi k^2 / n}
+  std::vector<cplx> chirp_fft_;        // FFT of the zero-padded conjugate chirp
+};
+
+/// Forward FFT of a complex signal (any length >= 1). Convenience wrapper
+/// around a per-size plan cache.
+std::vector<cplx> fft(std::span<const cplx> x);
+
+/// Inverse FFT (normalized by 1/N).
+std::vector<cplx> ifft(std::span<const cplx> x);
+
+/// Forward FFT of a real signal; returns all N complex bins.
+std::vector<cplx> fft_real(std::span<const double> x);
+
+/// Inverse FFT returning only the real part (caller asserts the spectrum is
+/// conjugate-symmetric up to numerical noise).
+std::vector<double> ifft_real(std::span<const cplx> x);
+
+/// Returns the smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace aqua::dsp

@@ -1,0 +1,29 @@
+// Small dense linear-algebra routines needed by the MMSE equalizer design:
+// Cholesky solves for regularized normal equations and a Levinson-Durbin
+// solver for symmetric Toeplitz systems.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace aqua::dsp {
+
+/// Dense symmetric positive-definite solve A x = b via Cholesky
+/// factorization. `a` is row-major n x n; throws if not SPD.
+std::vector<double> cholesky_solve(std::span<const double> a,
+                                   std::span<const double> b, std::size_t n);
+
+/// Solves the symmetric Toeplitz system T x = b where T is defined by its
+/// first row/column `r` (r[0] on the diagonal) using Levinson-Durbin
+/// recursion in O(n^2). Throws on singular leading minors.
+std::vector<double> levinson_solve(std::span<const double> r,
+                                   std::span<const double> b);
+
+/// Complex Hermitian positive-definite solve A x = b via Cholesky.
+std::vector<cplx> cholesky_solve(std::span<const cplx> a,
+                                 std::span<const cplx> b, std::size_t n);
+
+}  // namespace aqua::dsp

@@ -1,0 +1,55 @@
+#include "dsp/resample.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+namespace {
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(kPi * x) / (kPi * x);
+}
+
+// Blackman window evaluated at offset u in [-half, half].
+double blackman_at(double u, double half) {
+  const double t = (u + half) / (2.0 * half);
+  if (t < 0.0 || t > 1.0) return 0.0;
+  return 0.42 - 0.5 * std::cos(kTwoPi * t) + 0.08 * std::cos(2.0 * kTwoPi * t);
+}
+
+}  // namespace
+
+double interpolate_at(std::span<const double> x, double t,
+                      std::size_t half_taps) {
+  if (x.empty()) return 0.0;
+  const double half = static_cast<double>(half_taps);
+  const std::ptrdiff_t lo =
+      static_cast<std::ptrdiff_t>(std::floor(t)) - static_cast<std::ptrdiff_t>(half_taps) + 1;
+  const std::ptrdiff_t hi =
+      static_cast<std::ptrdiff_t>(std::floor(t)) + static_cast<std::ptrdiff_t>(half_taps);
+  double acc = 0.0;
+  for (std::ptrdiff_t i = lo; i <= hi; ++i) {
+    if (i < 0 || i >= static_cast<std::ptrdiff_t>(x.size())) continue;
+    const double u = t - static_cast<double>(i);
+    acc += x[static_cast<std::size_t>(i)] * sinc(u) * blackman_at(u, half);
+  }
+  return acc;
+}
+
+std::vector<double> resample(std::span<const double> x, double ratio,
+                             std::size_t half_taps) {
+  if (ratio <= 0.0) throw std::invalid_argument("resample: ratio <= 0");
+  if (x.empty()) return {};
+  const std::size_t out_len =
+      static_cast<std::size_t>(static_cast<double>(x.size()) * ratio);
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double t = static_cast<double>(i) / ratio;
+    out[i] = interpolate_at(x, t, half_taps);
+  }
+  return out;
+}
+
+}  // namespace aqua::dsp

@@ -1,0 +1,25 @@
+// Arbitrary-ratio sinc resampling, used by the channel simulator to apply
+// Doppler compression/dilation to the transmitted waveform.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace aqua::dsp {
+
+/// Resamples `x` by `ratio` (output rate / input rate) using windowed-sinc
+/// interpolation. ratio > 1 stretches the signal in time (more output
+/// samples); for Doppler, a source closing at v m/s produces
+/// ratio = 1 / (1 + v/c) observed at the receiver.
+std::vector<double> resample(std::span<const double> x, double ratio,
+                             std::size_t half_taps = 16);
+
+/// Evaluates `x` at fractional index `t` by windowed-sinc interpolation
+/// (zero outside the signal).
+double interpolate_at(std::span<const double> x, double t,
+                      std::size_t half_taps = 16);
+
+}  // namespace aqua::dsp

@@ -1,0 +1,72 @@
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+
+namespace aqua::dsp {
+
+Psd welch_psd(std::span<const double> x, double sample_rate_hz,
+              std::size_t segment) {
+  if (segment == 0) throw std::invalid_argument("welch_psd: segment == 0");
+  if (x.size() < segment) segment = x.size();
+  if (segment == 0) return {};
+  const std::size_t hop = std::max<std::size_t>(1, segment / 2);
+  std::vector<double> w = make_window(WindowType::kHann, segment);
+  const double wpow = mean_power(std::span<const double>(w));
+
+  const std::size_t bins = segment / 2 + 1;
+  std::vector<double> acc(bins, 0.0);
+  std::size_t count = 0;
+  for (std::size_t start = 0; start + segment <= x.size(); start += hop) {
+    std::vector<double> seg(segment);
+    for (std::size_t i = 0; i < segment; ++i) seg[i] = x[start + i] * w[i];
+    std::vector<cplx> spec = fft_real(seg);
+    for (std::size_t k = 0; k < bins; ++k) acc[k] += std::norm(spec[k]);
+    ++count;
+  }
+  if (count == 0) return {};
+
+  Psd out;
+  out.freq_hz.resize(bins);
+  out.power.resize(bins);
+  const double norm = 1.0 / (static_cast<double>(count) *
+                             static_cast<double>(segment) *
+                             static_cast<double>(segment) * wpow);
+  for (std::size_t k = 0; k < bins; ++k) {
+    out.freq_hz[k] =
+        static_cast<double>(k) * sample_rate_hz / static_cast<double>(segment);
+    out.power[k] = acc[k] * norm;
+  }
+  return out;
+}
+
+double band_power(std::span<const double> x, double sample_rate_hz,
+                  double low_hz, double high_hz) {
+  if (x.empty() || high_hz <= low_hz) return 0.0;
+  std::vector<cplx> spec = fft_real(x);
+  const std::size_t n = x.size();
+  const double bin_hz = sample_rate_hz / static_cast<double>(n);
+  double acc = 0.0;
+  std::size_t used = 0;
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double f = static_cast<double>(k) * bin_hz;
+    if (f < low_hz || f > high_hz) continue;
+    acc += std::norm(spec[k]);
+    ++used;
+  }
+  if (used == 0) return 0.0;
+  // Two-sided correction: bins other than DC/Nyquist appear twice.
+  return 2.0 * acc / (static_cast<double>(n) * static_cast<double>(n));
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> x) {
+  if (x.empty()) return {};
+  std::vector<cplx> spec = fft_real(x);
+  std::vector<double> mag(x.size() / 2 + 1);
+  for (std::size_t k = 0; k < mag.size(); ++k) mag[k] = std::abs(spec[k]);
+  return mag;
+}
+
+}  // namespace aqua::dsp

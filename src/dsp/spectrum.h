@@ -1,0 +1,32 @@
+// Spectral estimation helpers (Welch PSD, band power) used by the
+// channel-characterization benches and the MAC's energy detector.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+#include "dsp/window.h"
+
+namespace aqua::dsp {
+
+/// Result of a Welch power-spectral-density estimate.
+struct Psd {
+  std::vector<double> freq_hz;   ///< Bin center frequencies.
+  std::vector<double> power;     ///< Linear power per bin (arbitrary ref).
+};
+
+/// Welch PSD with `segment` samples per segment, 50% overlap, Hann window.
+/// Returns segment/2+1 one-sided bins.
+Psd welch_psd(std::span<const double> x, double sample_rate_hz,
+              std::size_t segment = 1024);
+
+/// Average power of `x` restricted to [low_hz, high_hz], computed via FFT.
+double band_power(std::span<const double> x, double sample_rate_hz,
+                  double low_hz, double high_hz);
+
+/// Magnitude spectrum (one-sided) of a signal, length n/2+1.
+std::vector<double> magnitude_spectrum(std::span<const double> x);
+
+}  // namespace aqua::dsp

@@ -1,0 +1,40 @@
+// Standard analysis/design window functions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace aqua::dsp {
+
+/// Window shapes used by FIR design and spectral estimation.
+enum class WindowType { kRect, kHann, kHamming, kBlackman };
+
+/// Returns an `n`-point window of the requested type (symmetric form, suitable
+/// for filter design).
+inline std::vector<double> make_window(WindowType type, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * t);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * t);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * t) + 0.08 * std::cos(2 * kTwoPi * t);
+        break;
+    }
+  }
+  return w;
+}
+
+}  // namespace aqua::dsp

@@ -1,0 +1,44 @@
+#include "mac/carrier_sense.h"
+
+#include <cmath>
+
+#include "dsp/types.h"
+
+namespace aqua::mac {
+
+CarrierSense::CarrierSense(double sample_rate_hz, double measure_interval_s,
+                           double threshold_margin_db)
+    : sample_rate_hz_(sample_rate_hz),
+      interval_samples_(static_cast<std::size_t>(measure_interval_s *
+                                                 sample_rate_hz + 0.5)),
+      threshold_margin_db_(threshold_margin_db),
+      bandpass_(dsp::design_bandpass(1000.0, 4000.0, sample_rate_hz, 129)) {}
+
+void CarrierSense::calibrate(std::span<const double> ambient_noise) {
+  dsp::StreamingFir bp(
+      dsp::design_bandpass(1000.0, 4000.0, sample_rate_hz_, 129));
+  std::vector<double> filtered = bp.process(ambient_noise);
+  const double noise_power = dsp::mean_power(std::span<const double>(filtered));
+  threshold_ = noise_power * dsp::db_to_power(threshold_margin_db_);
+}
+
+double CarrierSense::band_level(std::span<const double> samples) {
+  std::vector<double> filtered = bandpass_.process(samples);
+  return dsp::mean_power(std::span<const double>(filtered));
+}
+
+std::vector<double> CarrierSense::feed(std::span<const double> samples) {
+  std::vector<double> filtered = bandpass_.process(samples);
+  std::vector<double> levels;
+  for (double v : filtered) {
+    pending_.push_back(v);
+    if (pending_.size() == interval_samples_) {
+      last_level_ = dsp::mean_power(std::span<const double>(pending_));
+      levels.push_back(last_level_);
+      pending_.clear();
+    }
+  }
+  return levels;
+}
+
+}  // namespace aqua::mac

@@ -1,0 +1,181 @@
+#include "mac/netsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqua::mac {
+
+namespace {
+
+// Node states for the transmit state machine.
+enum class State { kIdleGap, kWantToSend, kBackoff, kTransmitting };
+
+struct Node {
+  State state = State::kIdleGap;
+  double timer_s = 0.0;          ///< time left in the current state
+  double backoff_left_s = 0.0;   ///< remaining backoff
+  int packets_sent = 0;
+  double next_cs_s = 0.0;        ///< next carrier-sense measurement time
+  bool heard_busy = false;       ///< busy seen since the last decision
+};
+
+}  // namespace
+
+MacSimResult run_mac_simulation(const MacSimConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> gap(config.min_gap_s, config.max_gap_s);
+  std::uniform_int_distribution<int> backoff(1, config.max_backoff_packets);
+
+  const int n = config.num_transmitters;
+  std::vector<Node> nodes(static_cast<std::size_t>(n));
+  // Transmitters sit in a line 5-10 m from the receiver; distances between
+  // transmitters govern when they hear each other.
+  std::vector<double> pos(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pos[static_cast<std::size_t>(i)] =
+        config.range_m * static_cast<double>(i + 1) / static_cast<double>(n);
+  }
+
+  // Active transmissions: (node, start, end).
+  struct Tx { int node; double start, end; };
+  std::vector<Tx> active;
+  MacSimResult result;
+
+  // The paper staggers initial transmissions by "a random backoff period of
+  // multiple seconds".
+  for (auto& node : nodes) node.timer_s = gap(rng);
+
+  const double dt = 0.005;  // 5 ms step << cs interval and packet duration
+  double t = 0.0;
+  auto channel_busy_at = [&](int listener, double now) {
+    for (const Tx& tx : active) {
+      if (tx.node == listener) continue;
+      const double dist = std::abs(pos[static_cast<std::size_t>(tx.node)] -
+                                   pos[static_cast<std::size_t>(listener)]);
+      const double delay = dist / config.sound_speed_mps;
+      if (now >= tx.start + delay && now <= tx.end + delay) return true;
+    }
+    return false;
+  };
+
+  int remaining = n * config.packets_per_transmitter;
+  while (remaining > 0 && t < 3600.0) {
+    // Retire finished transmissions (keep them around a little longer so
+    // propagation-delayed listeners still hear the tail).
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](const Tx& tx) {
+                                  return t > tx.end + 0.1;
+                                }),
+                 active.end());
+
+    for (int i = 0; i < n; ++i) {
+      Node& node = nodes[static_cast<std::size_t>(i)];
+      if (node.packets_sent >= config.packets_per_transmitter) continue;
+
+      // Periodic carrier-sense measurement.
+      bool busy_now = false;
+      if (t >= node.next_cs_s) {
+        busy_now = channel_busy_at(i, t);
+        node.next_cs_s = t + config.cs_interval_s;
+        if (busy_now) node.heard_busy = true;
+      }
+
+      switch (node.state) {
+        case State::kIdleGap:
+          node.timer_s -= dt;
+          if (node.timer_s <= 0.0) node.state = State::kWantToSend;
+          break;
+        case State::kWantToSend: {
+          if (!config.carrier_sense) {
+            active.push_back({i, t, t + config.packet_duration_s});
+            result.packets.push_back({i, t, false});
+            node.packets_sent++;
+            remaining--;
+            node.state = State::kTransmitting;
+            node.timer_s = config.packet_duration_s;
+            break;
+          }
+          // Wait for the next fresh measurement before deciding.
+          if (t < node.next_cs_s - config.cs_interval_s * 0.5) break;
+          if (node.heard_busy || channel_busy_at(i, t)) {
+            node.state = State::kBackoff;
+            node.backoff_left_s =
+                static_cast<double>(backoff(rng)) * config.packet_duration_s;
+            node.heard_busy = false;
+          } else {
+            active.push_back({i, t, t + config.packet_duration_s});
+            result.packets.push_back({i, t, false});
+            node.packets_sent++;
+            remaining--;
+            node.state = State::kTransmitting;
+            node.timer_s = config.packet_duration_s;
+          }
+          break;
+        }
+        case State::kBackoff:
+          node.backoff_left_s -= dt;
+          if (node.heard_busy) {
+            // Paper: hearing the channel busy during backoff extends the
+            // backoff by one packet duration.
+            node.backoff_left_s += config.packet_duration_s;
+            node.heard_busy = false;
+          }
+          if (node.backoff_left_s <= 0.0) {
+            node.state = State::kWantToSend;
+          }
+          break;
+        case State::kTransmitting:
+          node.timer_s -= dt;
+          if (node.timer_s <= 0.0) {
+            node.state = State::kIdleGap;
+            node.timer_s = gap(rng);
+            node.heard_busy = false;
+          }
+          break;
+      }
+    }
+    t += dt;
+  }
+  result.duration_s = t;
+
+  // Collision scoring exactly like the paper: packets transmitted within
+  // one packet duration of each other are collisions.
+  const double window = config.packet_duration_s;
+  for (std::size_t a = 0; a < result.packets.size(); ++a) {
+    for (std::size_t b = a + 1; b < result.packets.size(); ++b) {
+      if (result.packets[b].tx_time_s - result.packets[a].tx_time_s > window) {
+        break;  // packets are in time order
+      }
+      if (result.packets[a].node != result.packets[b].node) {
+        result.packets[a].collided = true;
+        result.packets[b].collided = true;
+      }
+    }
+  }
+  result.total_packets = static_cast<int>(result.packets.size());
+  result.per_node_fraction.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> node_total(static_cast<std::size_t>(n), 0);
+  std::vector<int> node_coll(static_cast<std::size_t>(n), 0);
+  for (const PacketRecord& p : result.packets) {
+    node_total[static_cast<std::size_t>(p.node)]++;
+    if (p.collided) {
+      result.collided_packets++;
+      node_coll[static_cast<std::size_t>(p.node)]++;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    result.per_node_fraction[si] =
+        node_total[si] > 0 ? static_cast<double>(node_coll[si]) /
+                                 static_cast<double>(node_total[si])
+                           : 0.0;
+  }
+  result.collision_fraction =
+      result.total_packets > 0
+          ? static_cast<double>(result.collided_packets) /
+                static_cast<double>(result.total_packets)
+          : 0.0;
+  return result;
+}
+
+}  // namespace aqua::mac

@@ -1,0 +1,56 @@
+// Multi-node MAC simulation for the Fig. 19 experiment.
+//
+// Nodes share a half-duplex acoustic medium with propagation delay and
+// distance attenuation. Each transmitter repeatedly sends fixed-duration
+// packets after random idle gaps; with carrier sense enabled it follows the
+// paper's protocol: listen, defer with a random backoff counted in packet
+// durations, extend the backoff by one packet whenever the channel is heard
+// busy during the countdown, transmit when the remaining backoff elapses on
+// an idle channel. Collisions are scored exactly as the paper scores them:
+// two packets whose transmit times fall within one packet duration of each
+// other.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace aqua::mac {
+
+/// Per-run MAC simulation parameters.
+struct MacSimConfig {
+  int num_transmitters = 3;
+  int packets_per_transmitter = 120;  ///< paper: up to 120
+  double packet_duration_s = 0.6;     ///< preamble+header+feedback+data
+  double cs_interval_s = 0.08;        ///< energy measurement cadence
+  bool carrier_sense = true;
+  double min_gap_s = 1.0;             ///< idle gap between a node's packets
+  double max_gap_s = 5.0;
+  int max_backoff_packets = 8;        ///< random backoff upper bound
+  double range_m = 7.5;               ///< tx-to-tx distance scale (5-10 m)
+  double sound_speed_mps = 1500.0;
+  std::uint64_t seed = 1;
+};
+
+/// One transmitted packet record.
+struct PacketRecord {
+  int node = 0;
+  double tx_time_s = 0.0;
+  bool collided = false;
+};
+
+/// Aggregate result of a MAC simulation run.
+struct MacSimResult {
+  std::vector<PacketRecord> packets;
+  int total_packets = 0;
+  int collided_packets = 0;
+  double collision_fraction = 0.0;
+  double duration_s = 0.0;
+  /// Per-transmitter collision fractions (Fig. 19 bars).
+  std::vector<double> per_node_fraction;
+};
+
+/// Runs the time-stepped MAC simulation.
+MacSimResult run_mac_simulation(const MacSimConfig& config);
+
+}  // namespace aqua::mac

@@ -1,0 +1,43 @@
+#include "phy/bandselect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+namespace aqua::phy {
+
+BandSelection select_band(std::span<const double> snr_db,
+                          double epsilon_snr_db, double lambda) {
+  const std::size_t n0 = snr_db.size();
+  if (n0 == 0) throw std::invalid_argument("select_band: empty SNR vector");
+
+  // Algorithm 1: for L = N0 down to 1, slide a window of width L and accept
+  // the first window whose minimum boosted SNR clears the threshold. The
+  // window minimum uses a monotonic deque for O(N0) per L.
+  for (std::size_t len = n0; len >= 1; --len) {
+    const double bonus =
+        lambda * 10.0 *
+        std::log10(static_cast<double>(n0) / static_cast<double>(len));
+    std::deque<std::size_t> dq;  // indices of increasing SNR
+    for (std::size_t i = 0; i < n0; ++i) {
+      while (!dq.empty() && snr_db[dq.back()] >= snr_db[i]) dq.pop_back();
+      dq.push_back(i);
+      if (i + 1 >= len) {
+        const std::size_t m = i + 1 - len;
+        while (dq.front() < m) dq.pop_front();
+        const double min_boosted = snr_db[dq.front()] + bonus;
+        if (min_boosted > epsilon_snr_db) {
+          return {m, m + len - 1, false};
+        }
+      }
+    }
+  }
+  // Fallback: strongest single bin (the protocol must still answer).
+  const std::size_t best = static_cast<std::size_t>(std::distance(
+      snr_db.begin(), std::max_element(snr_db.begin(), snr_db.end())));
+  return {best, best, true};
+}
+
+}  // namespace aqua::phy

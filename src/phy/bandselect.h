@@ -1,0 +1,32 @@
+// Frequency band selection — Algorithm 1 of the paper.
+//
+// Finds the largest contiguous run of bins [m, n] such that every bin's SNR,
+// boosted by the power reallocated from the dropped bins
+// (lambda * 10 log10(N0 / L)), clears the threshold epsilon_SNR. Feedback
+// carries only (m, n).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace aqua::phy {
+
+/// Selected contiguous band, inclusive active-bin indices.
+struct BandSelection {
+  std::size_t begin_bin = 0;  ///< m
+  std::size_t end_bin = 0;    ///< n (inclusive)
+  std::size_t width() const { return end_bin - begin_bin + 1; }
+  /// True when even the best single bin failed the threshold and the
+  /// selection fell back to the strongest bin.
+  bool fallback = false;
+};
+
+/// Runs Algorithm 1 on per-bin SNRs (dB). `lambda` in [0,1] derates the
+/// reallocation bonus; `epsilon_snr_db` is the target per-bin SNR.
+/// Always returns a band: if no width satisfies the constraint the single
+/// strongest bin is returned with fallback=true.
+BandSelection select_band(std::span<const double> snr_db,
+                          double epsilon_snr_db = 7.0, double lambda = 0.8);
+
+}  // namespace aqua::phy

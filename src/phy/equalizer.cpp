@@ -1,0 +1,65 @@
+#include "phy/equalizer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/linalg.h"
+
+namespace aqua::phy {
+
+MmseEqualizer MmseEqualizer::train(std::span<const double> rx,
+                                   std::span<const double> tx,
+                                   std::size_t taps, std::size_t delay,
+                                   double reg) {
+  if (taps == 0) throw std::invalid_argument("MmseEqualizer: taps == 0");
+  const std::size_t len = std::min(rx.size(), tx.size());
+  if (len <= taps) throw std::invalid_argument("MmseEqualizer: training too short");
+
+  // Autocorrelation of rx up to lag taps-1 (biased estimate keeps the
+  // Toeplitz matrix positive semidefinite).
+  std::vector<double> r(taps, 0.0);
+  for (std::size_t lag = 0; lag < taps; ++lag) {
+    double acc = 0.0;
+    for (std::size_t n = lag; n < len; ++n) acc += rx[n] * rx[n - lag];
+    r[lag] = acc / static_cast<double>(len);
+  }
+  if (r[0] <= 0.0) throw std::invalid_argument("MmseEqualizer: silent input");
+  r[0] *= (1.0 + reg);  // diagonal loading = MMSE noise term
+
+  // Cross-correlation between the desired (delayed tx) and rx:
+  // c[j] = E[ tx[n - delay] rx[n - j] ].
+  std::vector<double> c(taps, 0.0);
+  for (std::size_t j = 0; j < taps; ++j) {
+    double acc = 0.0;
+    for (std::size_t n = std::max(j, delay); n < len; ++n) {
+      acc += tx[n - delay] * rx[n - j];
+    }
+    c[j] = acc / static_cast<double>(len);
+  }
+
+  MmseEqualizer eq;
+  eq.taps_ = dsp::levinson_solve(r, c);
+  eq.delay_ = delay;
+  return eq;
+}
+
+std::vector<double> MmseEqualizer::apply(std::span<const double> x) const {
+  if (taps_.empty()) return {x.begin(), x.end()};  // identity
+  std::vector<double> out(x.size(), 0.0);
+  const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x.size());
+  const std::ptrdiff_t d = static_cast<std::ptrdiff_t>(delay_);
+  for (std::ptrdiff_t m = 0; m < nx; ++m) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < taps_.size(); ++j) {
+      const std::ptrdiff_t idx = m + d - static_cast<std::ptrdiff_t>(j);
+      if (idx < 0 || idx >= nx) continue;
+      acc += taps_[j] * x[static_cast<std::size_t>(idx)];
+    }
+    out[static_cast<std::size_t>(m)] = acc;
+  }
+  return out;
+}
+
+MmseEqualizer MmseEqualizer::identity() { return MmseEqualizer{}; }
+
+}  // namespace aqua::phy

@@ -1,0 +1,231 @@
+#include "phy/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fir.h"
+
+namespace aqua::phy {
+
+namespace {
+
+// Per-bin noise profile estimated from the first and last symbol-length
+// windows of the capture (at least one of them precedes/follows the symbol
+// being searched for). Whitening by this profile removes the receiver-side
+// spectral tilt — residual sub-kHz ambient noise in the filter transition
+// band, device response slope — that would otherwise bias the top-bin
+// search toward the band edges.
+std::vector<double> edge_noise_profile(const Ofdm& ofdm,
+                                       std::span<const double> signal) {
+  const std::size_t n = ofdm.params().symbol_samples();
+  const std::size_t bins = ofdm.params().num_bins();
+  // Average several overlapping windows at each edge of the capture (hop
+  // n/2); single-window periodograms have far too much variance to divide
+  // by. At least one edge precedes/follows the symbol being searched for.
+  auto edge_mean = [&](bool from_start) {
+    std::vector<double> acc(bins, 0.0);
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < 4; ++w) {
+      const std::size_t off = w * n / 2;
+      if (off + n > signal.size()) break;
+      const std::size_t start = from_start ? off : signal.size() - n - off;
+      std::vector<dsp::cplx> spec = ofdm.demodulate(signal.subspan(start, n));
+      for (std::size_t k = 0; k < bins; ++k) acc[k] += std::norm(spec[k]);
+      ++count;
+    }
+    if (count > 0) {
+      for (double& v : acc) v /= static_cast<double>(count);
+    }
+    return acc;
+  };
+  const std::vector<double> head = edge_mean(true);
+  const std::vector<double> tail = edge_mean(false);
+  std::vector<double> noise(bins);
+  for (std::size_t k = 0; k < bins; ++k) {
+    noise[k] = std::min(head[k], tail[k]);
+  }
+  // Smooth across bins (5-bin moving average) and floor against near-zero
+  // estimates so no single bin gets an unbounded whitened score.
+  std::vector<double> smooth(bins, 0.0);
+  for (std::size_t k = 0; k < bins; ++k) {
+    double acc = 0.0;
+    std::size_t cnt = 0;
+    for (std::ptrdiff_t d = -2; d <= 2; ++d) {
+      const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(k) + d;
+      if (j < 0 || j >= static_cast<std::ptrdiff_t>(bins)) continue;
+      acc += noise[static_cast<std::size_t>(j)];
+      ++cnt;
+    }
+    smooth[k] = acc / static_cast<double>(cnt);
+  }
+  std::vector<double> sorted = smooth;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double floor_val = 0.2 * sorted[sorted.size() / 2] + 1e-18;
+  for (double& v : smooth) v = std::max(v, floor_val);
+  return smooth;
+}
+
+}  // namespace
+
+FeedbackCodec::FeedbackCodec(const OfdmParams& params)
+    : params_(params),
+      ofdm_(params),
+      bandpass_(dsp::design_bandpass(params.band_low_hz, params.band_high_hz,
+                                     params.sample_rate_hz, 129)) {}
+
+namespace {
+
+std::vector<double> repeat_symbol(const std::vector<double>& sym,
+                                  std::size_t repeats) {
+  std::vector<double> out;
+  out.reserve(sym.size() * repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    out.insert(out.end(), sym.begin(), sym.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> FeedbackCodec::encode_band(const BandSelection& band) const {
+  std::vector<dsp::cplx> bins(params_.num_bins(), dsp::cplx{0.0, 0.0});
+  bins.at(band.begin_bin) = {1.0, 0.0};
+  bins.at(band.end_bin) = {1.0, 0.0};
+  return repeat_symbol(ofdm_.modulate_with_cp(bins), kRepeats);
+}
+
+std::vector<double> FeedbackCodec::encode_tone(std::size_t bin) const {
+  std::vector<dsp::cplx> bins(params_.num_bins(), dsp::cplx{0.0, 0.0});
+  bins.at(bin) = {1.0, 0.0};
+  return repeat_symbol(ofdm_.modulate_with_cp(bins), kRepeats);
+}
+
+std::optional<FeedbackDecode> FeedbackCodec::decode_band(
+    std::span<const double> raw, std::size_t step,
+    double min_peak_fraction) const {
+  const std::size_t n = params_.symbol_samples();
+  if (raw.size() < n || step == 0) return std::nullopt;
+  // Sub-kHz ambient noise (and machinery tones) otherwise leak into the
+  // band-edge FFT bins through the rectangular-window sidelobes and
+  // masquerade as a transmitted tone.
+  const std::vector<double> filtered = dsp::filter_same(raw, bandpass_);
+  std::span<const double> signal(filtered);
+
+  const std::vector<double> noise = edge_noise_profile(ofdm_, signal);
+
+  const std::size_t sym_total = params_.symbol_total_samples();
+  const std::size_t span_needed = (kRepeats - 1) * sym_total + n;
+  if (signal.size() < span_needed) return std::nullopt;
+
+  std::optional<FeedbackDecode> best;
+  double best_peak_sum = 0.0;
+  std::vector<double> powers(params_.num_bins());
+  for (std::size_t start = 0; start + span_needed <= signal.size();
+       start += step) {
+    // Noncoherent combining over the repeated symbols.
+    std::fill(powers.begin(), powers.end(), 0.0);
+    for (std::size_t r = 0; r < kRepeats; ++r) {
+      std::vector<dsp::cplx> bins =
+          ofdm_.demodulate(signal.subspan(start + r * sym_total, n));
+      for (std::size_t k = 0; k < bins.size(); ++k) {
+        powers[k] += std::norm(bins[k]) / noise[k];
+      }
+    }
+    // Top-2 whitened (per-bin SNR) powers.
+    double total = 0.0;
+    std::size_t i1 = 0, i2 = 0;
+    double p1 = -1.0, p2 = -1.0;
+    for (std::size_t k = 0; k < powers.size(); ++k) {
+      const double p = powers[k];
+      total += p;
+      if (p > p1) {
+        p2 = p1; i2 = i1;
+        p1 = p; i1 = k;
+      } else if (p > p2) {
+        p2 = p; i2 = k;
+      }
+    }
+    if (total <= 1e-18) continue;
+    // A single-bin band (begin == end) puts everything in one bin. The
+    // second peak then sits at the noise floor — compare it against the
+    // median of the remaining bins rather than against p1, because a wide
+    // band whose end tone fell into a frequency fade can be 20+ dB below
+    // the start tone yet still far above noise.
+    std::nth_element(powers.begin(), powers.begin() + powers.size() / 2,
+                     powers.end());
+    const double median = powers[powers.size() / 2];
+    // Single-bin band: the second peak is at the noise floor, below the
+    // plausible dynamic range of a genuine second tone (30 dB covers the
+    // deepest fades the band selector would still pick), or it is leakage
+    // into the immediate neighbor of the main peak.
+    const std::size_t bin_dist = i1 > i2 ? i1 - i2 : i2 - i1;
+    const bool single = p2 < 5.0 * median || p2 < 1e-3 * p1 ||
+                        (bin_dist <= 1 && p2 < 0.02 * p1);
+    const double peak_sum = p1 + (single ? 0.0 : p2);
+    const double frac = peak_sum / total;
+    if (frac < min_peak_fraction) continue;
+    BandSelection band;
+    band.begin_bin = single ? i1 : std::min(i1, i2);
+    band.end_bin = single ? i1 : std::max(i1, i2);
+    // Rank candidate windows by absolute (whitened) tone power, not by the
+    // concentration ratio: a half-overlapping window can look "cleaner"
+    // while capturing far less of the symbol.
+    if (!best || peak_sum > best_peak_sum) {
+      best = FeedbackDecode{band, start, frac};
+      best_peak_sum = peak_sum;
+    }
+  }
+  return best;
+}
+
+std::optional<ToneDecode> FeedbackCodec::decode_tone(
+    std::span<const double> raw, std::size_t step,
+    double min_peak_fraction) const {
+  const std::size_t n = params_.symbol_samples();
+  if (raw.size() < n || step == 0) return std::nullopt;
+  const std::vector<double> filtered = dsp::filter_same(raw, bandpass_);
+  std::span<const double> signal(filtered);
+
+  const std::vector<double> noise = edge_noise_profile(ofdm_, signal);
+
+  const std::size_t sym_total = params_.symbol_total_samples();
+  const std::size_t span_needed = (kRepeats - 1) * sym_total + n;
+  if (signal.size() < span_needed) return std::nullopt;
+
+  std::optional<ToneDecode> best;
+  double best_peak = 0.0;
+  std::vector<double> powers(params_.num_bins());
+  for (std::size_t start = 0; start + span_needed <= signal.size();
+       start += step) {
+    std::fill(powers.begin(), powers.end(), 0.0);
+    for (std::size_t r = 0; r < kRepeats; ++r) {
+      std::vector<dsp::cplx> bins =
+          ofdm_.demodulate(signal.subspan(start + r * sym_total, n));
+      for (std::size_t k = 0; k < bins.size(); ++k) {
+        powers[k] += std::norm(bins[k]) / noise[k];
+      }
+    }
+    double total = 0.0;
+    double p1 = -1.0;
+    std::size_t i1 = 0;
+    for (std::size_t k = 0; k < powers.size(); ++k) {
+      const double p = powers[k];
+      total += p;
+      if (p > p1) {
+        p1 = p;
+        i1 = k;
+      }
+    }
+    if (total <= 1e-18) continue;
+    const double frac = p1 / total;
+    if (frac < min_peak_fraction) continue;
+    if (!best || p1 > best_peak) {
+      best = ToneDecode{i1, start, frac};
+      best_peak = p1;
+    }
+  }
+  return best;
+}
+
+}  // namespace aqua::phy

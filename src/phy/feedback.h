@@ -1,0 +1,75 @@
+// Feedback / ID / ACK symbols (sections 2.2.3 and 2.3 "Encoding ID and
+// ACKs").
+//
+// The band-selection feedback is one OFDM symbol with ALL transmit power in
+// the two bins (f_begin, f_end); the receiver finds it with a sliding FFT
+// and picks the top-2 bins. Device IDs and ACKs use the same trick with a
+// single bin.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "phy/bandselect.h"
+#include "phy/ofdm.h"
+
+namespace aqua::phy {
+
+/// Decoded feedback with detection metadata.
+struct FeedbackDecode {
+  BandSelection band;
+  std::size_t symbol_start = 0;  ///< sample index of the detected symbol
+  double peak_fraction = 0.0;    ///< top-2 power / total in-band power
+};
+
+/// Decoded single-tone symbol (ID or ACK).
+struct ToneDecode {
+  std::size_t bin = 0;           ///< active-bin index carrying the power
+  std::size_t symbol_start = 0;
+  double peak_fraction = 0.0;    ///< top-1 power / total in-band power
+};
+
+/// Encoder/decoder for feedback and tone symbols at one numerology.
+class FeedbackCodec {
+ public:
+  explicit FeedbackCodec(const OfdmParams& params);
+
+  /// One OFDM symbol (with CP) carrying the band edges. All power goes to
+  /// bins band.begin_bin and band.end_bin (one bin when they coincide).
+  std::vector<double> encode_band(const BandSelection& band) const;
+
+  /// One OFDM symbol (with CP) carrying a single tone on active bin `bin`
+  /// (device ID 0..num_bins-1, or the ACK bin).
+  std::vector<double> encode_tone(std::size_t bin) const;
+
+  /// Searches `signal` for a two-tone feedback symbol using a sliding FFT
+  /// with step `step`. Returns nullopt when no window concentrates at least
+  /// `min_peak_fraction` of its in-band power in two bins.
+  std::optional<FeedbackDecode> decode_band(std::span<const double> signal,
+                                            std::size_t step = 16,
+                                            double min_peak_fraction = 0.3) const;
+
+  /// Searches `signal` for a single-tone symbol.
+  std::optional<ToneDecode> decode_tone(std::span<const double> signal,
+                                        std::size_t step = 16,
+                                        double min_peak_fraction = 0.3) const;
+
+  /// ACKs ride on the first active bin (1 kHz), per the paper.
+  static constexpr std::size_t kAckBin = 0;
+
+  /// Tone symbols are repeated back-to-back this many times; the decoder
+  /// combines the repeats noncoherently (+3 dB and time diversity against
+  /// impulsive noise) at negligible airtime cost (~21 ms per repeat).
+  static constexpr std::size_t kRepeats = 2;
+
+  const OfdmParams& params() const { return params_; }
+
+ private:
+  OfdmParams params_;
+  Ofdm ofdm_;
+  std::vector<double> bandpass_;  ///< receive bandpass applied before decode
+};
+
+}  // namespace aqua::phy

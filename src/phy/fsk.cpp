@@ -1,0 +1,172 @@
+#include "phy/fsk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coding/crc.h"
+#include "dsp/types.h"
+
+namespace aqua::phy {
+
+FskBeacon::FskBeacon(const FskParams& params) : params_(params) {}
+
+std::vector<double> FskBeacon::modulate(
+    std::span<const std::uint8_t> bits) const {
+  const std::size_t n = params_.symbol_samples();
+  std::vector<double> out;
+  out.reserve(bits.size() * n);
+  double phase = 0.0;  // continuous phase across symbols (CPFSK-like)
+  for (std::uint8_t b : bits) {
+    const double f = (b & 1) ? params_.f1_hz : params_.f0_hz;
+    const double dphi = dsp::kTwoPi * f / params_.sample_rate_hz;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(params_.amplitude * std::sin(phase));
+      phase += dphi;
+      if (phase > dsp::kTwoPi) phase -= dsp::kTwoPi;
+    }
+  }
+  return out;
+}
+
+double FskBeacon::tone_energy(std::span<const double> rx, std::size_t start,
+                              std::size_t len, double freq_hz) const {
+  // Direct DFT bin at freq_hz over the window (equivalent to Goertzel).
+  double re = 0.0, im = 0.0;
+  const double w = dsp::kTwoPi * freq_hz / params_.sample_rate_hz;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (start + i >= rx.size()) break;
+    const double v = rx[start + i];
+    re += v * std::cos(w * static_cast<double>(i));
+    im -= v * std::sin(w * static_cast<double>(i));
+  }
+  return re * re + im * im;
+}
+
+std::vector<double> FskBeacon::demodulate_soft(std::span<const double> rx,
+                                               std::size_t start,
+                                               std::size_t num_bits,
+                                               double gain0,
+                                               double gain1) const {
+  const std::size_t n = params_.symbol_samples();
+  std::vector<double> e0(num_bits), e1(num_bits);
+  double sum0 = 0.0, sum1 = 0.0;
+  for (std::size_t b = 0; b < num_bits; ++b) {
+    const std::size_t s = start + b * n;
+    e0[b] = tone_energy(rx, s, n, params_.f0_hz);
+    e1[b] = tone_energy(rx, s, n, params_.f1_hz);
+    sum0 += e0[b];
+    sum1 += e1[b];
+  }
+  // Per-tone normalization: frequency-selective fading can leave the two
+  // tones with very different channel gains (a deep fade on one tone would
+  // otherwise bias every decision). Use caller-provided gains (calibrated
+  // from a known pattern) when available, else the burst averages.
+  const double g0 = gain0 > 0.0 ? gain0
+                                : (sum0 > 1e-18 ? sum0 / static_cast<double>(num_bits)
+                                                : 1.0);
+  const double g1 = gain1 > 0.0 ? gain1
+                                : (sum1 > 1e-18 ? sum1 / static_cast<double>(num_bits)
+                                                : 1.0);
+  std::vector<double> soft(num_bits, 0.0);
+  for (std::size_t b = 0; b < num_bits; ++b) {
+    soft[b] = e1[b] / g1 - e0[b] / g0;
+  }
+  return soft;
+}
+
+std::vector<std::uint8_t> FskBeacon::demodulate(std::span<const double> rx,
+                                                std::size_t start,
+                                                std::size_t num_bits,
+                                                double gain0,
+                                                double gain1) const {
+  std::vector<double> soft = demodulate_soft(rx, start, num_bits, gain0, gain1);
+  std::vector<std::uint8_t> bits(num_bits);
+  for (std::size_t i = 0; i < num_bits; ++i) bits[i] = soft[i] > 0.0 ? 1 : 0;
+  return bits;
+}
+
+std::vector<double> FskBeacon::encode_beacon(
+    std::span<const std::uint8_t> payload) const {
+  std::vector<std::uint8_t> bits(std::begin(kFskSyncPattern),
+                                 std::end(kFskSyncPattern));
+  const std::vector<std::uint8_t> framed = coding::append_crc8(payload);
+  bits.insert(bits.end(), framed.begin(), framed.end());
+  return modulate(bits);
+}
+
+std::optional<std::vector<std::uint8_t>> FskBeacon::decode_beacon(
+    std::span<const double> rx, std::size_t payload_bits) const {
+  const std::size_t n = params_.symbol_samples();
+  const std::size_t sync_len = 8;
+  const std::size_t total_bits = sync_len + payload_bits + 8;
+  if (rx.size() < total_bits * n) return std::nullopt;
+
+  // Slide in steps of n/16; score the sync correlation of soft decisions.
+  const std::size_t step = std::max<std::size_t>(n / 16, 1);
+  double best_score = 0.0;
+  std::size_t best_start = 0;
+  for (std::size_t start = 0; start + total_bits * n <= rx.size();
+       start += step) {
+    std::vector<double> soft = demodulate_soft(rx, start, sync_len);
+    double score = 0.0, mag = 0.0;
+    for (std::size_t i = 0; i < sync_len; ++i) {
+      score += (kFskSyncPattern[i] ? 1.0 : -1.0) * soft[i];
+      mag += std::abs(soft[i]);
+    }
+    const double norm = mag > 1e-18 ? score / mag : 0.0;
+    if (norm > best_score) {
+      best_score = norm;
+      best_start = start;
+    }
+  }
+  if (best_score < 0.6) return std::nullopt;
+
+  // Calibrate the per-tone channel gains from the sync pattern (it carries
+  // both bit values by construction), so an all-zero or all-one payload
+  // still demodulates under asymmetric tone fading.
+  double g0 = 0.0, g1 = 0.0;
+  {
+    const std::size_t n_sym = params_.symbol_samples();
+    int c0 = 0, c1 = 0;
+    for (std::size_t i = 0; i < sync_len; ++i) {
+      const std::size_t s = best_start + i * n_sym;
+      if (kFskSyncPattern[i]) {
+        g1 += tone_energy(rx, s, n_sym, params_.f1_hz);
+        ++c1;
+      } else {
+        g0 += tone_energy(rx, s, n_sym, params_.f0_hz);
+        ++c0;
+      }
+    }
+    if (c0 > 0) g0 /= c0;
+    if (c1 > 0) g1 /= c1;
+  }
+  std::vector<std::uint8_t> framed = demodulate(
+      rx, best_start + sync_len * n, payload_bits + 8, g0, g1);
+  bool ok = false;
+  std::vector<std::uint8_t> payload = coding::check_crc8(framed, &ok);
+  if (!ok) return std::nullopt;
+  return payload;
+}
+
+std::vector<double> FskBeacon::encode_sos(std::uint8_t diver_id) const {
+  std::vector<std::uint8_t> bits(6);
+  for (int i = 0; i < 6; ++i) {
+    bits[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((diver_id >> (5 - i)) & 1);
+  }
+  return encode_beacon(bits);
+}
+
+std::optional<std::uint8_t> FskBeacon::decode_sos(
+    std::span<const double> rx) const {
+  auto payload = decode_beacon(rx, 6);
+  if (!payload) return std::nullopt;
+  std::uint8_t id = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    id = static_cast<std::uint8_t>((id << 1) | ((*payload)[i] & 1));
+  }
+  return id;
+}
+
+}  // namespace aqua::phy

@@ -1,0 +1,85 @@
+// Long-range FSK beacon modem (section 3, "SoS beacon" and Fig. 12d).
+//
+// Bits are sent as single tones: f0 for 0, f1 for 1, one tone per symbol of
+// 50/100/200 ms => 20/10/5 bps. All transmit power concentrates in one
+// frequency, which is what buys the 100 m range. Beacons start with a known
+// 8-symbol sync pattern; payload is a 6-bit diver ID (or an 8-bit hand
+// signal) plus CRC-8 when framing is enabled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace aqua::phy {
+
+/// FSK numerology. Tones live in the 1.5-4 kHz range per the paper.
+struct FskParams {
+  double sample_rate_hz = 48000.0;
+  double symbol_duration_s = 0.1;  ///< 0.05 / 0.1 / 0.2 -> 20 / 10 / 5 bps
+  double f0_hz = 1800.0;
+  double f1_hz = 2600.0;
+  /// Pure tones carry no PAPR penalty, so the beacon drives the speaker at
+  /// (nearly) full scale — this is exactly why concentrating all transmit
+  /// power in one frequency buys the 100 m range.
+  double amplitude = 0.9;
+
+  double bitrate_bps() const { return 1.0 / symbol_duration_s; }
+  std::size_t symbol_samples() const {
+    return static_cast<std::size_t>(symbol_duration_s * sample_rate_hz + 0.5);
+  }
+};
+
+/// Known sync pattern preceding every framed beacon.
+inline constexpr std::uint8_t kFskSyncPattern[8] = {1, 1, 1, 0, 0, 1, 0, 1};
+
+class FskBeacon {
+ public:
+  explicit FskBeacon(const FskParams& params);
+
+  /// Raw bit modulation (no sync) — used by the BER benches.
+  std::vector<double> modulate(std::span<const std::uint8_t> bits) const;
+
+  /// Raw demodulation with known alignment: `start` is the sample index of
+  /// the first symbol. Noncoherent (tone-energy comparison).
+  std::vector<std::uint8_t> demodulate(std::span<const double> rx,
+                                       std::size_t start, std::size_t num_bits,
+                                       double gain0 = 0.0,
+                                       double gain1 = 0.0) const;
+
+  /// Soft demodulation: normalized per-bit energy difference (positive
+  /// means bit 1). When `gain0`/`gain1` are positive they are used as the
+  /// per-tone channel-gain references (e.g. calibrated from the sync
+  /// pattern); otherwise each tone is normalized by its own mean energy
+  /// over the burst, which handles frequency-selective fading as long as
+  /// both bit values appear.
+  std::vector<double> demodulate_soft(std::span<const double> rx,
+                                      std::size_t start, std::size_t num_bits,
+                                      double gain0 = 0.0,
+                                      double gain1 = 0.0) const;
+
+  /// Framed beacon: sync pattern + payload bits + CRC-8.
+  std::vector<double> encode_beacon(std::span<const std::uint8_t> payload) const;
+
+  /// Searches for a framed beacon and returns the payload when the sync
+  /// pattern correlates and the CRC checks. `payload_bits` must match the
+  /// encoder's payload length.
+  std::optional<std::vector<std::uint8_t>> decode_beacon(
+      std::span<const double> rx, std::size_t payload_bits) const;
+
+  /// Convenience: 6-bit diver-ID SoS beacon (paper's format).
+  std::vector<double> encode_sos(std::uint8_t diver_id) const;
+  std::optional<std::uint8_t> decode_sos(std::span<const double> rx) const;
+
+  const FskParams& params() const { return params_; }
+
+ private:
+  /// Tone energy of `rx[start, start+len)` at `freq_hz` (Goertzel-style).
+  double tone_energy(std::span<const double> rx, std::size_t start,
+                     std::size_t len, double freq_hz) const;
+
+  FskParams params_;
+};
+
+}  // namespace aqua::phy

@@ -1,0 +1,88 @@
+#include "phy/ofdm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::phy {
+
+namespace {
+// Mean time-domain power of every transmitted OFDM symbol. Keeping this
+// constant regardless of how many bins are active implements the paper's
+// power reallocation: a narrower band puts more power per bin.
+constexpr double kTargetMeanPower = 0.05;
+}  // namespace
+
+Ofdm::Ofdm(const OfdmParams& params)
+    : params_(params), plan_(params.symbol_samples()) {}
+
+double Ofdm::power_norm(std::size_t active_bin_count) const {
+  if (active_bin_count == 0) return 0.0;
+  const double n = static_cast<double>(params_.symbol_samples());
+  return n * std::sqrt(kTargetMeanPower /
+                       (2.0 * static_cast<double>(active_bin_count)));
+}
+
+std::vector<double> Ofdm::modulate(std::span<const dsp::cplx> bins) const {
+  return modulate_at(bins, 0);
+}
+
+std::vector<double> Ofdm::modulate_at(std::span<const dsp::cplx> bins,
+                                      std::size_t bin_offset) const {
+  const std::size_t n = params_.symbol_samples();
+  if (bin_offset + bins.size() > params_.num_bins()) {
+    throw std::invalid_argument("Ofdm::modulate_at: bins exceed active band");
+  }
+  std::size_t active = 0;
+  for (const dsp::cplx& b : bins) {
+    if (std::norm(b) > 1e-20) ++active;
+  }
+  const double scale = power_norm(active == 0 ? 1 : active);
+  std::vector<dsp::cplx> spec(n, dsp::cplx{0.0, 0.0});
+  const std::size_t k0 = params_.first_bin() + bin_offset;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const std::size_t k = k0 + i;
+    spec[k] = bins[i] * scale;
+    spec[n - k] = std::conj(spec[k]);  // Hermitian symmetry -> real waveform
+  }
+  std::vector<dsp::cplx> time(n);
+  plan_.inverse(spec, time);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real();
+  return out;
+}
+
+std::vector<double> Ofdm::add_cp(std::span<const double> symbol) const {
+  const std::size_t cp = params_.cp_samples();
+  if (symbol.size() != params_.symbol_samples()) {
+    throw std::invalid_argument("Ofdm::add_cp: wrong symbol length");
+  }
+  std::vector<double> out;
+  out.reserve(symbol.size() + cp);
+  out.insert(out.end(), symbol.end() - static_cast<std::ptrdiff_t>(cp),
+             symbol.end());
+  out.insert(out.end(), symbol.begin(), symbol.end());
+  return out;
+}
+
+std::vector<double> Ofdm::modulate_with_cp(std::span<const dsp::cplx> bins,
+                                           std::size_t bin_offset) const {
+  return add_cp(modulate_at(bins, bin_offset));
+}
+
+std::vector<dsp::cplx> Ofdm::demodulate(std::span<const double> symbol) const {
+  const std::size_t n = params_.symbol_samples();
+  if (symbol.size() != n) {
+    throw std::invalid_argument("Ofdm::demodulate: wrong symbol length");
+  }
+  std::vector<dsp::cplx> time(n);
+  for (std::size_t i = 0; i < n; ++i) time[i] = {symbol[i], 0.0};
+  std::vector<dsp::cplx> spec(n);
+  plan_.forward(time, spec);
+  std::vector<dsp::cplx> bins(params_.num_bins());
+  for (std::size_t k = 0; k < bins.size(); ++k) {
+    bins[k] = spec[params_.first_bin() + k];
+  }
+  return bins;
+}
+
+}  // namespace aqua::phy

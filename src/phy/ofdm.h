@@ -1,0 +1,56 @@
+// OFDM symbol modulation/demodulation.
+//
+// Symbols carry complex values on the active bins (1-4 kHz); the
+// time-domain waveform is real (conjugate-symmetric IFFT). A cyclic prefix
+// of cp_samples() is prepended to data symbols.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "dsp/types.h"
+#include "phy/params.h"
+
+namespace aqua::phy {
+
+/// Modulator/demodulator for one OFDM numerology. Owns the FFT plan.
+class Ofdm {
+ public:
+  explicit Ofdm(const OfdmParams& params);
+
+  const OfdmParams& params() const { return params_; }
+
+  /// Builds one time-domain symbol (no CP) from complex values on the
+  /// active bins: `bins[k]` rides on FFT bin first_bin()+k. `bins` may be
+  /// shorter than num_bins(); missing bins are zero.
+  std::vector<double> modulate(std::span<const dsp::cplx> bins) const;
+
+  /// As modulate(), but bins are placed starting at active-bin offset
+  /// `bin_offset` (used to transmit inside an adapted sub-band).
+  std::vector<double> modulate_at(std::span<const dsp::cplx> bins,
+                                  std::size_t bin_offset) const;
+
+  /// Prepends the cyclic prefix to a symbol.
+  std::vector<double> add_cp(std::span<const double> symbol) const;
+
+  /// Convenience: modulate + add_cp.
+  std::vector<double> modulate_with_cp(std::span<const dsp::cplx> bins,
+                                       std::size_t bin_offset = 0) const;
+
+  /// Demodulates one symbol: `symbol` must be symbol_samples() long and
+  /// CP-free/aligned. Returns the num_bins() active-bin values.
+  std::vector<dsp::cplx> demodulate(std::span<const double> symbol) const;
+
+  /// Scales a time-domain symbol so that full-band unit-magnitude bins give
+  /// a waveform with approximately unit peak. All modulate() outputs are
+  /// already normalized so the *total transmit power* is the same no matter
+  /// how many bins carry energy (power reallocation, section 2.2.2).
+  double power_norm(std::size_t active_bin_count) const;
+
+ private:
+  OfdmParams params_;
+  dsp::FftPlan plan_;
+};
+
+}  // namespace aqua::phy

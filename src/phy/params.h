@@ -1,0 +1,86 @@
+// OFDM numerology for the modem (section 2.3.1 and Fig. 17).
+//
+// Defaults reproduce the paper exactly: 48 kHz sampling, 50 Hz subcarrier
+// spacing => 960-sample (20 ms) symbols, 67-sample cyclic prefix (6.9 %),
+// data band 1-4 kHz => 60 subcarriers. The spacing is configurable to 25
+// and 10 Hz for the Fig. 17 experiments; the cyclic prefix and equalizer
+// scale with the symbol.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+
+namespace aqua::phy {
+
+/// Static modem numerology.
+struct OfdmParams {
+  double sample_rate_hz = 48000.0;
+  double subcarrier_spacing_hz = 50.0;
+  double band_low_hz = 1000.0;
+  double band_high_hz = 4000.0;
+  /// Cyclic prefix fraction of the symbol length (paper: 67/960 = 6.98 %).
+  double cp_fraction = 67.0 / 960.0;
+  /// Time-domain MMSE equalizer length as a fraction of the symbol
+  /// (paper: 480/960).
+  double equalizer_fraction = 0.5;
+  /// Preamble: number of repeated CAZAC OFDM symbols and their signs.
+  static constexpr std::size_t kPreambleSymbols = 8;
+  static constexpr std::array<int, 8> kPnSigns = {-1, 1, 1, 1, 1, 1, -1, 1};
+  /// Band-adaptation constants (section 2.2.2).
+  double snr_threshold_db = 7.0;
+  double lambda = 0.8;
+
+  /// Samples per OFDM symbol (without CP).
+  std::size_t symbol_samples() const {
+    const double n = sample_rate_hz / subcarrier_spacing_hz;
+    const auto ni = static_cast<std::size_t>(n + 0.5);
+    if (ni == 0) throw std::invalid_argument("OfdmParams: bad spacing");
+    return ni;
+  }
+  /// Cyclic prefix length in samples (67 at the default numerology).
+  std::size_t cp_samples() const {
+    return static_cast<std::size_t>(cp_fraction *
+                                    static_cast<double>(symbol_samples()) + 0.5);
+  }
+  /// Samples per symbol including CP.
+  std::size_t symbol_total_samples() const {
+    return symbol_samples() + cp_samples();
+  }
+  /// First active FFT bin (1 kHz -> bin 20 at 50 Hz spacing).
+  std::size_t first_bin() const {
+    return static_cast<std::size_t>(band_low_hz / subcarrier_spacing_hz + 0.5);
+  }
+  /// One-past-last active bin (4 kHz -> bin 80, exclusive).
+  std::size_t last_bin() const {
+    return static_cast<std::size_t>(band_high_hz / subcarrier_spacing_hz + 0.5);
+  }
+  /// Number of active subcarriers N0 (60 at the default numerology).
+  std::size_t num_bins() const { return last_bin() - first_bin(); }
+  /// Center frequency of active bin `k` (k in [0, num_bins())).
+  double bin_freq_hz(std::size_t k) const {
+    return (static_cast<double>(first_bin() + k)) * subcarrier_spacing_hz;
+  }
+  /// Time-domain equalizer tap count (480 at the default numerology).
+  std::size_t equalizer_taps() const {
+    return static_cast<std::size_t>(
+        equalizer_fraction * static_cast<double>(symbol_samples()) + 0.5);
+  }
+  /// Info bitrate implied by an L-bin band with rate-2/3 coding, using the
+  /// paper's reporting convention (CP overhead not counted):
+  /// bitrate = L * spacing * 2/3. 19 bins at 50 Hz -> 633.3 bps.
+  double reported_bitrate_bps(std::size_t selected_bins) const {
+    return static_cast<double>(selected_bins) * subcarrier_spacing_hz * 2.0 / 3.0;
+  }
+
+  /// Paper-default parameters.
+  static OfdmParams defaults() { return OfdmParams{}; }
+  /// Fig. 17 variants: 25 Hz and 10 Hz subcarrier spacing.
+  static OfdmParams with_spacing(double spacing_hz) {
+    OfdmParams p;
+    p.subcarrier_spacing_hz = spacing_hz;
+    return p;
+  }
+};
+
+}  // namespace aqua::phy

@@ -1,0 +1,134 @@
+#include "phy/preamble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/cazac.h"
+#include "dsp/correlate.h"
+#include "dsp/fir.h"
+
+namespace aqua::phy {
+
+Preamble::Preamble(const OfdmParams& params) : params_(params), ofdm_(params) {
+  bandpass_ = dsp::design_bandpass(params.band_low_hz, params.band_high_hz,
+                                   params.sample_rate_hz, 129);
+  cazac_bins_ = dsp::zadoff_chu(params.num_bins());
+  one_symbol_ = ofdm_.modulate(cazac_bins_);
+  const std::size_t n = params.symbol_samples();
+  core_samples_ = OfdmParams::kPreambleSymbols * n;
+
+  // Core: eight signed copies.
+  std::vector<double> core;
+  core.reserve(core_samples_);
+  for (std::size_t s = 0; s < OfdmParams::kPreambleSymbols; ++s) {
+    const double sign = static_cast<double>(OfdmParams::kPnSigns[s]);
+    for (std::size_t i = 0; i < n; ++i) core.push_back(sign * one_symbol_[i]);
+  }
+  // One cyclic prefix in front (tail of the first signed symbol) to absorb
+  // multipath before the sync point.
+  const std::size_t cp = params.cp_samples();
+  waveform_.clear();
+  waveform_.reserve(cp + core.size());
+  const double sign0 = static_cast<double>(OfdmParams::kPnSigns[0]);
+  for (std::size_t i = n - cp; i < n; ++i) {
+    waveform_.push_back(sign0 * one_symbol_[i]);
+  }
+  waveform_.insert(waveform_.end(), core.begin(), core.end());
+}
+
+double Preamble::sliding_metric_at(std::span<const double> signal,
+                                   std::size_t start) const {
+  const std::size_t n = params_.symbol_samples();
+  if (start + core_samples_ > signal.size()) return 0.0;
+  double corr_sum = 0.0;
+  double energy_sum = 0.0;
+  for (std::size_t s = 0; s + 1 < OfdmParams::kPreambleSymbols; ++s) {
+    const double* a = signal.data() + start + s * n;
+    const double* b = a + n;
+    const double sign = static_cast<double>(OfdmParams::kPnSigns[s] *
+                                            OfdmParams::kPnSigns[s + 1]);
+    double dot = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dot += a[i] * b[i];
+    corr_sum += sign * dot;
+  }
+  for (std::size_t i = 0; i < core_samples_; ++i) {
+    const double v = signal[start + i];
+    energy_sum += v * v;
+  }
+  if (energy_sum <= 1e-12) return 0.0;
+  return corr_sum / energy_sum;
+}
+
+std::optional<PreambleDetection> Preamble::detect(
+    std::span<const double> raw_signal) const {
+  const std::size_t n = params_.symbol_samples();
+  if (raw_signal.size() < core_samples_) return std::nullopt;
+
+  // Receive bandpass (1-4 kHz): ambient noise is strongest below 1 kHz
+  // (Fig. 4) and would otherwise dominate the energy normalization of both
+  // detection stages. Group-delay compensated, so indices are unchanged.
+  const std::vector<double> filtered = dsp::filter_same(raw_signal, bandpass_);
+  std::span<const double> signal(filtered);
+
+  // Stage 1: coarse normalized cross-correlation against the core.
+  const std::vector<double> core(waveform_.begin() +
+                                     static_cast<std::ptrdiff_t>(params_.cp_samples()),
+                                 waveform_.end());
+  std::vector<double> coarse = dsp::normalized_cross_correlate(signal, core);
+  if (coarse.empty()) return std::nullopt;
+
+  // Candidate peaks: the best correlation in each half-symbol chunk.
+  struct Candidate { double value; std::size_t index; };
+  std::vector<Candidate> candidates;
+  const std::size_t chunk = std::max<std::size_t>(n / 2, 1);
+  for (std::size_t base = 0; base < coarse.size(); base += chunk) {
+    const std::size_t end = std::min(base + chunk, coarse.size());
+    std::size_t best = base;
+    for (std::size_t i = base + 1; i < end; ++i) {
+      if (coarse[i] > coarse[best]) best = i;
+    }
+    if (coarse[best] > kCoarseThreshold) {
+      candidates.push_back({coarse[best], best});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.value > b.value;
+            });
+  if (candidates.size() > 16) candidates.resize(16);
+
+  // Stage 2: sliding segment correlation around each candidate, step 8,
+  // then a +/-step fine pass at step 1.
+  std::optional<PreambleDetection> best;
+  for (const Candidate& c : candidates) {
+    const std::size_t lo = c.index > n ? c.index - n : 0;
+    const std::size_t hi = std::min(c.index + n, signal.size());
+    double best_metric = 0.0;
+    std::size_t best_idx = lo;
+    for (std::size_t i = lo; i < hi; i += kSlidingStep) {
+      const double m = sliding_metric_at(signal, i);
+      if (m > best_metric) {
+        best_metric = m;
+        best_idx = i;
+      }
+    }
+    // Fine pass.
+    const std::size_t flo = best_idx > kSlidingStep ? best_idx - kSlidingStep : 0;
+    const std::size_t fhi = std::min(best_idx + kSlidingStep + 1, signal.size());
+    for (std::size_t i = flo; i < fhi; ++i) {
+      const double m = sliding_metric_at(signal, i);
+      if (m > best_metric) {
+        best_metric = m;
+        best_idx = i;
+      }
+    }
+    if (best_metric >= kSlidingThreshold) {
+      if (!best || best_metric > best->sliding_metric) {
+        best = PreambleDetection{best_idx, best_metric, c.value};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace aqua::phy

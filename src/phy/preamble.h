@@ -1,0 +1,73 @@
+// Preamble construction, detection and synchronization (section 2.2.1).
+//
+// The preamble is eight identical CAZAC-filled OFDM symbols, each multiplied
+// by a PN sign [-1,1,1,1,1,1,-1,1]. Detection is two-stage: a cheap
+// normalized cross-correlation produces candidates; a normalized sliding
+// segment correlation (robust to gain changes and impulsive noise) confirms
+// them and yields sample-accurate timing.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "phy/ofdm.h"
+#include "phy/params.h"
+
+namespace aqua::phy {
+
+/// Result of a confirmed preamble detection.
+struct PreambleDetection {
+  std::size_t start_index = 0;   ///< first sample of the first symbol
+  double sliding_metric = 0.0;   ///< confirmation metric in [0, ~0.95]
+  double coarse_peak = 0.0;      ///< normalized cross-correlation peak
+};
+
+/// Builder + detector for the CAZAC preamble.
+class Preamble {
+ public:
+  explicit Preamble(const OfdmParams& params);
+
+  /// Transmit waveform: 8 signed CAZAC OFDM symbols, preceded by one cyclic
+  /// prefix (copy of the first symbol's tail) to absorb multipath.
+  const std::vector<double>& waveform() const { return waveform_; }
+
+  /// The CAZAC frequency-domain values on the active bins (unit modulus).
+  const std::vector<dsp::cplx>& cazac_bins() const { return cazac_bins_; }
+
+  /// Length of the core preamble (8 symbols, no CP).
+  std::size_t core_samples() const { return core_samples_; }
+
+  /// Detects the preamble anywhere in `signal`. Internally applies the
+  /// receive bandpass (1-4 kHz) before both detection stages so sub-kHz
+  /// ambient noise cannot drown the normalization. Returns the confirmed
+  /// detection with the highest sliding metric, or nullopt.
+  std::optional<PreambleDetection> detect(std::span<const double> signal) const;
+
+  /// Normalized sliding segment-correlation metric for a window starting at
+  /// `start` (exposed for tests and the Fig.-ablation bench).
+  double sliding_metric_at(std::span<const double> signal,
+                           std::size_t start) const;
+
+  /// Detection thresholds. The paper reports a clean preamble scoring
+  /// > 0.6 and spiky noise < 0.2. After the receive bandpass, our measured
+  /// noise-only metric stays below ~0.11 while a 30 m (lowest-SNR)
+  /// preamble scores 0.15-0.48, so the decision threshold sits at 0.22 —
+  /// the same 2x margin over the noise metric the paper's 0.6/0.2 pair
+  /// provides, shifted for the simulated link budget.
+  static constexpr double kSlidingThreshold = 0.22;
+  static constexpr double kCoarseThreshold = 0.20;
+  /// Sliding-correlation step during confirmation (paper: 8).
+  static constexpr std::size_t kSlidingStep = 8;
+
+ private:
+  OfdmParams params_;
+  Ofdm ofdm_;
+  std::vector<dsp::cplx> cazac_bins_;
+  std::vector<double> one_symbol_;       ///< unsigned CAZAC symbol
+  std::vector<double> waveform_;         ///< CP + 8 signed symbols
+  std::vector<double> bandpass_;         ///< receive bandpass taps
+  std::size_t core_samples_ = 0;
+};
+
+}  // namespace aqua::phy

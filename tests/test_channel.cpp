@@ -1,0 +1,372 @@
+// Channel substrate: absorption, image-method multipath, device profiles,
+// noise synthesis, mobility, and the composed link simulator.
+#include <gtest/gtest.h>
+
+#include "channel/absorption.h"
+#include "channel/channel.h"
+#include "channel/device.h"
+#include "channel/environment.h"
+#include "channel/mobility.h"
+#include "channel/multipath.h"
+#include "channel/noise.h"
+#include "dsp/chirp.h"
+#include "dsp/spectrum.h"
+
+namespace aqua::channel {
+namespace {
+
+TEST(Absorption, ThorpIsSmallInTheModemBand) {
+  // At 1-4 kHz absorption is a fraction of a dB/km (why acoustic comms
+  // works at all); it grows steeply with frequency.
+  EXPECT_LT(thorp_absorption_db_per_km(1000.0), 0.1);
+  EXPECT_LT(thorp_absorption_db_per_km(4000.0), 0.5);
+  EXPECT_GT(thorp_absorption_db_per_km(50000.0), 10.0);
+  EXPECT_GT(thorp_absorption_db_per_km(4000.0),
+            thorp_absorption_db_per_km(1000.0));
+}
+
+TEST(Absorption, SpreadingDominatesShortRange) {
+  // 5 m -> 10 m costs ~6 dB (spherical spreading).
+  const double tl5 = transmission_loss_db(5.0, 2500.0);
+  const double tl10 = transmission_loss_db(10.0, 2500.0);
+  EXPECT_NEAR(tl10 - tl5, 6.02, 0.1);
+}
+
+TEST(Multipath, DirectPathComesFirstWithUnitBounces) {
+  Geometry g{10.0, 1.0, 1.0, 5.0};
+  WaveguideParams wp;
+  const std::vector<Path> paths = compute_paths(g, wp);
+  ASSERT_GE(paths.size(), 3u);
+  EXPECT_EQ(paths[0].surface_bounces, 0);
+  EXPECT_EQ(paths[0].bottom_bounces, 0);
+  EXPECT_NEAR(paths[0].delay_s, 10.0 / kSoundSpeedWater, 1e-6);
+  // Sorted by delay.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].delay_s, paths[i - 1].delay_s);
+  }
+}
+
+TEST(Multipath, SurfaceBounceFlipsSign) {
+  Geometry g{10.0, 1.0, 1.0, 50.0};  // deep water: few bottom bounces
+  WaveguideParams wp;
+  const std::vector<Path> paths = compute_paths(g, wp);
+  // Find the single-surface-bounce path.
+  bool found = false;
+  for (const Path& p : paths) {
+    if (p.surface_bounces == 1 && p.bottom_bounces == 0) {
+      EXPECT_LT(p.amplitude, 0.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Multipath, ShallowWaterHasLongerDelaySpread) {
+  WaveguideParams wp;
+  Geometry shallow{20.0, 1.0, 1.0, 3.0};
+  Geometry deep{20.0, 1.0, 1.0, 30.0};
+  auto spread = [&](const Geometry& g) {
+    const std::vector<Path> paths = compute_paths(g, wp);
+    return paths.back().delay_s - paths.front().delay_s;
+  };
+  EXPECT_GT(spread(shallow), 0.0);
+  // In very shallow water many bounces arrive with meaningful energy.
+  const std::vector<Path> p_shallow = compute_paths(shallow, wp);
+  const std::vector<Path> p_deep = compute_paths(deep, wp);
+  EXPECT_GT(p_shallow.size(), p_deep.size());
+}
+
+TEST(Multipath, ImpulseResponseEnergyMatchesPathAmplitudes) {
+  Geometry g{10.0, 1.0, 1.0, 5.0};
+  WaveguideParams wp;
+  const std::vector<Path> paths = compute_paths(g, wp);
+  double bulk = 0.0;
+  const std::vector<double> ir =
+      paths_to_impulse_response(paths, 48000.0, &bulk);
+  EXPECT_NEAR(bulk, paths.front().delay_s, 1e-9);
+  double amp2 = 0.0;
+  for (const Path& p : paths) amp2 += p.amplitude * p.amplitude;
+  EXPECT_NEAR(dsp::energy(ir), amp2, 0.15 * amp2);
+}
+
+TEST(Multipath, FrequencyResponseShowsFading) {
+  // Direct + inverted surface bounce produce >10 dB swings across 1-4 kHz
+  // at this geometry (the paper's Fig. 3 observation).
+  Geometry g{10.0, 1.0, 1.0, 5.0};
+  WaveguideParams wp;
+  const std::vector<Path> paths = compute_paths(g, wp);
+  double lo = 1e9, hi = 0.0;
+  for (double f = 1000.0; f <= 4000.0; f += 25.0) {
+    const double mag = std::abs(paths_frequency_response(paths, f));
+    lo = std::min(lo, mag);
+    hi = std::max(hi, mag);
+  }
+  EXPECT_GT(20.0 * std::log10(hi / lo), 10.0);
+}
+
+TEST(Multipath, RejectsBadGeometry) {
+  WaveguideParams wp;
+  EXPECT_THROW(compute_paths(Geometry{0.0, 1.0, 1.0, 5.0}, wp),
+               std::invalid_argument);
+  EXPECT_THROW(compute_paths(Geometry{10.0, 1.0, 1.0, 0.0}, wp),
+               std::invalid_argument);
+}
+
+TEST(Device, ResponsesRollOffAboveFourKilohertz) {
+  // Fig. 3a: response diminishes above 4 kHz on every device. Compare
+  // against the in-band peak (individual in-band frequencies can sit in a
+  // notch).
+  for (DeviceModel m : {DeviceModel::kGalaxyS9, DeviceModel::kPixel4,
+                        DeviceModel::kOnePlus8Pro, DeviceModel::kGalaxyWatch4}) {
+    DeviceProfile dev(m, 1, CaseType::kNone);
+    double peak = 0.0;
+    for (double f = 1000.0; f <= 4000.0; f += 50.0) {
+      peak = std::max(peak, dev.speaker_gain(f));
+    }
+    EXPECT_LT(dev.speaker_gain(8000.0), 0.35 * peak) << dev.name();
+    EXPECT_LT(dev.speaker_gain(12000.0), dev.speaker_gain(8000.0)) << dev.name();
+  }
+}
+
+TEST(Device, DifferentUnitsHaveDifferentNotches) {
+  DeviceProfile a(DeviceModel::kGalaxyS9, 1, CaseType::kNone);
+  DeviceProfile b(DeviceModel::kGalaxyS9, 2, CaseType::kNone);
+  double max_diff_db = 0.0;
+  for (double f = 1000.0; f <= 4500.0; f += 50.0) {
+    const double d = std::abs(20.0 * std::log10(a.speaker_gain(f) /
+                                                b.speaker_gain(f)));
+    max_diff_db = std::max(max_diff_db, d);
+  }
+  EXPECT_GT(max_diff_db, 3.0);
+}
+
+TEST(Device, HardCaseAttenuatesMoreThanPouch) {
+  DeviceProfile pouch(DeviceModel::kGalaxyS9, 1, CaseType::kSoftPouch);
+  DeviceProfile hard(DeviceModel::kGalaxyS9, 1, CaseType::kHardCase);
+  EXPECT_LT(hard.speaker_gain(2500.0), pouch.speaker_gain(2500.0));
+  const double ratio_db =
+      20.0 * std::log10(pouch.speaker_gain(2500.0) / hard.speaker_gain(2500.0));
+  EXPECT_NEAR(ratio_db, 7.25, 2.0);  // ~6 dB extra insertion loss + slope
+}
+
+TEST(Device, OrientationLossGrowsWithAngle) {
+  DeviceProfile dev(DeviceModel::kGalaxyS9, 1);
+  const double g0 = dev.orientation_gain(0.0, 2500.0);
+  const double g90 = dev.orientation_gain(90.0, 2500.0);
+  const double g180 = dev.orientation_gain(180.0, 2500.0);
+  EXPECT_NEAR(g0, 1.0, 1e-12);
+  EXPECT_GT(g90, g180);
+  EXPECT_LT(20.0 * std::log10(g180), -5.0);  // several dB of shadowing
+}
+
+TEST(Device, WatchIsQuieterThanPhone) {
+  DeviceProfile phone(DeviceModel::kGalaxyS9, 1);
+  DeviceProfile watch(DeviceModel::kGalaxyWatch4, 1);
+  EXPECT_LT(watch.tx_level(), phone.tx_level());
+}
+
+TEST(Noise, SpectrumIsStrongestBelowOneKilohertz) {
+  // Fig. 4: noise amplitude high below 1 kHz, decaying tail to ~4.5 kHz.
+  NoiseParams np;
+  NoiseGenerator gen(np, 48000.0, 7);
+  const std::vector<double> nz = gen.generate(96000);
+  dsp::Psd psd = dsp::welch_psd(nz, 48000.0, 2048);
+  auto band_mean = [&](double lo, double hi) {
+    double acc = 0.0;
+    std::size_t cnt = 0;
+    for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
+      if (psd.freq_hz[k] < lo || psd.freq_hz[k] > hi) continue;
+      acc += psd.power[k];
+      ++cnt;
+    }
+    return acc / static_cast<double>(cnt);
+  };
+  const double low = band_mean(100.0, 900.0);
+  const double mid = band_mean(1500.0, 3000.0);
+  const double high = band_mean(8000.0, 12000.0);
+  EXPECT_GT(low, 5.0 * mid);
+  EXPECT_GT(mid, 5.0 * high);
+}
+
+TEST(Noise, LevelOffsetScalesRms) {
+  NoiseParams a;
+  NoiseParams b;
+  b.level_db = 9.0;  // the paper's cross-site spread
+  NoiseGenerator ga(a, 48000.0, 3);
+  NoiseGenerator gb(b, 48000.0, 3);
+  const double ra = dsp::rms(ga.generate(48000));
+  const double rb = dsp::rms(gb.generate(48000));
+  EXPECT_NEAR(20.0 * std::log10(rb / ra), 9.0, 1.5);
+}
+
+TEST(Noise, DeterministicPerSeed) {
+  NoiseParams np;
+  NoiseGenerator a(np, 48000.0, 11);
+  NoiseGenerator b(np, 48000.0, 11);
+  EXPECT_EQ(a.generate(1000), b.generate(1000));
+}
+
+TEST(Noise, BubbleBurstsAreImpulsive) {
+  NoiseParams np;
+  np.bubble_rate_hz = 10.0;
+  np.bubble_gain = 12.0;
+  NoiseGenerator gen(np, 48000.0, 5);
+  const std::vector<double> nz = gen.generate(96000);
+  double peak = 0.0;
+  for (double v : nz) peak = std::max(peak, std::abs(v));
+  const double r = dsp::rms(nz);
+  EXPECT_GT(peak / r, 6.0);  // crest factor far above Gaussian (~4)
+}
+
+TEST(Mobility, RmsAccelerationMatchesPaperReadings) {
+  // Numerically differentiate position twice and compare the RMS to the
+  // accelerometer readings (2.5 / 5.1 m/s^2).
+  for (auto [kind, expect] : {std::pair{MotionKind::kSlow, 2.5},
+                              std::pair{MotionKind::kFast, 5.1}}) {
+    MobilityModel m(kind, 77);
+    const double dt = 0.001;
+    double acc2 = 0.0;
+    const int n = 20000;
+    for (int i = 1; i + 1 < n; ++i) {
+      const double t = static_cast<double>(i) * dt;
+      const double a_h = (m.range_offset_m(t + dt) - 2.0 * m.range_offset_m(t) +
+                          m.range_offset_m(t - dt)) / (dt * dt);
+      const double a_v = (m.depth_offset_m(t + dt) - 2.0 * m.depth_offset_m(t) +
+                          m.depth_offset_m(t - dt)) / (dt * dt);
+      acc2 += a_h * a_h + a_v * a_v;
+    }
+    const double rms = std::sqrt(acc2 / static_cast<double>(n - 2));
+    EXPECT_NEAR(rms, expect, 0.45 * expect) << "kind " << static_cast<int>(kind);
+    EXPECT_NEAR(m.rms_acceleration(), expect, 1e-12);
+  }
+}
+
+TEST(Mobility, StaticMeansNoSwing) {
+  MobilityModel m(MotionKind::kStatic, 3);
+  EXPECT_NEAR(m.range_offset_m(1.0), 0.0, 1e-9);
+  EXPECT_NEAR(m.depth_offset_m(2.0), 0.0, 1e-9);
+}
+
+TEST(Environment, AllSixSitesExist) {
+  EXPECT_EQ(all_sites().size(), 6u);
+  for (Site s : all_sites()) {
+    const SitePreset p = site_preset(s);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.water_depth_m, 0.0);
+    EXPECT_GT(p.max_range_m, 0.0);
+  }
+  EXPECT_EQ(site_preset(Site::kBay).water_depth_m, 15.0);   // deepest
+  EXPECT_EQ(site_preset(Site::kMuseum).water_depth_m, 9.0);
+  EXPECT_GE(site_preset(Site::kBeach).max_range_m, 100.0);  // longest
+}
+
+TEST(Environment, LakeIsNoisiestAndMostCluttered) {
+  const SitePreset bridge = site_preset(Site::kBridge);
+  const SitePreset lake = site_preset(Site::kLake);
+  EXPECT_NEAR(lake.noise.level_db - bridge.noise.level_db, 9.0, 1e-9);
+  EXPECT_GT(lake.waveguide.scatterer_count, bridge.waveguide.scatterer_count);
+}
+
+TEST(UnderwaterChannel, SignalArrivesAfterBulkDelay) {
+  LinkConfig lc;
+  lc.range_m = 15.0;
+  lc.noise_enabled = false;
+  UnderwaterChannel ch(lc);
+  EXPECT_NEAR(ch.bulk_delay_s(), 15.0 / kSoundSpeedWater, 0.0025);
+  std::vector<double> pulse(200, 0.0);
+  pulse[0] = 1.0;
+  const std::vector<double> rx = ch.transmit(pulse, 0.01, 0.01);
+  // Nothing before lead-in + bulk delay (minus margin).
+  const std::size_t first_possible =
+      static_cast<std::size_t>((0.01 + ch.bulk_delay_s()) * 48000.0);
+  for (std::size_t i = 0; i < first_possible; ++i) {
+    EXPECT_NEAR(rx[i], 0.0, 1e-12);
+  }
+  EXPECT_GT(dsp::energy(rx), 0.0);
+}
+
+TEST(UnderwaterChannel, ReciprocityHoldsInAirButNotUnderwater) {
+  // Fig. 3c,d: forward/backward responses match in air, diverge in water.
+  auto response_diff_db = [](bool in_air) {
+    LinkConfig fwd;
+    fwd.range_m = 2.0;
+    fwd.in_air = in_air;
+    fwd.noise_enabled = false;
+    // Same model, two physical units — the paper's Fig. 3c,d setup.
+    fwd.tx_device = DeviceProfile(DeviceModel::kGalaxyS9, 1);
+    fwd.rx_device = DeviceProfile(DeviceModel::kGalaxyS9, 2);
+    UnderwaterChannel f(fwd);
+    UnderwaterChannel b(reverse_link(fwd));
+    double acc = 0.0;
+    int cnt = 0;
+    for (double freq = 1000.0; freq <= 3000.0; freq += 50.0) {
+      const double df = 20.0 * std::log10(
+          (f.frequency_response_mag(freq) + 1e-12) /
+          (b.frequency_response_mag(freq) + 1e-12));
+      acc += df * df;
+      ++cnt;
+    }
+    return std::sqrt(acc / cnt);
+  };
+  const double air = response_diff_db(true);
+  const double water = response_diff_db(false);
+  EXPECT_LT(air, 1.0);        // near-identical in air
+  EXPECT_GT(water, 3.0 * air);  // clearly different underwater
+}
+
+TEST(UnderwaterChannel, SnrFallsWithRange) {
+  double prev = 1e9;
+  for (double r : {5.0, 10.0, 20.0}) {
+    LinkConfig lc;
+    lc.range_m = r;
+    lc.seed = 5;
+    UnderwaterChannel ch(lc);
+    const double snr = ch.analytic_snr_db(2500.0, 1000.0, 4000.0);
+    EXPECT_LT(snr, prev) << "range " << r;
+    prev = snr;
+  }
+}
+
+TEST(UnderwaterChannel, MobilityMakesOutputTimeVarying) {
+  LinkConfig lc;
+  lc.range_m = 5.0;
+  lc.noise_enabled = false;
+  lc.motion = MotionKind::kFast;
+  lc.site = site_preset(Site::kLake);
+  UnderwaterChannel moving(lc);
+  lc.motion = MotionKind::kStatic;
+  LinkConfig static_cfg = lc;
+  static_cfg.site.surface_roughness = 0.0;
+  static_cfg.site.drift_mps = 0.0;
+  UnderwaterChannel still(static_cfg);
+  // A long tone through the moving channel shows amplitude modulation.
+  const std::vector<double> x = dsp::tone(2000.0, 1.0, 48000.0, 0.3);
+  auto envelope_var = [](const std::vector<double>& y) {
+    // RMS per 10 ms block.
+    std::vector<double> env;
+    for (std::size_t i = 0; i + 480 <= y.size(); i += 480) {
+      env.push_back(dsp::rms(std::span<const double>(y).subspan(i, 480)));
+    }
+    // Trim edges (lead-in/tail).
+    double mean = 0.0, var = 0.0;
+    const std::size_t lo = env.size() / 4, hi = 3 * env.size() / 4;
+    for (std::size_t i = lo; i < hi; ++i) mean += env[i];
+    mean /= static_cast<double>(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      var += (env[i] - mean) * (env[i] - mean);
+    }
+    return var / (mean * mean * static_cast<double>(hi - lo));
+  };
+  const double mv = envelope_var(moving.transmit(x));
+  const double sv = envelope_var(still.transmit(x));
+  EXPECT_GT(mv, 5.0 * sv);
+}
+
+TEST(UnderwaterChannel, RejectsNonPositiveRange) {
+  LinkConfig lc;
+  lc.range_m = 0.0;
+  EXPECT_THROW(UnderwaterChannel{lc}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::channel

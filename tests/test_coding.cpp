@@ -1,0 +1,213 @@
+// Convolutional codec, puncturing, interleaver, differential coding, CRC.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "coding/convolutional.h"
+#include "coding/crc.h"
+#include "coding/differential.h"
+#include "coding/interleaver.h"
+
+namespace aqua::coding {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1);
+  return bits;
+}
+
+TEST(Convolutional, CodedLengthMatchesRate) {
+  // 16 info bits at rate 2/3 with 6 tail bits: 22 * 3 / 2 = 33.
+  EXPECT_EQ(coded_length(16, CodeRate::kRate2_3), 33u);
+  EXPECT_EQ(coded_length(16, CodeRate::kRate1_2), 44u);
+  // Paper: "The size of our data packet is 16 bits, 24 bits after applying
+  // a 2/3 convolutional code" (tail bits excluded in their count):
+  EXPECT_EQ(coded_length(16, CodeRate::kRate2_3) -
+                coded_length(0, CodeRate::kRate2_3),
+            24u);
+}
+
+class ConvRoundTrip
+    : public ::testing::TestWithParam<std::tuple<CodeRate, std::size_t>> {};
+
+TEST_P(ConvRoundTrip, CleanChannelDecodesExactly) {
+  const auto [rate, nbits] = GetParam();
+  ConvolutionalCodec codec(rate);
+  const std::vector<std::uint8_t> info = random_bits(nbits, 42 + nbits);
+  const std::vector<std::uint8_t> coded = codec.encode(info);
+  EXPECT_EQ(coded.size(), coded_length(nbits, rate));
+  const std::vector<std::uint8_t> back = codec.decode_hard(coded, nbits);
+  EXPECT_EQ(back, info);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndLengths, ConvRoundTrip,
+    ::testing::Combine(::testing::Values(CodeRate::kRate1_2,
+                                         CodeRate::kRate2_3,
+                                         CodeRate::kRate3_4),
+                       ::testing::Values<std::size_t>(8, 16, 57, 128)));
+
+TEST(Convolutional, CorrectsScatteredHardErrors) {
+  ConvolutionalCodec codec(CodeRate::kRate2_3);
+  const std::vector<std::uint8_t> info = random_bits(64, 7);
+  std::vector<std::uint8_t> coded = codec.encode(info);
+  // Flip every 13th coded bit (~7.7% BER, well within 2/3 K=7 capability
+  // when errors are scattered).
+  for (std::size_t i = 5; i < coded.size(); i += 13) coded[i] ^= 1;
+  EXPECT_EQ(codec.decode_hard(coded, 64), info);
+}
+
+TEST(Convolutional, SoftDecisionsBeatHardOnWeakBits) {
+  ConvolutionalCodec codec(CodeRate::kRate2_3);
+  const std::vector<std::uint8_t> info = random_bits(64, 9);
+  const std::vector<std::uint8_t> coded = codec.encode(info);
+  // Build LLRs where flipped bits carry tiny confidence.
+  std::vector<double> llr(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const bool flip = (i % 9) == 4;
+    const double sign = coded[i] ? -1.0 : 1.0;
+    llr[i] = flip ? -0.05 * sign : sign;
+  }
+  EXPECT_EQ(codec.decode(llr, 64), info);
+}
+
+TEST(Convolutional, DecodeRejectsShortLlr) {
+  ConvolutionalCodec codec(CodeRate::kRate2_3);
+  std::vector<double> llr(5, 1.0);
+  EXPECT_THROW(codec.decode(llr, 16), std::invalid_argument);
+}
+
+TEST(Interleaver, IsAPermutationAndInvertible) {
+  for (std::size_t width : {1u, 2u, 3u, 5u, 19u, 60u}) {
+    SubcarrierInterleaver il(width);
+    const std::vector<std::uint8_t> bits = random_bits(width * 4, width);
+    const std::vector<std::uint8_t> inter = il.interleave(bits);
+    EXPECT_EQ(il.deinterleave(inter), bits) << "width " << width;
+  }
+}
+
+TEST(Interleaver, PartialFinalSymbolRoundTrips) {
+  SubcarrierInterleaver il(20);
+  const std::vector<std::uint8_t> bits = random_bits(33, 5);  // 20 + 13
+  EXPECT_EQ(il.deinterleave(il.interleave(bits)), bits);
+}
+
+TEST(Interleaver, SpreadsAdjacentBitsApart) {
+  // The paper's rule: within a symbol, successive coded bits sit about
+  // L/3 subcarriers apart so adjacent-subcarrier fades do not produce
+  // consecutive bit errors.
+  SubcarrierInterleaver il(60);
+  const auto& order = il.order();
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const std::size_t a = order[i];
+    const std::size_t b = order[i + 1];
+    const std::size_t dist = a > b ? a - b : b - a;
+    EXPECT_GE(std::min(dist, 60 - dist), 2u) << "positions " << i;
+  }
+}
+
+TEST(Interleaver, FewerThanThreeBinsIsIdentity) {
+  SubcarrierInterleaver il2(2);
+  EXPECT_EQ(il2.order(), (std::vector<std::size_t>{0, 1}));
+  SubcarrierInterleaver il1(1);
+  EXPECT_EQ(il1.order(), (std::vector<std::size_t>{0}));
+}
+
+TEST(Interleaver, SoftDeinterleaveMatchesHard) {
+  SubcarrierInterleaver il(19);
+  const std::vector<std::uint8_t> bits = random_bits(19 * 3, 3);
+  const std::vector<std::uint8_t> inter = il.interleave(bits);
+  std::vector<double> soft(inter.size());
+  for (std::size_t i = 0; i < inter.size(); ++i) {
+    soft[i] = inter[i] ? -1.0 : 1.0;
+  }
+  const std::vector<double> de = il.deinterleave(soft);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(de[i] < 0.0, bits[i] == 1);
+  }
+}
+
+TEST(Differential, EncodeXorsAcrossSymbols) {
+  const std::vector<std::uint8_t> bits = {1, 0, 0, 1};  // 2 symbols x 2 bins
+  const std::vector<std::uint8_t> abs = differential_encode(bits, 2);
+  ASSERT_EQ(abs.size(), 6u);
+  EXPECT_EQ(abs[0], 0);  // reference row
+  EXPECT_EQ(abs[1], 0);
+  EXPECT_EQ(abs[2], 1);  // 0 ^ 1
+  EXPECT_EQ(abs[3], 0);  // 0 ^ 0
+  EXPECT_EQ(abs[4], 1);  // 1 ^ 0
+  EXPECT_EQ(abs[5], 1);  // 0 ^ 1
+}
+
+TEST(Differential, DecodeCancelsChannelRotation) {
+  const std::vector<std::uint8_t> bits = random_bits(60 * 5, 31);
+  const std::vector<std::uint8_t> abs = differential_encode(bits, 60);
+  // Apply an arbitrary static per-bin channel rotation + gain.
+  std::vector<dsp::cplx> rx(abs.size());
+  for (std::size_t r = 0; r < abs.size() / 60; ++r) {
+    for (std::size_t k = 0; k < 60; ++k) {
+      const double phase = 0.1 * static_cast<double>(k) + 1.0;
+      const double gain = 0.5 + 0.02 * static_cast<double>(k);
+      const dsp::cplx h = gain * dsp::cplx{std::cos(phase), std::sin(phase)};
+      const double bpsk = abs[r * 60 + k] ? -1.0 : 1.0;
+      rx[r * 60 + k] = h * bpsk;
+    }
+  }
+  EXPECT_EQ(differential_decode(rx, 60), bits);
+}
+
+TEST(Differential, SlowRotationWithinCoherenceIsHarmless) {
+  // Channel phase drifting 0.1 rad per symbol: differential decoding still
+  // recovers every bit (coherence time >> one symbol).
+  const std::vector<std::uint8_t> bits = random_bits(20 * 10, 33);
+  const std::vector<std::uint8_t> abs = differential_encode(bits, 20);
+  std::vector<dsp::cplx> rx(abs.size());
+  for (std::size_t r = 0; r < abs.size() / 20; ++r) {
+    const double drift = 0.1 * static_cast<double>(r);
+    for (std::size_t k = 0; k < 20; ++k) {
+      const double bpsk = abs[r * 20 + k] ? -1.0 : 1.0;
+      rx[r * 20 + k] =
+          dsp::cplx{std::cos(drift), std::sin(drift)} * bpsk;
+    }
+  }
+  EXPECT_EQ(differential_decode(rx, 20), bits);
+}
+
+TEST(Differential, RejectsRaggedInput) {
+  std::vector<std::uint8_t> bits(7);
+  EXPECT_THROW(differential_encode(bits, 3), std::invalid_argument);
+}
+
+TEST(Crc, DetectsSingleBitFlips) {
+  const std::vector<std::uint8_t> payload = random_bits(24, 55);
+  std::vector<std::uint8_t> framed = append_crc8(payload);
+  EXPECT_EQ(framed.size(), 32u);
+  bool ok = false;
+  EXPECT_EQ(check_crc8(framed, &ok), payload);
+  EXPECT_TRUE(ok);
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    std::vector<std::uint8_t> corrupted = framed;
+    corrupted[i] ^= 1;
+    check_crc8(corrupted, &ok);
+    EXPECT_FALSE(ok) << "flip at " << i;
+  }
+}
+
+TEST(Crc, Crc16DiffersForDifferentInputs) {
+  const std::vector<std::uint8_t> a = random_bits(40, 1);
+  std::vector<std::uint8_t> b = a;
+  b[7] ^= 1;
+  EXPECT_NE(crc16(a), crc16(b));
+}
+
+TEST(Crc, TooShortInputFailsCleanly) {
+  std::vector<std::uint8_t> bits(4, 1);
+  bool ok = true;
+  EXPECT_TRUE(check_crc8(bits, &ok).empty());
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace aqua::coding

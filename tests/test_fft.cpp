@@ -1,0 +1,144 @@
+// FFT correctness: against a naive DFT, roundtrips, Parseval, and the
+// Bluestein path used by the 960-point OFDM symbol.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dsp/fft.h"
+
+namespace aqua::dsp {
+namespace {
+
+std::vector<cplx> naive_dft(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double a = -kTwoPi * static_cast<double>(k) *
+                       static_cast<double>(t) / static_cast<double>(n);
+      acc += x[t] * cplx{std::cos(a), std::sin(a)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = {g(rng), g(rng)};
+  return x;
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const std::vector<cplx> x = random_signal(n, 17 + n);
+  const std::vector<cplx> expect = naive_dft(x);
+  const std::vector<cplx> got = fft(x);
+  ASSERT_EQ(got.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(got[k].real(), expect[k].real(), 1e-8 * static_cast<double>(n))
+        << "bin " << k;
+    EXPECT_NEAR(got[k].imag(), expect[k].imag(), 1e-8 * static_cast<double>(n))
+        << "bin " << k;
+  }
+}
+
+TEST_P(FftSizeTest, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const std::vector<cplx> x = random_signal(n, 99 + n);
+  const std::vector<cplx> back = ifft(fft(x));
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(back[k].real(), x[k].real(), 1e-9);
+    EXPECT_NEAR(back[k].imag(), x[k].imag(), 1e-9);
+  }
+}
+
+TEST_P(FftSizeTest, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  const std::vector<cplx> x = random_signal(n, 7 + n);
+  const std::vector<cplx> spec = fft(x);
+  double t_energy = 0.0, f_energy = 0.0;
+  for (const cplx& v : x) t_energy += std::norm(v);
+  for (const cplx& v : spec) f_energy += std::norm(v);
+  EXPECT_NEAR(f_energy, t_energy * static_cast<double>(n),
+              1e-6 * f_energy + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 8, 15, 16, 60,
+                                                        64, 100, 256, 480, 960,
+                                                        1027, 1920, 4800));
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cplx> x(960, cplx{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const std::vector<cplx> spec = fft(x);
+  for (const cplx& v : spec) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-9);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  // 50 Hz spacing at 48 kHz: bin 20 = 1 kHz.
+  const std::size_t n = 960;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(kTwoPi * 1000.0 * static_cast<double>(i) / 48000.0);
+  }
+  const std::vector<cplx> spec = fft_real(x);
+  EXPECT_NEAR(std::abs(spec[20]), static_cast<double>(n) / 2.0, 1e-6);
+  EXPECT_NEAR(std::abs(spec[21]), 0.0, 1e-6);
+  EXPECT_NEAR(std::abs(spec[19]), 0.0, 1e-6);
+}
+
+TEST(Fft, LinearityHolds) {
+  const std::vector<cplx> a = random_signal(100, 1);
+  const std::vector<cplx> b = random_signal(100, 2);
+  std::vector<cplx> sum(100);
+  for (std::size_t i = 0; i < 100; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  const std::vector<cplx> fa = fft(a);
+  const std::vector<cplx> fb = fft(b);
+  const std::vector<cplx> fsum = fft(sum);
+  for (std::size_t k = 0; k < 100; ++k) {
+    const cplx expect = 2.0 * fa[k] + 3.0 * fb[k];
+    EXPECT_NEAR(std::abs(fsum[k] - expect), 0.0, 1e-8);
+  }
+}
+
+TEST(Fft, RealInverseRecoversRealSignal) {
+  std::mt19937_64 rng(4);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> x(960);
+  for (auto& v : x) v = g(rng);
+  const std::vector<double> back = ifft_real(fft_real(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+TEST(Fft, PlanRejectsZeroSize) {
+  EXPECT_THROW(FftPlan(0), std::invalid_argument);
+}
+
+TEST(Fft, PlanRejectsMismatchedBuffers) {
+  FftPlan plan(16);
+  std::vector<cplx> in(8), out(16);
+  EXPECT_THROW(plan.forward(in, out), std::invalid_argument);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(960), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+}  // namespace
+}  // namespace aqua::dsp

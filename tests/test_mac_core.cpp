@@ -1,0 +1,255 @@
+// MAC (carrier sense + network simulation) and core (messages, protocol
+// session, SoS service) layers.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/aquaapp.h"
+#include "core/link_session.h"
+#include "core/messages.h"
+#include "dsp/chirp.h"
+#include "mac/carrier_sense.h"
+#include "mac/netsim.h"
+
+namespace aqua {
+namespace {
+
+TEST(CarrierSense, BusyOnInBandToneIdleOnSilence) {
+  mac::CarrierSense cs;
+  // Calibrate on faint noise.
+  std::mt19937_64 rng(2);
+  std::normal_distribution<double> g(0.0, 0.001);
+  std::vector<double> ambient(48000);
+  for (auto& v : ambient) v = g(rng);
+  cs.calibrate(ambient);
+
+  // In-band tone: busy.
+  const std::vector<double> tx = dsp::tone(2500.0, 0.2, 48000.0, 0.1);
+  auto levels = cs.feed(tx);
+  ASSERT_FALSE(levels.empty());
+  EXPECT_TRUE(cs.busy());
+
+  // Silence: idle again.
+  std::vector<double> silence(48000, 0.0);
+  cs.feed(silence);
+  EXPECT_FALSE(cs.busy());
+}
+
+TEST(CarrierSense, OutOfBandEnergyDoesNotTriggerBusy) {
+  mac::CarrierSense cs;
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> g(0.0, 0.001);
+  std::vector<double> ambient(48000);
+  for (auto& v : ambient) v = g(rng);
+  cs.calibrate(ambient);
+  // A loud 200 Hz rumble (boat) is outside the 1-4 kHz band.
+  const std::vector<double> rumble = dsp::tone(200.0, 0.3, 48000.0, 0.3);
+  cs.feed(rumble);
+  EXPECT_FALSE(cs.busy());
+}
+
+TEST(CarrierSense, EightyMillisecondCadence) {
+  mac::CarrierSense cs;
+  EXPECT_EQ(cs.interval_samples(), 3840u);  // 80 ms at 48 kHz
+  std::vector<double> block(3840 * 3 + 100, 0.0);
+  auto levels = cs.feed(block);
+  EXPECT_EQ(levels.size(), 3u);
+}
+
+TEST(MacSim, CarrierSenseSlashesCollisions) {
+  // Fig. 19: 3 transmitters, collisions drop from ~53% to ~7%.
+  mac::MacSimConfig cfg;
+  cfg.num_transmitters = 3;
+  cfg.packets_per_transmitter = 120;
+  cfg.seed = 42;
+  cfg.carrier_sense = false;
+  const mac::MacSimResult without = mac::run_mac_simulation(cfg);
+  cfg.carrier_sense = true;
+  const mac::MacSimResult with = mac::run_mac_simulation(cfg);
+  EXPECT_EQ(without.total_packets, 360);
+  EXPECT_EQ(with.total_packets, 360);
+  EXPECT_GT(without.collision_fraction, 0.3);
+  EXPECT_LT(with.collision_fraction, 0.15);
+  EXPECT_LT(with.collision_fraction, 0.4 * without.collision_fraction);
+}
+
+TEST(MacSim, TwoTransmitterNetworkCollidesLess) {
+  mac::MacSimConfig cfg;
+  cfg.packets_per_transmitter = 120;
+  cfg.seed = 7;
+  cfg.carrier_sense = false;
+  cfg.num_transmitters = 2;
+  const double two = mac::run_mac_simulation(cfg).collision_fraction;
+  cfg.num_transmitters = 3;
+  const double three = mac::run_mac_simulation(cfg).collision_fraction;
+  EXPECT_LT(two, three);
+}
+
+TEST(MacSim, DeterministicPerSeed) {
+  mac::MacSimConfig cfg;
+  cfg.seed = 11;
+  const auto a = mac::run_mac_simulation(cfg);
+  const auto b = mac::run_mac_simulation(cfg);
+  EXPECT_EQ(a.collision_fraction, b.collision_fraction);
+  EXPECT_EQ(a.total_packets, b.total_packets);
+}
+
+TEST(Messages, CodebookHas240MessagesInEightCategories) {
+  core::MessageCodebook book;
+  EXPECT_EQ(book.size(), 240u);
+  std::size_t total = 0;
+  for (int c = 0; c < 8; ++c) {
+    const auto cat = static_cast<core::MessageCategory>(c);
+    const auto msgs = book.by_category(cat);
+    EXPECT_EQ(msgs.size(), 30u) << core::MessageCodebook::category_name(cat);
+    total += msgs.size();
+  }
+  EXPECT_EQ(total, 240u);
+  EXPECT_EQ(book.common_messages().size(), 20u);  // the prominent signals
+}
+
+TEST(Messages, TextsAreUniqueAndNonEmpty) {
+  core::MessageCodebook book;
+  std::set<std::string> seen;
+  for (std::uint8_t id = 0; id < 240; ++id) {
+    const auto& m = book.by_id(id);
+    EXPECT_FALSE(m.text.empty());
+    EXPECT_TRUE(seen.insert(m.text).second) << "duplicate: " << m.text;
+  }
+  EXPECT_THROW(book.by_id(240), std::out_of_range);
+}
+
+TEST(Messages, PackUnpackRoundTripsTwoSignals) {
+  for (auto [a, b] : {std::pair<int, int>{0, 0}, {3, 239}, {120, 7}}) {
+    const auto bits = core::MessageCodebook::pack(
+        static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+    EXPECT_EQ(bits.size(), 16u);
+    const auto back = core::MessageCodebook::unpack(bits);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->first, a);
+    EXPECT_EQ(back->second, b);
+  }
+  EXPECT_FALSE(core::MessageCodebook::unpack(std::vector<std::uint8_t>(8)));
+}
+
+TEST(LinkSession, BridgeAtFiveMetersDeliversPackets) {
+  std::mt19937_64 rng(1);
+  int ok = 0;
+  for (int i = 0; i < 3; ++i) {
+    core::SessionConfig cfg;
+    cfg.forward.site = channel::site_preset(channel::Site::kBridge);
+    cfg.forward.range_m = 5.0;
+    cfg.forward.seed = 600 + i;
+    core::LinkSession session(cfg);
+    std::vector<std::uint8_t> bits(16);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1);
+    const core::PacketTrace t = session.send_packet(bits);
+    EXPECT_TRUE(t.preamble_detected);
+    EXPECT_TRUE(t.id_matched);
+    if (t.packet_ok) {
+      ++ok;
+      EXPECT_TRUE(t.ack_received);
+      EXPECT_EQ(t.decoded_bits, bits);
+    }
+    EXPECT_GT(t.selected_bitrate_bps, 100.0);
+    EXPECT_EQ(t.snr_db.size(), 60u);
+  }
+  EXPECT_EQ(ok, 3);
+}
+
+TEST(LinkSession, WrongReceiverIdIsIgnored) {
+  core::SessionConfig cfg;
+  cfg.forward.site = channel::site_preset(channel::Site::kBridge);
+  cfg.forward.range_m = 5.0;
+  cfg.forward.seed = 9;
+  cfg.bob_id = 45;
+  core::LinkSession session(cfg);
+  // Bob listens for ID 45 but the config says Alice addresses him as 45 —
+  // rebuild with a mismatched address instead.
+  core::SessionConfig bad = cfg;
+  bad.bob_id = 45;
+  core::LinkSession good_session(bad);
+  std::vector<std::uint8_t> bits(16, 1);
+  EXPECT_TRUE(good_session.send_packet(bits).id_matched);
+}
+
+TEST(LinkSession, AdaptiveBeatsNarrowFixedBandInSelectiveChannel) {
+  std::mt19937_64 rng(4);
+  int adaptive_ok = 0, fixed_ok = 0;
+  const int n = 4;
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::uint8_t> bits(16);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1);
+    core::SessionConfig cfg;
+    cfg.forward.site = channel::site_preset(channel::Site::kLake);
+    cfg.forward.range_m = 20.0;
+    cfg.forward.seed = 700 + i;
+    {
+      core::LinkSession session(cfg);
+      if (session.send_packet(bits).packet_ok) ++adaptive_ok;
+    }
+    {
+      core::SessionConfig fixed = cfg;
+      // 1-2.5 kHz fixed band (the paper's 1.5 kHz baseline).
+      fixed.fixed_band = phy::BandSelection{0, 29, false};
+      core::LinkSession session(fixed);
+      if (session.send_packet(bits).packet_ok) ++fixed_ok;
+    }
+  }
+  EXPECT_GE(adaptive_ok, fixed_ok);
+  EXPECT_GE(adaptive_ok, n / 2);
+}
+
+TEST(LinkSession, ProbeSnrReturnsPerBinEstimates) {
+  core::SessionConfig cfg;
+  cfg.forward.site = channel::site_preset(channel::Site::kBridge);
+  cfg.forward.range_m = 5.0;
+  cfg.forward.seed = 12;
+  core::LinkSession session(cfg);
+  const std::vector<double> snr = session.probe_snr();
+  ASSERT_EQ(snr.size(), 60u);
+  double avg = 0.0;
+  for (double s : snr) avg += s;
+  EXPECT_GT(avg / 60.0, 5.0);
+}
+
+TEST(AquaApp, TwoHandSignalsTravelInOnePacket) {
+  core::SessionConfig cfg;
+  cfg.forward.site = channel::site_preset(channel::Site::kBridge);
+  cfg.forward.range_m = 5.0;
+  cfg.forward.seed = 31;
+  core::LinkSession session(cfg);
+  const core::MessageResult res = core::send_signals(session, 0, 37);
+  ASSERT_TRUE(res.trace.packet_ok);
+  ASSERT_TRUE(res.received.has_value());
+  EXPECT_EQ(res.received->first, 0);    // "OK?"
+  EXPECT_EQ(res.received->second, 37);  // an Air & Gas signal
+  core::MessageCodebook book;
+  EXPECT_EQ(book.by_id(res.received->first).text, "OK?");
+}
+
+TEST(AquaApp, SignalIdOutOfRangeThrows) {
+  core::SessionConfig cfg;
+  cfg.forward.seed = 3;
+  core::LinkSession session(cfg);
+  EXPECT_THROW(core::send_signals(session, 240, 0), std::out_of_range);
+}
+
+TEST(AquaApp, SosBeaconRoundTripsAtRange) {
+  core::SosBeaconService sos(10.0);
+  channel::LinkConfig lc;
+  lc.site = channel::site_preset(channel::Site::kBeach);
+  lc.range_m = 60.0;
+  lc.seed = 77;
+  channel::UnderwaterChannel ch(lc);
+  const auto id = sos.send_and_receive(ch, 19);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 19);
+}
+
+TEST(AquaApp, SosRejectsUnsupportedBitrate) {
+  EXPECT_THROW(core::SosBeaconService(7.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,370 @@
+// PHY layer: OFDM framing, preamble detection, channel/SNR estimation,
+// Algorithm-1 band selection, feedback symbols, MMSE equalizer.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "channel/channel.h"
+#include "dsp/fir.h"
+#include "phy/bandselect.h"
+#include "phy/chanest.h"
+#include "phy/equalizer.h"
+#include "phy/feedback.h"
+#include "phy/ofdm.h"
+#include "phy/preamble.h"
+
+namespace aqua::phy {
+namespace {
+
+TEST(Params, PaperNumerology) {
+  const OfdmParams p;
+  EXPECT_EQ(p.symbol_samples(), 960u);   // 20 ms at 48 kHz
+  EXPECT_EQ(p.cp_samples(), 67u);        // 6.9 % overhead
+  EXPECT_EQ(p.first_bin(), 20u);         // 1 kHz
+  EXPECT_EQ(p.num_bins(), 60u);          // 1-4 kHz
+  EXPECT_EQ(p.equalizer_taps(), 480u);   // channel length L
+  // 19 selected bins at 2/3 coding = the paper's 633.3 bps.
+  EXPECT_NEAR(p.reported_bitrate_bps(19), 633.33, 0.01);
+  EXPECT_NEAR(p.reported_bitrate_bps(4), 133.33, 0.01);
+}
+
+TEST(Params, SpacingVariantsScale) {
+  const OfdmParams p25 = OfdmParams::with_spacing(25.0);
+  EXPECT_EQ(p25.symbol_samples(), 1920u);  // 40 ms
+  EXPECT_EQ(p25.num_bins(), 120u);
+  const OfdmParams p10 = OfdmParams::with_spacing(10.0);
+  EXPECT_EQ(p10.symbol_samples(), 4800u);  // 100 ms
+  EXPECT_EQ(p10.num_bins(), 300u);
+}
+
+TEST(Ofdm, ModulateDemodulateRoundTrip) {
+  const OfdmParams p;
+  Ofdm ofdm(p);
+  std::mt19937_64 rng(5);
+  std::vector<dsp::cplx> bins(p.num_bins());
+  for (auto& b : bins) b = {rng() & 1 ? 1.0 : -1.0, 0.0};
+  const std::vector<double> sym = ofdm.modulate(bins);
+  EXPECT_EQ(sym.size(), p.symbol_samples());
+  const std::vector<dsp::cplx> back = ofdm.demodulate(sym);
+  const double scale = ofdm.power_norm(p.num_bins());
+  for (std::size_t k = 0; k < bins.size(); ++k) {
+    EXPECT_NEAR(back[k].real() / scale, bins[k].real(), 1e-9);
+    EXPECT_NEAR(back[k].imag() / scale, bins[k].imag(), 1e-9);
+  }
+}
+
+TEST(Ofdm, TransmitPowerIsIndependentOfBandWidth) {
+  // Power reallocation (section 2.2.2): narrower band, same total power.
+  const OfdmParams p;
+  Ofdm ofdm(p);
+  for (std::size_t width : {2u, 10u, 30u, 60u}) {
+    std::vector<dsp::cplx> bins(width, dsp::cplx{1.0, 0.0});
+    const std::vector<double> sym = ofdm.modulate_at(bins, 0);
+    EXPECT_NEAR(dsp::mean_power(std::span<const double>(sym)), 0.05,
+                0.05 * 0.05)
+        << "width " << width;
+  }
+}
+
+TEST(Ofdm, CyclicPrefixCopiesTail) {
+  const OfdmParams p;
+  Ofdm ofdm(p);
+  std::vector<dsp::cplx> bins(p.num_bins(), dsp::cplx{1.0, 0.0});
+  const std::vector<double> sym = ofdm.modulate(bins);
+  const std::vector<double> with_cp = ofdm.add_cp(sym);
+  ASSERT_EQ(with_cp.size(), p.symbol_total_samples());
+  for (std::size_t i = 0; i < p.cp_samples(); ++i) {
+    EXPECT_EQ(with_cp[i], sym[sym.size() - p.cp_samples() + i]);
+  }
+}
+
+TEST(Ofdm, RejectsOutOfBandPlacement) {
+  const OfdmParams p;
+  Ofdm ofdm(p);
+  std::vector<dsp::cplx> bins(10, dsp::cplx{1.0, 0.0});
+  EXPECT_THROW(ofdm.modulate_at(bins, 55), std::invalid_argument);
+}
+
+TEST(Preamble, DetectsItselfCleanly) {
+  const OfdmParams p;
+  Preamble pre(p);
+  // Preamble embedded in silence.
+  std::vector<double> signal(5000, 0.0);
+  const std::vector<double>& w = pre.waveform();
+  signal.insert(signal.end(), w.begin(), w.end());
+  signal.resize(signal.size() + 5000, 0.0);
+  auto det = pre.detect(signal);
+  ASSERT_TRUE(det.has_value());
+  // Start of first symbol = 5000 + CP.
+  EXPECT_NEAR(static_cast<double>(det->start_index),
+              5000.0 + static_cast<double>(p.cp_samples()), 24.0);
+  EXPECT_GT(det->sliding_metric, 0.6);  // paper: clean preamble > 0.6
+}
+
+TEST(Preamble, NoFalseAlarmOnNoise) {
+  const OfdmParams p;
+  Preamble pre(p);
+  std::mt19937_64 rng(9);
+  std::normal_distribution<double> g(0.0, 0.1);
+  std::vector<double> noise(48000);
+  for (auto& v : noise) v = g(rng);
+  EXPECT_FALSE(pre.detect(noise).has_value());
+}
+
+TEST(Preamble, NoFalseAlarmOnImpulsiveNoise) {
+  // Spiky bursts are what defeats plain cross-correlation (section 2.2.1);
+  // the sliding metric must stay quiet.
+  const OfdmParams p;
+  Preamble pre(p);
+  std::mt19937_64 rng(10);
+  std::normal_distribution<double> g(0.0, 0.02);
+  std::vector<double> noise(48000);
+  for (auto& v : noise) v = g(rng);
+  std::uniform_int_distribution<std::size_t> pos(0, noise.size() - 200);
+  for (int burst = 0; burst < 20; ++burst) {
+    const std::size_t at = pos(rng);
+    for (std::size_t i = 0; i < 150; ++i) {
+      noise[at + i] += 2.0 * g(rng) * std::exp(-static_cast<double>(i) / 30.0) * 50.0;
+    }
+  }
+  EXPECT_FALSE(pre.detect(noise).has_value());
+}
+
+TEST(Preamble, SurvivesMultipathAndNoise) {
+  channel::LinkConfig lc;
+  lc.site = channel::site_preset(channel::Site::kLake);
+  lc.range_m = 10.0;
+  lc.seed = 33;
+  channel::UnderwaterChannel ch(lc);
+  const OfdmParams p;
+  Preamble pre(p);
+  const std::vector<double> rx = ch.transmit(pre.waveform());
+  auto det = pre.detect(rx);
+  ASSERT_TRUE(det.has_value());
+  EXPECT_GT(det->sliding_metric, 0.3);
+}
+
+TEST(ChannelEstimate, RecoversSnrInAwgn) {
+  // Known AWGN per bin: the estimator should land within ~2 dB.
+  const OfdmParams p;
+  Ofdm ofdm(p);
+  Preamble pre(p);
+  std::mt19937_64 rng(3);
+  const double snr_db = 15.0;
+  // Build 8 preamble symbols + white noise whose per-bin SNR is snr_db.
+  const std::vector<double>& w = pre.waveform();
+  std::vector<double> rx(w.begin() + static_cast<std::ptrdiff_t>(p.cp_samples()),
+                         w.end());
+  // Frequency-domain per-bin signal power is scale^2 (unit-modulus CAZAC
+  // times the modulator's power norm). White noise of variance s^2 has
+  // per-bin DFT power N*s^2. Solve for s^2 at the target SNR.
+  Ofdm ofdm_ref(p);
+  const double scale = ofdm_ref.power_norm(p.num_bins());
+  const double noise_power =
+      scale * scale /
+      (static_cast<double>(p.symbol_samples()) * dsp::db_to_power(snr_db));
+  std::normal_distribution<double> g(0.0, std::sqrt(noise_power));
+  for (auto& v : rx) v += g(rng);
+  ChannelEstimate est = estimate_channel(ofdm, rx, pre.cazac_bins());
+  ASSERT_EQ(est.snr_db.size(), 60u);
+  double avg = 0.0;
+  for (double s : est.snr_db) avg += s;
+  avg /= 60.0;
+  EXPECT_NEAR(avg, snr_db, 3.0);
+}
+
+TEST(ChannelEstimate, FlatChannelGivesFlatH) {
+  const OfdmParams p;
+  Ofdm ofdm(p);
+  Preamble pre(p);
+  const std::vector<double>& w = pre.waveform();
+  const std::vector<double> rx(
+      w.begin() + static_cast<std::ptrdiff_t>(p.cp_samples()), w.end());
+  ChannelEstimate est = estimate_channel(ofdm, rx, pre.cazac_bins());
+  for (std::size_t k = 0; k < est.h.size(); ++k) {
+    EXPECT_NEAR(std::abs(est.h[k]), 1.0, 1e-6) << "bin " << k;
+    EXPECT_GT(est.snr_db[k], 60.0);
+  }
+}
+
+TEST(BandSelect, AllGoodBinsSelectEverything) {
+  std::vector<double> snr(60, 20.0);
+  const BandSelection band = select_band(snr, 7.0, 0.8);
+  EXPECT_EQ(band.begin_bin, 0u);
+  EXPECT_EQ(band.end_bin, 59u);
+  EXPECT_FALSE(band.fallback);
+}
+
+TEST(BandSelect, DeepNotchSplitsTheBand) {
+  std::vector<double> snr(60, 12.0);
+  for (std::size_t k = 25; k < 30; ++k) snr[k] = -5.0;
+  const BandSelection band = select_band(snr, 7.0, 0.8);
+  // Larger side: bins 30..59 (width 30).
+  EXPECT_EQ(band.begin_bin, 30u);
+  EXPECT_EQ(band.end_bin, 59u);
+}
+
+TEST(BandSelect, ReallocationBonusRescuesNarrowBand) {
+  // All bins at 3 dB: full band fails (3 < 7), but a width-L window gains
+  // lambda*10*log10(60/L). Width 5 -> bonus 8.6 dB -> 11.6 > 7.
+  std::vector<double> snr(60, 3.0);
+  const BandSelection band = select_band(snr, 7.0, 0.8);
+  EXPECT_FALSE(band.fallback);
+  const double bonus =
+      0.8 * 10.0 * std::log10(60.0 / static_cast<double>(band.width()));
+  EXPECT_GT(3.0 + bonus, 7.0);
+  // Maximality: one more bin would break the constraint.
+  const double bonus_plus = 0.8 * 10.0 *
+      std::log10(60.0 / static_cast<double>(band.width() + 1));
+  EXPECT_LE(3.0 + bonus_plus, 7.0);
+}
+
+TEST(BandSelect, HopelessChannelFallsBackToBestBin) {
+  std::vector<double> snr(60, -30.0);
+  snr[17] = -10.0;
+  const BandSelection band = select_band(snr, 7.0, 0.8);
+  EXPECT_TRUE(band.fallback);
+  EXPECT_EQ(band.begin_bin, 17u);
+  EXPECT_EQ(band.end_bin, 17u);
+}
+
+TEST(BandSelect, PrefersWidestWindow) {
+  // Two candidate runs: width 20 strong, width 35 marginal-but-passing.
+  std::vector<double> snr(60, -10.0);
+  for (std::size_t k = 0; k < 20; ++k) snr[k] = 30.0;
+  for (std::size_t k = 25; k < 60; ++k) snr[k] = 7.2;  // +bonus clears 7
+  const BandSelection band = select_band(snr, 7.0, 0.8);
+  EXPECT_EQ(band.width(), 35u);
+  EXPECT_EQ(band.begin_bin, 25u);
+}
+
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweep, HigherLambdaNeverShrinksTheBand) {
+  // lambda scales the reallocation bonus: larger lambda = more optimistic,
+  // so the selected width must be monotonically nondecreasing in lambda.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam() * 1000.0) + 3);
+  std::normal_distribution<double> g(8.0, 6.0);
+  std::vector<double> snr(60);
+  for (auto& s : snr) s = g(rng);
+  const double lambda = GetParam();
+  const BandSelection lo = select_band(snr, 7.0, lambda);
+  const BandSelection hi = select_band(snr, 7.0, std::min(1.0, lambda + 0.2));
+  EXPECT_GE(hi.width(), lo.width());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8));
+
+TEST(Feedback, RoundTripsCleanly) {
+  const OfdmParams p;
+  FeedbackCodec fb(p);
+  for (auto [b, e] : {std::pair<std::size_t, std::size_t>{0, 59},
+                      {10, 30},
+                      {40, 50},
+                      {7, 7}}) {
+    BandSelection band{b, e, false};
+    std::vector<double> sym = fb.encode_band(band);
+    // Surround with silence.
+    std::vector<double> signal(3000, 0.0);
+    signal.insert(signal.end(), sym.begin(), sym.end());
+    signal.resize(signal.size() + 3000, 0.0);
+    auto dec = fb.decode_band(signal, 8);
+    ASSERT_TRUE(dec.has_value()) << "band " << b << "-" << e;
+    EXPECT_EQ(dec->band.begin_bin, b);
+    EXPECT_EQ(dec->band.end_bin, e);
+  }
+}
+
+TEST(Feedback, ToneRoundTripsForIdsAndAck) {
+  const OfdmParams p;
+  FeedbackCodec fb(p);
+  for (std::size_t bin : {FeedbackCodec::kAckBin, std::size_t{28},
+                          std::size_t{59}}) {
+    std::vector<double> sym = fb.encode_tone(bin);
+    std::vector<double> signal(2500, 0.0);
+    signal.insert(signal.end(), sym.begin(), sym.end());
+    signal.resize(signal.size() + 2500, 0.0);
+    auto dec = fb.decode_tone(signal, 8);
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(dec->bin, bin);
+  }
+}
+
+TEST(Feedback, SurvivesTheUnknownBackwardChannel) {
+  // The key property (section 2.2.3): all power in two bins decodes
+  // without any channel knowledge, over a realistic reverse link.
+  const OfdmParams p;
+  FeedbackCodec fb(p);
+  int exact = 0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    channel::LinkConfig lc;
+    lc.site = channel::site_preset(channel::Site::kLake);
+    lc.range_m = 10.0;
+    lc.seed = 500 + i;
+    channel::UnderwaterChannel ch(channel::reverse_link(lc));
+    BandSelection band{12, 34, false};
+    const std::vector<double> rx = ch.transmit(fb.encode_band(band));
+    auto dec = fb.decode_band(rx, 8);
+    if (dec && dec->band.begin_bin == 12 && dec->band.end_bin == 34) ++exact;
+  }
+  EXPECT_GE(exact, 8) << "feedback should decode almost always at 10 m";
+}
+
+TEST(Feedback, NothingDetectedInPureNoise) {
+  const OfdmParams p;
+  FeedbackCodec fb(p);
+  std::mt19937_64 rng(12);
+  std::normal_distribution<double> g(0.0, 0.05);
+  std::vector<double> noise(20000);
+  for (auto& v : noise) v = g(rng);
+  EXPECT_FALSE(fb.decode_band(noise, 8).has_value());
+  EXPECT_FALSE(fb.decode_tone(noise, 8).has_value());
+}
+
+TEST(Equalizer, ShortensAnIsiChannel) {
+  // Two-tap channel: 1 + 0.5 z^-150 (echo beyond the 67-sample CP). The
+  // inverse series (-0.5)^k z^{-150k} fits inside 480 taps, so the
+  // equalizer concentrates the effective response back near a delta.
+  std::mt19937_64 rng(8);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> tx(2000);
+  for (auto& v : tx) v = g(rng);
+  std::vector<double> h(151, 0.0);
+  h[0] = 1.0;
+  h[150] = 0.5;
+  std::vector<double> rx = dsp::convolve(tx, h);
+  rx.resize(tx.size());
+  MmseEqualizer eq = MmseEqualizer::train(rx, tx, 480, 0, 1e-4);
+  const std::vector<double> restored = eq.apply(rx);
+  // Residual error over the central region, compared to no equalization.
+  double err = 0.0, sig = 0.0, raw_err = 0.0;
+  for (std::size_t i = 500; i < 1500; ++i) {
+    err += (restored[i] - tx[i]) * (restored[i] - tx[i]);
+    raw_err += (rx[i] - tx[i]) * (rx[i] - tx[i]);
+    sig += tx[i] * tx[i];
+  }
+  EXPECT_LT(err / sig, 0.05);
+  EXPECT_LT(err, 0.25 * raw_err);
+}
+
+TEST(Equalizer, IdentityPassesThrough) {
+  MmseEqualizer eq = MmseEqualizer::identity();
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  EXPECT_EQ(eq.apply(x), x);
+}
+
+TEST(Equalizer, RejectsDegenerateTraining) {
+  std::vector<double> silent(1000, 0.0);
+  std::vector<double> tx(1000, 1.0);
+  EXPECT_THROW(MmseEqualizer::train(silent, tx, 480, 240),
+               std::invalid_argument);
+  EXPECT_THROW(MmseEqualizer::train(tx, tx, 0, 0), std::invalid_argument);
+  std::vector<double> tiny(10, 1.0);
+  EXPECT_THROW(MmseEqualizer::train(tiny, tiny, 480, 240),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::phy
