@@ -1,85 +1,101 @@
 // Shared helpers for the figure-reproduction harnesses. Each bench binary
 // regenerates one table/figure of the paper and prints the same series the
 // paper reports (medians, CDFs, PER bars). Packet counts default to values
-// that finish in seconds; set AQUA_BENCH_PACKETS to scale them up.
+// that finish in seconds; set AQUA_BENCH_PACKETS to scale them up and
+// AQUA_SWEEP_THREADS to size the parallel sweep pool.
 #pragma once
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "core/link_session.h"
+#include "sim/runner.h"
+#include "sim/sweep.h"
 
 namespace aqua::bench {
 
-/// Number of packets per configuration (env-overridable).
-inline int packets_per_config(int fallback = 12) {
-  if (const char* env = std::getenv("AQUA_BENCH_PACKETS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
+/// Batch aggregates now live in the sim layer so the sweep runner and the
+/// serial benches accumulate the exact same statistics.
+using BatchStats = sim::BatchStats;
+
+namespace detail {
+
+/// Strict positive-int parse: rejects empty strings, trailing junk,
+/// overflow, and non-positive values.
+inline std::optional<int> parse_positive_int(const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v <= 0 ||
+      v > INT_MAX) {
+    return std::nullopt;
   }
+  return static_cast<int>(v);
+}
+
+/// Parses a positive int from the environment; warns (once per call) and
+/// returns `fallback` on garbage instead of silently treating it as 0.
+inline int positive_int_env(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (!env) return fallback;
+  if (const std::optional<int> v = parse_positive_int(env)) return *v;
+  std::fprintf(stderr,
+               "warning: ignoring invalid %s=\"%s\" (want a positive "
+               "integer); using %d\n",
+               name, env, fallback);
   return fallback;
 }
 
-/// Aggregate statistics over a batch of protocol packets.
-struct BatchStats {
-  int sent = 0;
-  int preamble_detected = 0;
-  int feedback_ok = 0;
-  int delivered = 0;           ///< packet_ok
-  int feedback_exact = 0;
-  std::vector<double> bitrates;  ///< selected (info) bitrate per packet
-  std::size_t coded_errors = 0;
-  std::size_t coded_bits = 0;
+}  // namespace detail
 
-  double per() const {
-    return sent > 0 ? 1.0 - static_cast<double>(delivered) / sent : 1.0;
+/// Number of packets per configuration (env-overridable).
+inline int packets_per_config(int fallback = 12) {
+  return detail::positive_int_env("AQUA_BENCH_PACKETS", fallback);
+}
+
+/// Worker threads for the sweep benches: --threads N wins, then
+/// AQUA_SWEEP_THREADS, then hardware concurrency. 0 (the default) lets the
+/// runner pick and is accepted explicitly as "auto".
+inline int sweep_threads(int argc, char** argv) {
+  const auto parse_threads = [](const char* text) -> std::optional<int> {
+    if (std::string(text) == "0") return 0;  // explicit auto
+    return detail::parse_positive_int(text);
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--threads") continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "warning: --threads requires a value\n");
+      break;
+    }
+    if (const std::optional<int> v = parse_threads(argv[i + 1])) return *v;
+    std::fprintf(stderr,
+                 "warning: ignoring invalid --threads \"%s\" (want a "
+                 "non-negative integer)\n",
+                 argv[i + 1]);
   }
-  double coded_ber() const {
-    return coded_bits > 0
-               ? static_cast<double>(coded_errors) / static_cast<double>(coded_bits)
-               : 0.0;
-  }
-  double median_bitrate() const {
-    if (bitrates.empty()) return 0.0;
-    std::vector<double> v = bitrates;
-    std::sort(v.begin(), v.end());
-    return v[v.size() / 2];
-  }
-  double detection_rate() const {
-    return sent > 0 ? static_cast<double>(preamble_detected) / sent : 0.0;
-  }
-};
+  const char* env = std::getenv("AQUA_SWEEP_THREADS");
+  if (!env) return 0;
+  if (const std::optional<int> v = parse_threads(env)) return *v;
+  std::fprintf(stderr,
+               "warning: ignoring invalid AQUA_SWEEP_THREADS=\"%s\" (want a "
+               "non-negative integer); using auto\n",
+               env);
+  return 0;
+}
 
 /// Runs `n` packets through fresh sessions (new channel realization per
 /// packet, like re-submerging the phones every few packets in the paper).
 inline BatchStats run_batch(const core::SessionConfig& base, int n,
                             std::uint64_t seed_base,
                             std::size_t payload_bits = 16) {
-  BatchStats stats;
-  std::mt19937_64 rng(seed_base * 77 + 5);
-  for (int i = 0; i < n; ++i) {
-    core::SessionConfig cfg = base;
-    cfg.forward.seed = seed_base + static_cast<std::uint64_t>(i) * 131;
-    core::LinkSession session(cfg);
-    std::vector<std::uint8_t> bits(payload_bits);
-    for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1);
-    const core::PacketTrace t = session.send_packet(bits);
-    stats.sent++;
-    if (t.preamble_detected) stats.preamble_detected++;
-    if (t.feedback_decoded) stats.feedback_ok++;
-    if (t.feedback_exact) stats.feedback_exact++;
-    if (t.packet_ok) stats.delivered++;
-    if (t.selected_bitrate_bps > 0.0) {
-      stats.bitrates.push_back(t.selected_bitrate_bps);
-    }
-    stats.coded_errors += t.coded_bit_errors;
-    stats.coded_bits += t.coded_bits;
-  }
-  return stats;
+  return sim::run_packet_range(base, 0, n, seed_base, payload_bits);
 }
 
 /// Prints a CDF of bitrates as (bitrate, fraction<=) pairs on one line.
@@ -104,6 +120,15 @@ inline std::vector<FixedScheme> fixed_schemes() {
   return {{"fixed 3.0 kHz (1-4 kHz)", {0, 59, false}},
           {"fixed 1.5 kHz (1-2.5 kHz)", {0, 29, false}},
           {"fixed 0.5 kHz (1-1.5 kHz)", {0, 9, false}}};
+}
+
+/// fixed_schemes() in the grid's (name, band) form, with "adaptive" first.
+inline std::vector<std::pair<std::string, std::optional<phy::BandSelection>>>
+grid_schemes_with_adaptive() {
+  std::vector<std::pair<std::string, std::optional<phy::BandSelection>>> out;
+  out.emplace_back("adaptive", std::nullopt);
+  for (const FixedScheme& s : fixed_schemes()) out.emplace_back(s.name, s.band);
+  return out;
 }
 
 }  // namespace aqua::bench

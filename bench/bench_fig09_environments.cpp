@@ -2,26 +2,45 @@
 // (a) CDF of selected bitrates per site, (b,c) example received spectra
 // with the selected band, (d) PER of the adaptive system vs the three
 // fixed-bandwidth baselines at bridge/park/lake.
+//
+// The packet batches run on the sim::SweepRunner worker pool (one grid of
+// site x band-scheme scenarios); aggregate stats are bit-identical for any
+// thread count. --threads N / AQUA_SWEEP_THREADS size the pool.
 #include <cstdio>
 
 #include "bench_common.h"
 
 using namespace aqua;
 
-int main() {
+int main(int argc, char** argv) {
   const int n = bench::packets_per_config(12);
-  const channel::Site sites[] = {channel::Site::kBridge, channel::Site::kPark,
-                                 channel::Site::kLake};
+  const std::vector<channel::Site> sites = {
+      channel::Site::kBridge, channel::Site::kPark, channel::Site::kLake};
+
+  sim::ScenarioGrid grid;
+  grid.sites = sites;
+  grid.ranges_m = {5.0};
+  grid.schemes = bench::grid_schemes_with_adaptive();
+  const std::vector<sim::Scenario> scenarios = grid.expand();
+
+  sim::RunnerOptions opts;
+  opts.threads = bench::sweep_threads(argc, argv);
+  const sim::SweepRunner runner(opts);
+  const std::vector<sim::ScenarioResult> results =
+      runner.run(scenarios, n, /*seed_base=*/9000);
+
+  // results follow grid order: per site, adaptive first then the three
+  // fixed schemes.
+  const std::size_t schemes_per_site = grid.schemes.size();
+  const auto result_at = [&](std::size_t site_idx,
+                             std::size_t scheme_idx) -> const sim::ScenarioResult& {
+    return results[site_idx * schemes_per_site + scheme_idx];
+  };
 
   std::printf("=== Fig. 9a: CDF of selected bitrate at 5 m ===\n");
-  std::vector<bench::BatchStats> adaptive;
-  for (channel::Site site : sites) {
-    core::SessionConfig cfg;
-    cfg.forward.site = channel::site_preset(site);
-    cfg.forward.range_m = 5.0;
-    bench::BatchStats s = bench::run_batch(cfg, n, 9000 + 13 * static_cast<int>(site));
-    bench::print_cdf(channel::site_name(site).c_str(), s.bitrates);
-    adaptive.push_back(std::move(s));
+  for (std::size_t si = 0; si < sites.size(); ++si) {
+    const sim::ScenarioResult& r = result_at(si, 0);
+    bench::print_cdf(channel::site_name(sites[si]).c_str(), r.stats.bitrates);
   }
 
   std::printf("\n=== Fig. 9b,c: example spectrum + selected band ===\n");
@@ -46,19 +65,11 @@ int main() {
 
   std::printf("\n=== Fig. 9d: PER at 5 m, adaptive vs fixed bandwidth ===\n");
   std::printf("%-28s %10s %10s %10s\n", "scheme", "Bridge", "Park", "Lake");
-  std::printf("%-28s", "adaptive (ours)");
-  for (const auto& s : adaptive) std::printf(" %9.1f%%", 100.0 * s.per());
-  std::printf("\n");
-  for (const bench::FixedScheme& scheme : bench::fixed_schemes()) {
-    std::printf("%-28s", scheme.name);
-    for (channel::Site site : sites) {
-      core::SessionConfig cfg;
-      cfg.forward.site = channel::site_preset(site);
-      cfg.forward.range_m = 5.0;
-      cfg.fixed_band = scheme.band;
-      const bench::BatchStats s =
-          bench::run_batch(cfg, n, 9500 + 17 * static_cast<int>(site));
-      std::printf(" %9.1f%%", 100.0 * s.per());
+  for (std::size_t sc = 0; sc < schemes_per_site; ++sc) {
+    std::printf("%-28s", sc == 0 ? "adaptive (ours)"
+                                 : grid.schemes[sc].first.c_str());
+    for (std::size_t si = 0; si < sites.size(); ++si) {
+      std::printf(" %9.1f%%", 100.0 * result_at(si, sc).stats.per());
     }
     std::printf("\n");
   }

@@ -1,0 +1,104 @@
+// Runs every figure's configuration grid in one process on the
+// sim::SweepRunner worker pool: the fig. 8 range sweep, the fig. 9
+// environment x band-scheme grid, the fig. 12 range x band-scheme grid,
+// the fig. 13-style SNR-offset sweep, the fig. 14 mobility sweep, and a
+// full cross-site matrix covering the remaining session-level figures.
+//
+// Output is a deterministic function of the grids and seeds alone:
+// aggregate stats are bit-identical for any --threads N (or
+// AQUA_SWEEP_THREADS). AQUA_BENCH_PACKETS scales the per-scenario batch.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace aqua;
+
+namespace {
+
+void print_results(const char* title,
+                   const std::vector<sim::ScenarioResult>& results) {
+  std::printf("=== %s ===\n", title);
+  std::printf("%-44s %6s %6s %8s %9s %10s %8s\n", "scenario", "sent", "deliv",
+              "PER", "codedBER", "median-bps", "detect");
+  for (const sim::ScenarioResult& r : results) {
+    std::printf("%-44s %6d %6d %7.1f%% %9.4f %10.1f %7.0f%%\n",
+                sim::scenario_label(r.scenario).c_str(), r.stats.sent,
+                r.stats.delivered, 100.0 * r.stats.per(), r.stats.coded_ber(),
+                r.stats.median_bitrate(), 100.0 * r.stats.detection_rate());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = bench::packets_per_config(4);
+  sim::RunnerOptions opts;
+  opts.threads = bench::sweep_threads(argc, argv);
+  opts.chunk_packets = 2;
+  const sim::SweepRunner runner(opts);
+  std::printf("sweep: %d packets/scenario on %d worker thread(s)\n\n", n,
+              runner.threads());
+
+  // Fig. 8: bridge, 5/10/20 m, full fixed band (the BER-vs-SNR setting).
+  {
+    sim::ScenarioGrid grid;
+    grid.sites = {channel::Site::kBridge};
+    grid.ranges_m = {5.0, 10.0, 20.0};
+    grid.schemes = {{"fixed 3.0 kHz (1-4 kHz)", phy::BandSelection{0, 59, false}}};
+    print_results("fig08 grid: bridge range sweep, full band",
+                  runner.run(grid.expand(), n, /*seed_base=*/8000));
+  }
+
+  // Fig. 9: bridge/park/lake at 5 m, adaptive vs the fixed baselines.
+  {
+    sim::ScenarioGrid grid;
+    grid.sites = {channel::Site::kBridge, channel::Site::kPark,
+                  channel::Site::kLake};
+    grid.schemes = bench::grid_schemes_with_adaptive();
+    print_results("fig09 grid: environments x band scheme at 5 m",
+                  runner.run(grid.expand(), n, /*seed_base=*/9000));
+  }
+
+  // Fig. 12: lake range sweep, adaptive vs fixed.
+  {
+    sim::ScenarioGrid grid;
+    grid.sites = {channel::Site::kLake};
+    grid.ranges_m = {5.0, 10.0, 20.0, 30.0};
+    grid.schemes = bench::grid_schemes_with_adaptive();
+    print_results("fig12 grid: lake range x band scheme",
+                  runner.run(grid.expand(), n, /*seed_base=*/12000));
+  }
+
+  // Fig. 13-style: SNR margin sweep (noise level shifted +/- around the
+  // lake preset).
+  {
+    sim::ScenarioGrid grid;
+    grid.sites = {channel::Site::kLake};
+    grid.snr_offsets_db = {-6.0, 0.0, 6.0};
+    print_results("fig13 grid: lake SNR-offset sweep at 5 m",
+                  runner.run(grid.expand(), n, /*seed_base=*/13000));
+  }
+
+  // Fig. 14: mobility at the lake.
+  {
+    sim::ScenarioGrid grid;
+    grid.sites = {channel::Site::kLake};
+    grid.motions = {channel::MotionKind::kStatic, channel::MotionKind::kSlow,
+                    channel::MotionKind::kFast};
+    print_results("fig14 grid: lake mobility sweep at 5 m",
+                  runner.run(grid.expand(), n, /*seed_base=*/14000));
+  }
+
+  // Cross-site matrix: all six sites x two ranges, adaptive (covers the
+  // remaining session-level figures' environments in one table).
+  {
+    sim::ScenarioGrid grid;
+    grid.sites = channel::all_sites();
+    grid.ranges_m = {5.0, 10.0};
+    print_results("all-sites matrix: site x range, adaptive",
+                  runner.run(grid.expand(), n, /*seed_base=*/17000));
+  }
+
+  return 0;
+}

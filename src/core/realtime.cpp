@@ -23,6 +23,7 @@ RealtimeReceiver::RealtimeReceiver(const ReceiverConfig& config)
 void RealtimeReceiver::trim_buffer(std::size_t keep) {
   if (buffer_.size() <= keep) return;
   const std::size_t drop = buffer_.size() - keep;
+  consumed_ += drop;
   buffer_.erase(buffer_.begin(),
                 buffer_.begin() + static_cast<std::ptrdiff_t>(drop));
   if (data_search_origin_ > drop) {
@@ -61,15 +62,32 @@ std::vector<ReceiverEvent> RealtimeReceiver::push(
     if (pre_end + 5 * config_.params.symbol_total_samples() > buffer_.size()) {
       return events;
     }
-    ReceiverEvent detected;
-    detected.type = ReceiverEvent::Type::kPreambleDetected;
-    detected.preamble_metric = det->sliding_metric;
-    events.push_back(detected);
+    // A preamble whose ID tone would not decode is only advanced past one
+    // symbol at a time (see below), so the same physical preamble can be
+    // re-detected on several pushes; announce it once.
+    if (consumed_ + det->start_index >= announced_before_) {
+      ReceiverEvent detected;
+      detected.type = ReceiverEvent::Type::kPreambleDetected;
+      detected.preamble_metric = det->sliding_metric;
+      events.push_back(detected);
+    }
 
     auto id = feedback_.decode_tone(
         std::span<const double>(buffer_).subspan(pre_end), /*step=*/8);
-    if (!id || id->bin != config_.my_id) {
-      // Not for us: skip past this preamble and keep listening.
+    if (!id) {
+      announced_before_ = consumed_ + pre_end;
+      // No ID tone at all: with stale audio ahead of a packet the repeated
+      // preamble symbols can correlate at a shifted offset before the full
+      // preamble is buffered. Skip one symbol past the detected start only,
+      // so the true preamble (possibly still arriving behind it) survives
+      // and is re-detected at full strength on a later push.
+      trim_buffer(buffer_.size() -
+                  (det->start_index + config_.params.symbol_total_samples()));
+      return events;
+    }
+    if (id->bin != config_.my_id) {
+      // Decoded cleanly but addressed to someone else: skip the whole
+      // packet header and keep listening.
       trim_buffer(buffer_.size() - pre_end);
       return events;
     }
@@ -112,6 +130,7 @@ std::vector<ReceiverEvent> RealtimeReceiver::push(
       config_.payload_bits, opts);
 
   ReceiverEvent ev;
+  ev.training_metric = res.training_metric;
   if (res.found) {
     ev.type = ReceiverEvent::Type::kPacketDecoded;
     ev.band = band_;

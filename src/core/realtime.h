@@ -32,6 +32,11 @@ struct ReceiverEvent {
   };
   Type type;
   double preamble_metric = 0.0;
+  /// Normalized training-symbol correlation of the data decode
+  /// (kPacketDecoded / kPacketFailed). Weak values (< ~0.5) mean the
+  /// decoder locked onto noise — e.g. the transmitter never sent the data
+  /// because the feedback was lost — so treat the payload as suspect.
+  double training_metric = 0.0;
   phy::BandSelection band;           ///< selected band (kAddressedToUs on)
   std::vector<double> snr_db;        ///< per-bin SNR (kAddressedToUs)
   std::vector<std::uint8_t> payload_bits;  ///< kPacketDecoded only
@@ -79,6 +84,12 @@ class RealtimeReceiver {
   phy::BandSelection band_;
   std::size_t data_search_origin_ = 0;  ///< buffer index where data may start
   std::size_t awaiting_deadline_ = 0;   ///< give up after this many samples
+  std::size_t consumed_ = 0;            ///< samples trimmed off the buffer head
+  /// Detections starting before this absolute stream position already
+  /// produced a kPreambleDetected event (their ID tone was undecodable and
+  /// only one symbol was skipped, so the same preamble re-correlates on
+  /// later pushes); suppress the duplicate notifications.
+  std::size_t announced_before_ = 0;
 };
 
 /// Transmitter-side helper (Alice's side): builds the phase-1 waveform and

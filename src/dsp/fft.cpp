@@ -1,6 +1,5 @@
 #include "dsp/fft.h"
 
-#include <cassert>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -66,7 +65,11 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
 
 void FftPlan::radix2(std::vector<cplx>& data, bool invert) const {
   const std::size_t m = data.size();
-  assert(m == m_);
+  // Must fail loudly in release builds too: transforming with a mismatched
+  // plan would silently produce garbage spectra.
+  if (m != m_) {
+    throw std::invalid_argument("FftPlan: radix-2 work size mismatch");
+  }
   for (std::size_t i = 0; i < m; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);

@@ -45,6 +45,8 @@ class FftPlan {
   // Bluestein machinery.
   std::vector<cplx> chirp_;            // e^{-j pi k^2 / n}
   std::vector<cplx> chirp_fft_;        // FFT of the zero-padded conjugate chirp
+
+  friend struct FftPlanTestPeer;       // white-box access for the throw test
 };
 
 /// Forward FFT of a complex signal (any length >= 1). Convenience wrapper

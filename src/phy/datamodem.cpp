@@ -144,6 +144,7 @@ DataDecodeResult DataModem::decode_impl(std::span<const double> signal,
   // Locate the training symbol: cross-correlation with the known waveform
   // plus an energy gate in each symbol interval.
   std::size_t start = 0;
+  double training_metric = 0.0;
   const std::vector<double> tw = training_waveform(band);
   if (options.search_window > 0) {
     const std::size_t span_len =
@@ -180,7 +181,12 @@ DataDecodeResult DataModem::decode_impl(std::span<const double> signal,
         break;
       }
     }
+    training_metric = corr[start];
   }
+  // Report the correlation even when the data region is truncated and the
+  // decode fails: callers use it to tell a genuine (cut short) packet from
+  // a noise lock.
+  result.training_metric = training_metric;
   if (start + region > filtered.size()) return result;
   result.found = true;
   result.training_start = start;

@@ -38,6 +38,11 @@ struct DecodeOptions {
 /// metrics are computed from.
 struct DataDecodeResult {
   bool found = false;                      ///< training symbol located
+  /// Normalized training-symbol correlation at the chosen alignment
+  /// (0 when the caller trusted the given alignment, i.e. no search ran).
+  /// `found` is a weak gate by design; streaming callers that lack the
+  /// protocol's preamble authority can use this to reject noise decodes.
+  double training_metric = 0.0;
   std::size_t training_start = 0;          ///< sample index into the input
   std::vector<std::uint8_t> info_bits;     ///< Viterbi output
   std::vector<std::uint8_t> coded_hard;    ///< pre-Viterbi hard decisions

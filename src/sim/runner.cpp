@@ -1,0 +1,113 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace aqua::sim {
+
+SweepRunner::SweepRunner(const RunnerOptions& options) {
+  threads_ = options.threads > 0
+                 ? options.threads
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads_ < 1) threads_ = 1;
+  chunk_packets_ = std::max(1, options.chunk_packets);
+}
+
+void SweepRunner::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::mt19937_64&)>& fn,
+    std::uint64_t seed_base) const {
+  if (n == 0) return;
+  const auto item_seed = [seed_base](std::size_t i) {
+    // splitmix64-style stir keeps neighbouring item streams uncorrelated.
+    std::uint64_t z = seed_base + 0x9e3779b97f4a7c15ULL *
+                                      (static_cast<std::uint64_t>(i) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), n));
+  if (workers <= 1) {
+    std::mt19937_64 rng;
+    for (std::size_t i = 0; i < n; ++i) {
+      rng.seed(item_seed(i));
+      fn(i, rng);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  const auto worker = [&] {
+    std::mt19937_64 rng;  // this worker's stream, re-seeded per item
+    for (;;) {
+      // Stop claiming new items once any item has thrown; the remaining
+      // results would be discarded with the rethrow anyway.
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        rng.seed(item_seed(i));
+        fn(i, rng);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& grid,
+                                             int packets,
+                                             std::uint64_t seed_base,
+                                             std::size_t payload_bits) const {
+  struct Chunk {
+    std::size_t scenario;
+    int begin;
+    int end;
+  };
+  std::vector<Chunk> chunks;
+  for (std::size_t s = 0; s < grid.size(); ++s) {
+    for (int b = 0; b < packets; b += chunk_packets_) {
+      chunks.push_back({s, b, std::min(packets, b + chunk_packets_)});
+    }
+  }
+
+  // One slot per chunk; workers never share a slot.
+  std::vector<BatchStats> partial(chunks.size());
+  std::vector<core::SessionConfig> configs;
+  configs.reserve(grid.size());
+  for (const Scenario& s : grid) configs.push_back(session_config(s));
+
+  parallel_for(
+      chunks.size(),
+      [&](std::size_t i, std::mt19937_64&) {
+        const Chunk& c = chunks[i];
+        partial[i] = run_packet_range(configs[c.scenario], c.begin, c.end,
+                                      seed_base + c.scenario * 7919,
+                                      payload_bits);
+      },
+      seed_base);
+
+  std::vector<ScenarioResult> results(grid.size());
+  for (std::size_t s = 0; s < grid.size(); ++s) results[s].scenario = grid[s];
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    results[chunks[i].scenario].stats.merge(partial[i]);
+  }
+  return results;
+}
+
+}  // namespace aqua::sim

@@ -1,0 +1,71 @@
+// Thread-pooled scenario-sweep engine.
+//
+// SweepRunner fans work items out across a std::thread worker pool. The
+// contract that keeps results bit-identical for any thread count:
+//
+//   * every work item is self-seeding — its randomness derives from the
+//     item index (via the per-worker RNG stream handed to the callback,
+//     re-seeded deterministically per item), never from which worker runs
+//     it or in what order;
+//   * items write only to their own pre-allocated result slot;
+//   * aggregation walks the slots in item order after the pool drains.
+//
+// run() applies this to a ScenarioGrid: each scenario's packet batch is cut
+// into fixed-size chunks, the chunks execute anywhere in the pool, and the
+// partial BatchStats merge back in chunk order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "sim/sweep.h"
+
+namespace aqua::sim {
+
+/// Worker-pool configuration.
+struct RunnerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Packets per work item when chunking a scenario batch.
+  int chunk_packets = 4;
+};
+
+/// Aggregate result for one grid point.
+struct ScenarioResult {
+  Scenario scenario;
+  BatchStats stats;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(const RunnerOptions& options = {});
+
+  /// Resolved worker count (>= 1).
+  int threads() const { return threads_; }
+
+  /// Deterministic parallel for: invokes fn(i, rng) exactly once for every
+  /// i in [0, n), distributed over the pool. `rng` is the calling worker's
+  /// RNG stream, re-seeded from (seed_base, i) before the call so output
+  /// depends only on the item index. fn must only touch state owned by
+  /// item i. The first exception thrown by any item is rethrown here.
+  void parallel_for(
+      std::size_t n,
+      const std::function<void(std::size_t, std::mt19937_64&)>& fn,
+      std::uint64_t seed_base = 0) const;
+
+  /// Runs `packets` packets for every scenario in `grid`, chunked across
+  /// the pool. Scenario k uses seed_base + k * 7919 for its packet batch.
+  /// Aggregate stats are bit-identical for any thread count.
+  std::vector<ScenarioResult> run(const std::vector<Scenario>& grid,
+                                  int packets, std::uint64_t seed_base,
+                                  std::size_t payload_bits = 16) const;
+
+ private:
+  int threads_ = 1;
+  int chunk_packets_ = 4;
+};
+
+}  // namespace aqua::sim

@@ -1,0 +1,108 @@
+// Scenario-sweep configuration grid for the figure-reproduction workloads.
+//
+// Every evaluation in the paper is a walk over the same few axes:
+// environment (site), transmitter-receiver range, ambient-noise level
+// (equivalently an SNR offset), mobility regime, and optionally one of the
+// fixed-bandwidth baseline schemes. A ScenarioGrid names the axis values
+// once; expand() produces the cross product as a flat, deterministically
+// ordered list of Scenarios that the SweepRunner (runner.h) fans out over a
+// worker pool. Packet-level execution is factored so that any chunking of a
+// batch merges to bit-identical aggregate statistics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/environment.h"
+#include "channel/mobility.h"
+#include "core/link_session.h"
+#include "phy/bandselect.h"
+
+namespace aqua::sim {
+
+/// Aggregate statistics over a batch of protocol packets. Merging partial
+/// batches in packet order reproduces the single-batch result exactly.
+struct BatchStats {
+  int sent = 0;
+  int preamble_detected = 0;
+  int feedback_ok = 0;
+  int delivered = 0;           ///< packet_ok
+  int feedback_exact = 0;
+  std::vector<double> bitrates;  ///< selected (info) bitrate per packet
+  std::size_t coded_errors = 0;
+  std::size_t coded_bits = 0;
+
+  /// Accumulates `other` after this one (order matters for `bitrates`).
+  void merge(const BatchStats& other);
+
+  double per() const {
+    return sent > 0 ? 1.0 - static_cast<double>(delivered) / sent : 1.0;
+  }
+  double coded_ber() const {
+    return coded_bits > 0
+               ? static_cast<double>(coded_errors) / static_cast<double>(coded_bits)
+               : 0.0;
+  }
+  double median_bitrate() const;
+  double detection_rate() const {
+    return sent > 0 ? static_cast<double>(preamble_detected) / sent : 0.0;
+  }
+};
+
+/// One point of the evaluation grid.
+struct Scenario {
+  channel::Site site = channel::Site::kBridge;
+  double range_m = 5.0;
+  /// Added to the link SNR by lowering the site's ambient-noise level by
+  /// the same amount (0 = the site as measured).
+  double snr_offset_db = 0.0;
+  channel::MotionKind motion = channel::MotionKind::kStatic;
+  /// nullopt = adaptive band selection (the paper's system); otherwise one
+  /// of the fixed-bandwidth baselines.
+  std::optional<phy::BandSelection> fixed_band;
+  /// Display name for the band scheme ("adaptive" when fixed_band unset).
+  std::string scheme = "adaptive";
+};
+
+/// Axis values whose cross product defines a sweep.
+struct ScenarioGrid {
+  std::vector<channel::Site> sites{channel::Site::kBridge};
+  std::vector<double> ranges_m{5.0};
+  std::vector<double> snr_offsets_db{0.0};
+  std::vector<channel::MotionKind> motions{channel::MotionKind::kStatic};
+  /// Band schemes as (name, fixed band) pairs; {"adaptive", nullopt} runs
+  /// the adaptive system.
+  std::vector<std::pair<std::string, std::optional<phy::BandSelection>>>
+      schemes{{"adaptive", std::nullopt}};
+
+  /// Cross product in site-major order (sites, then ranges, then SNR
+  /// offsets, then motions, then schemes).
+  std::vector<Scenario> expand() const;
+};
+
+/// Human-readable mobility-regime name.
+std::string motion_name(channel::MotionKind kind);
+
+/// "site range_m=... [snr+X dB] [motion] [scheme]" label for tables.
+std::string scenario_label(const Scenario& s);
+
+/// Builds the session configuration for a grid point: site preset with the
+/// SNR offset folded into the ambient-noise level, range, and motion on the
+/// forward link, plus the fixed band override when the scheme is not
+/// adaptive.
+core::SessionConfig session_config(const Scenario& s);
+
+/// Runs packets [begin, end) of an n-packet batch over fresh sessions (new
+/// channel realization per packet). Packet i is fully determined by
+/// (seed_base, i) — its channel seed and payload bits are derived from the
+/// packet index, never from previously run packets — so splitting [0, n)
+/// into chunks and merging the partial stats in index order is
+/// bit-identical to one serial pass.
+BatchStats run_packet_range(const core::SessionConfig& base, int begin,
+                            int end, std::uint64_t seed_base,
+                            std::size_t payload_bits = 16);
+
+}  // namespace aqua::sim

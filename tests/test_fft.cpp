@@ -7,6 +7,15 @@
 #include "dsp/fft.h"
 
 namespace aqua::dsp {
+
+// White-box access to the private radix-2 kernel, so the plan-size guard
+// (which no public path can violate) still gets a throw test.
+struct FftPlanTestPeer {
+  static void radix2(const FftPlan& plan, std::vector<cplx>& data) {
+    plan.radix2(data, /*invert=*/false);
+  }
+};
+
 namespace {
 
 std::vector<cplx> naive_dft(std::span<const cplx> x) {
@@ -130,6 +139,23 @@ TEST(Fft, PlanRejectsMismatchedBuffers) {
   FftPlan plan(16);
   std::vector<cplx> in(8), out(16);
   EXPECT_THROW(plan.forward(in, out), std::invalid_argument);
+}
+
+TEST(Fft, Radix2RejectsMismatchedWorkSize) {
+  // The internal kernel must throw (not assert) so -DNDEBUG release builds
+  // fail loudly instead of silently transforming with the wrong plan.
+  FftPlan plan(16);
+  std::vector<cplx> wrong(8);
+  EXPECT_THROW(FftPlanTestPeer::radix2(plan, wrong), std::invalid_argument);
+  std::vector<cplx> right(16, cplx{1.0, 0.0});
+  EXPECT_NO_THROW(FftPlanTestPeer::radix2(plan, right));
+}
+
+TEST(Fft, BluesteinPlanRejectsMismatchedWorkSize) {
+  // A 960-point plan's radix-2 work size is 2048, not 960.
+  FftPlan plan(960);
+  std::vector<cplx> n_sized(960);
+  EXPECT_THROW(FftPlanTestPeer::radix2(plan, n_sized), std::invalid_argument);
 }
 
 TEST(Fft, NextPow2) {

@@ -101,6 +101,124 @@ TEST(Realtime, IgnoresPacketsForOtherReceivers) {
   EXPECT_EQ(bob.state(), RealtimeReceiver::State::kSearching);
 }
 
+// One full Alice->Bob exchange over the given channels; returns the decoded
+// payload event (or nullptr if any phase failed). Used by the retransmission
+// and session-reuse tests below.
+const ReceiverEvent* run_exchange(RealtimeReceiver& bob,
+                                  const RealtimeTransmitter& alice,
+                                  channel::UnderwaterChannel& fwd,
+                                  channel::UnderwaterChannel& back,
+                                  std::span<const std::uint8_t> payload,
+                                  std::vector<ReceiverEvent>& storage) {
+  const std::vector<double> rx1 =
+      fwd.transmit(alice.preamble_and_id(32), 0.05, 0.2);
+  std::vector<ReceiverEvent> events = push_in_blocks(bob, rx1);
+  const ReceiverEvent* addressed = nullptr;
+  for (const auto& e : events) {
+    if (e.type == ReceiverEvent::Type::kAddressedToUs) addressed = &e;
+  }
+  if (!addressed) return nullptr;
+
+  const std::vector<double> rx2 = back.transmit(addressed->transmit_now);
+  const auto band = alice.decode_feedback(rx2);
+  if (!band) return nullptr;
+
+  const std::vector<double> rx3 =
+      fwd.transmit(alice.data_waveform(payload, *band), 0.1, 0.5);
+  storage = push_in_blocks(bob, rx3);
+  for (const auto& e : storage) {
+    if (e.type == ReceiverEvent::Type::kPacketDecoded) return &e;
+  }
+  return nullptr;
+}
+
+TEST(Realtime, RetransmitsAfterDroppedFeedback) {
+  const phy::OfdmParams params;
+  ReceiverConfig rc;
+  rc.my_id = 32;
+  RealtimeReceiver bob(rc);
+  RealtimeTransmitter alice(params);
+
+  channel::LinkConfig lc;
+  lc.site = channel::site_preset(channel::Site::kBridge);
+  lc.range_m = 5.0;
+  lc.seed = 61;
+  channel::UnderwaterChannel fwd(lc);
+  channel::UnderwaterChannel back(channel::reverse_link(lc));
+
+  // Phase 1 lands; Bob answers with feedback and waits for data.
+  const std::vector<double> rx1 =
+      fwd.transmit(alice.preamble_and_id(32), 0.05, 0.2);
+  std::vector<ReceiverEvent> events = push_in_blocks(bob, rx1);
+  bool addressed = false;
+  for (const auto& e : events) {
+    if (e.type == ReceiverEvent::Type::kAddressedToUs) addressed = true;
+  }
+  ASSERT_TRUE(addressed);
+  ASSERT_EQ(bob.state(), RealtimeReceiver::State::kAwaitingData);
+
+  // The feedback is lost on the backward channel: Alice never transmits the
+  // data. Bob hears only ambient noise until his deadline passes, emits a
+  // terminal event, and returns to searching so a retransmission can land.
+  // If the weak training gate locks onto noise the event may read as a
+  // "decode", but its training metric must betray it as noise.
+  const std::vector<double> silence = fwd.ambient(2 * 48000);
+  events = push_in_blocks(bob, silence);
+  int terminal = 0;
+  for (const auto& e : events) {
+    if (e.type == ReceiverEvent::Type::kPacketFailed) terminal++;
+    if (e.type == ReceiverEvent::Type::kPacketDecoded) {
+      terminal++;
+      EXPECT_LT(e.training_metric, 0.55);
+    }
+  }
+  EXPECT_EQ(terminal, 1);
+  ASSERT_EQ(bob.state(), RealtimeReceiver::State::kSearching);
+
+  // Alice times out waiting for feedback and retransmits the whole packet;
+  // the second attempt must complete end-to-end on the same receiver.
+  std::mt19937_64 rng(21);
+  std::vector<std::uint8_t> payload(16);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng() & 1);
+  std::vector<ReceiverEvent> storage;
+  const ReceiverEvent* decoded =
+      run_exchange(bob, alice, fwd, back, payload, storage);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->payload_bits, payload);
+  EXPECT_GT(decoded->training_metric, 0.55);  // a real lock, not noise
+  EXPECT_EQ(bob.state(), RealtimeReceiver::State::kSearching);
+}
+
+TEST(Realtime, BackToBackSessionsReuseOneLink) {
+  const phy::OfdmParams params;
+  ReceiverConfig rc;
+  rc.my_id = 32;
+  RealtimeReceiver bob(rc);
+  RealtimeTransmitter alice(params);
+
+  channel::LinkConfig lc;
+  lc.site = channel::site_preset(channel::Site::kBridge);
+  lc.range_m = 5.0;
+  lc.seed = 55;
+  channel::UnderwaterChannel fwd(lc);
+  channel::UnderwaterChannel back(channel::reverse_link(lc));
+
+  // Three consecutive packets through the same receiver/transmitter pair
+  // and the same evolving channels — no state leaks between sessions.
+  std::mt19937_64 rng(33);
+  for (int session = 0; session < 3; ++session) {
+    std::vector<std::uint8_t> payload(16);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng() & 1);
+    std::vector<ReceiverEvent> storage;
+    const ReceiverEvent* decoded =
+        run_exchange(bob, alice, fwd, back, payload, storage);
+    ASSERT_NE(decoded, nullptr) << "session " << session;
+    EXPECT_EQ(decoded->payload_bits, payload) << "session " << session;
+    EXPECT_FALSE(decoded->transmit_now.empty());  // the ACK waveform
+    EXPECT_EQ(bob.state(), RealtimeReceiver::State::kSearching);
+  }
+}
+
 TEST(Realtime, StaysQuietOnAmbientNoise) {
   ReceiverConfig rc;
   RealtimeReceiver bob(rc);
