@@ -60,6 +60,14 @@ inline int packets_per_config(int fallback = 12) {
   return detail::positive_int_env("AQUA_BENCH_PACKETS", fallback);
 }
 
+/// Path given with `--json <path>` (perf-baseline output), or nullptr.
+inline const char* json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return nullptr;
+}
+
 /// Worker threads for the sweep benches: --threads N wins, then
 /// AQUA_SWEEP_THREADS, then hardware concurrency. 0 (the default) lets the
 /// runner pick and is accepted explicitly as "auto".

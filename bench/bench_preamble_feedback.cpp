@@ -80,6 +80,10 @@ int main() {
   // while the normalized sliding metric stays quiet.
   int plain_false = 0, sliding_false = 0;
   const auto bp = dsp::design_bandpass(1000.0, 4000.0, 48000.0, 129);
+  const std::vector<double> core(
+      preamble.waveform().begin() + static_cast<std::ptrdiff_t>(p.cp_samples()),
+      preamble.waveform().end());
+  const dsp::CrossCorrelator core_corr{std::vector<double>(core)};
   for (int i = 0; i < 20; ++i) {
     channel::NoiseParams np = channel::site_preset(channel::Site::kLake).noise;
     np.bubble_rate_hz = 12.0;
@@ -87,10 +91,8 @@ int main() {
     channel::NoiseGenerator gen(np, 48000.0, 777 + i);
     const std::vector<double> nz = gen.generate(48000);
     const std::vector<double> filt = dsp::filter_same(nz, bp);
-    const std::vector<double> core(
-        preamble.waveform().begin() + static_cast<std::ptrdiff_t>(p.cp_samples()),
-        preamble.waveform().end());
-    const std::vector<double> corr = dsp::normalized_cross_correlate(filt, core);
+    const std::vector<double> corr =
+        core_corr.normalized(filt, dsp::thread_local_workspace());
     if (!corr.empty() && corr[dsp::argmax(corr)] > 0.2) ++plain_false;
     if (preamble.detect(nz)) ++sliding_false;
   }

@@ -7,7 +7,15 @@
 // Output is a deterministic function of the grids and seeds alone:
 // aggregate stats are bit-identical for any --threads N (or
 // AQUA_SWEEP_THREADS). AQUA_BENCH_PACKETS scales the per-scenario batch.
+//
+// `--json <path>` additionally records per-grid wall-clock and throughput
+// (packets/s, receiver samples/s) — the repo's perf trajectory baseline
+// (BENCH_sweep.json). Timing goes to the JSON file and stderr only, so
+// stdout stays bit-identical across runs and thread counts.
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -29,6 +37,61 @@ void print_results(const char* title,
   std::printf("\n");
 }
 
+struct GridTiming {
+  std::string name;
+  std::size_t scenarios = 0;
+  long long packets = 0;
+  std::uint64_t samples = 0;
+  double wall_s = 0.0;
+};
+
+double rate(double count, double seconds) {
+  return seconds > 0.0 ? count / seconds : 0.0;
+}
+
+void write_json(const char* path, int packets_per_scenario, int threads,
+                const std::vector<GridTiming>& grids) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n", path);
+    return;
+  }
+  GridTiming total;
+  for (const GridTiming& g : grids) {
+    total.packets += g.packets;
+    total.samples += g.samples;
+    total.wall_s += g.wall_s;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_sweep_all\",\n");
+  std::fprintf(f, "  \"packets_per_scenario\": %d,\n", packets_per_scenario);
+  std::fprintf(f, "  \"threads\": %d,\n", threads);
+  std::fprintf(f, "  \"grids\": [\n");
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    const GridTiming& g = grids[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"scenarios\": %zu, "
+                 "\"packets\": %lld, \"samples\": %llu, \"wall_s\": %.3f, "
+                 "\"packets_per_s\": %.2f, \"samples_per_s\": %.0f}%s\n",
+                 g.name.c_str(), g.scenarios, g.packets,
+                 static_cast<unsigned long long>(g.samples), g.wall_s,
+                 rate(static_cast<double>(g.packets), g.wall_s),
+                 rate(static_cast<double>(g.samples), g.wall_s),
+                 i + 1 < grids.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"total\": {\"packets\": %lld, \"samples\": %llu, "
+               "\"wall_s\": %.3f, \"packets_per_s\": %.2f, "
+               "\"samples_per_s\": %.0f}\n",
+               total.packets, static_cast<unsigned long long>(total.samples),
+               total.wall_s, rate(static_cast<double>(total.packets),
+                                  total.wall_s),
+               rate(static_cast<double>(total.samples), total.wall_s));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -40,14 +103,35 @@ int main(int argc, char** argv) {
   std::printf("sweep: %d packets/scenario on %d worker thread(s)\n\n", n,
               runner.threads());
 
+  std::vector<GridTiming> timings;
+  const auto run_grid = [&](const char* title, const sim::ScenarioGrid& grid,
+                            std::uint64_t seed_base) {
+    const std::vector<sim::Scenario> scenarios = grid.expand();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<sim::ScenarioResult> results =
+        runner.run(scenarios, n, seed_base);
+    const auto t1 = std::chrono::steady_clock::now();
+    print_results(title, results);
+
+    GridTiming t;
+    t.name = title;
+    t.scenarios = scenarios.size();
+    t.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    for (const sim::ScenarioResult& r : results) {
+      t.packets += r.stats.sent;
+      t.samples += r.stats.samples;
+    }
+    timings.push_back(std::move(t));
+  };
+
   // Fig. 8: bridge, 5/10/20 m, full fixed band (the BER-vs-SNR setting).
   {
     sim::ScenarioGrid grid;
     grid.sites = {channel::Site::kBridge};
     grid.ranges_m = {5.0, 10.0, 20.0};
     grid.schemes = {{"fixed 3.0 kHz (1-4 kHz)", phy::BandSelection{0, 59, false}}};
-    print_results("fig08 grid: bridge range sweep, full band",
-                  runner.run(grid.expand(), n, /*seed_base=*/8000));
+    run_grid("fig08 grid: bridge range sweep, full band", grid,
+             /*seed_base=*/8000);
   }
 
   // Fig. 9: bridge/park/lake at 5 m, adaptive vs the fixed baselines.
@@ -56,8 +140,8 @@ int main(int argc, char** argv) {
     grid.sites = {channel::Site::kBridge, channel::Site::kPark,
                   channel::Site::kLake};
     grid.schemes = bench::grid_schemes_with_adaptive();
-    print_results("fig09 grid: environments x band scheme at 5 m",
-                  runner.run(grid.expand(), n, /*seed_base=*/9000));
+    run_grid("fig09 grid: environments x band scheme at 5 m", grid,
+             /*seed_base=*/9000);
   }
 
   // Fig. 12: lake range sweep, adaptive vs fixed.
@@ -66,8 +150,7 @@ int main(int argc, char** argv) {
     grid.sites = {channel::Site::kLake};
     grid.ranges_m = {5.0, 10.0, 20.0, 30.0};
     grid.schemes = bench::grid_schemes_with_adaptive();
-    print_results("fig12 grid: lake range x band scheme",
-                  runner.run(grid.expand(), n, /*seed_base=*/12000));
+    run_grid("fig12 grid: lake range x band scheme", grid, /*seed_base=*/12000);
   }
 
   // Fig. 13-style: SNR margin sweep (noise level shifted +/- around the
@@ -76,8 +159,8 @@ int main(int argc, char** argv) {
     sim::ScenarioGrid grid;
     grid.sites = {channel::Site::kLake};
     grid.snr_offsets_db = {-6.0, 0.0, 6.0};
-    print_results("fig13 grid: lake SNR-offset sweep at 5 m",
-                  runner.run(grid.expand(), n, /*seed_base=*/13000));
+    run_grid("fig13 grid: lake SNR-offset sweep at 5 m", grid,
+             /*seed_base=*/13000);
   }
 
   // Fig. 14: mobility at the lake.
@@ -86,8 +169,8 @@ int main(int argc, char** argv) {
     grid.sites = {channel::Site::kLake};
     grid.motions = {channel::MotionKind::kStatic, channel::MotionKind::kSlow,
                     channel::MotionKind::kFast};
-    print_results("fig14 grid: lake mobility sweep at 5 m",
-                  runner.run(grid.expand(), n, /*seed_base=*/14000));
+    run_grid("fig14 grid: lake mobility sweep at 5 m", grid,
+             /*seed_base=*/14000);
   }
 
   // Cross-site matrix: all six sites x two ranges, adaptive (covers the
@@ -96,9 +179,32 @@ int main(int argc, char** argv) {
     sim::ScenarioGrid grid;
     grid.sites = channel::all_sites();
     grid.ranges_m = {5.0, 10.0};
-    print_results("all-sites matrix: site x range, adaptive",
-                  runner.run(grid.expand(), n, /*seed_base=*/17000));
+    run_grid("all-sites matrix: site x range, adaptive", grid,
+             /*seed_base=*/17000);
   }
 
+  // Timing summary on stderr only: stdout must stay bit-identical across
+  // runs and thread counts (the CI determinism check diffs it).
+  double total_wall = 0.0;
+  long long total_packets = 0;
+  std::uint64_t total_samples = 0;
+  for (const GridTiming& t : timings) {
+    std::fprintf(stderr, "timing: %-46s %7.2fs  %8.2f pkt/s  %12.0f samp/s\n",
+                 t.name.c_str(), t.wall_s,
+                 rate(static_cast<double>(t.packets), t.wall_s),
+                 rate(static_cast<double>(t.samples), t.wall_s));
+    total_wall += t.wall_s;
+    total_packets += t.packets;
+    total_samples += t.samples;
+  }
+  std::fprintf(stderr, "timing: %-46s %7.2fs  %8.2f pkt/s  %12.0f samp/s\n",
+               "TOTAL", total_wall,
+               rate(static_cast<double>(total_packets), total_wall),
+               rate(static_cast<double>(total_samples), total_wall));
+
+  if (const char* path = bench::json_path(argc, argv)) {
+    write_json(path, n, runner.threads(), timings);
+    std::fprintf(stderr, "timing: wrote %s\n", path);
+  }
   return 0;
 }

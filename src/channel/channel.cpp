@@ -32,6 +32,8 @@ UnderwaterChannel::UnderwaterChannel(const LinkConfig& config)
     : config_(config),
       mobility_(config.motion, config.seed * 7919 + 13,
                 config.in_air ? 0.0 : config.site.drift_mps),
+      tx_filter_(device_fir(/*speaker=*/true)),
+      rx_filter_(device_fir(/*speaker=*/false)),
       roughness_rng_(config.seed * 104729 + 7) {
   if (config_.range_m <= 0.0) {
     throw std::invalid_argument("UnderwaterChannel: range must be > 0");
@@ -46,8 +48,6 @@ UnderwaterChannel::UnderwaterChannel(const LinkConfig& config)
     }
     noise_.emplace(np, config_.sample_rate_hz, config_.seed * 6151 + 3);
   }
-  tx_fir_ = device_fir(/*speaker=*/true);
-  rx_fir_ = device_fir(/*speaker=*/false);
 
   base_paths_ = paths_at(0.0, /*block_index=*/0);
   if (base_paths_.empty()) {
@@ -55,6 +55,16 @@ UnderwaterChannel::UnderwaterChannel(const LinkConfig& config)
   }
   reference_delay_s_ =
       std::max(base_paths_.front().delay_s - kReferenceMargin_s, 0.0);
+
+  // Links whose geometry cannot evolve collapse to one fixed impulse
+  // response; bake its spectrum once so every transmit() reuses it.
+  const bool static_link = config_.motion == MotionKind::kStatic &&
+                           config_.site.surface_roughness <= 0.0 &&
+                           config_.site.drift_mps <= 0.0 && !config_.in_air;
+  if (static_link || config_.in_air) {
+    fixed_ir_filter_.emplace(paths_to_impulse_response_ref(
+        base_paths_, config_.sample_rate_hz, reference_delay_s_));
+  }
 }
 
 Geometry UnderwaterChannel::geometry_at(double t_s) const {
@@ -111,20 +121,22 @@ std::vector<double> UnderwaterChannel::transmit(std::span<const double> tx,
                                                 double lead_in_s,
                                                 double tail_s) {
   const double fs = config_.sample_rate_hz;
-  // 1. Speaker (+ case + static orientation) response.
-  std::vector<double> shaped = dsp::convolve(tx, tx_fir_);
+  dsp::Workspace& ws = scratch();
 
-  // 2. Time-varying multipath. Static links collapse to one convolution.
-  const bool static_link = config_.motion == MotionKind::kStatic &&
-                           config_.site.surface_roughness <= 0.0 &&
-                           config_.site.drift_mps <= 0.0 && !config_.in_air;
+  // 1. Speaker (+ case + static orientation) response, through the cached
+  // overlap-save kernel spectrum.
+  dsp::ScratchReal shaped_s(ws, tx_filter_.output_length(tx.size()));
+  tx_filter_.convolve_into(tx, shaped_s.span(), ws);
+  std::span<const double> shaped = shaped_s.span();
+
+  // 2. Time-varying multipath. Fixed-geometry links collapse to one cached
+  // overlap-save convolution.
   const std::size_t ref_offset =
       static_cast<std::size_t>(std::llround(reference_delay_s_ * fs));
-  std::vector<double> propagated;
-  if (static_link || config_.in_air) {
-    const std::vector<double> ir = paths_to_impulse_response_ref(
-        base_paths_, fs, reference_delay_s_);
-    propagated = dsp::convolve(shaped, ir);
+  std::optional<dsp::ScratchReal> propagated_s;
+  if (fixed_ir_filter_) {
+    propagated_s.emplace(ws, fixed_ir_filter_->output_length(shaped.size()));
+    fixed_ir_filter_->convolve_into(shaped, propagated_s->span(), ws);
   } else {
     // Block-wise overlap-add with a per-block impulse response. Mobility
     // moves tap positions between blocks, which is physical Doppler.
@@ -141,19 +153,25 @@ std::vector<double> UnderwaterChannel::transmit(std::span<const double> tx,
           paths, fs, reference_delay_s_);
       max_ir = std::max(max_ir, block_ir.size());
       std::vector<double> y = dsp::convolve(
-          std::span<const double>(shaped).subspan(start, len), block_ir);
+          shaped.subspan(start, len), block_ir);
       blocks.emplace_back(start, std::move(y));
     }
-    propagated.assign(shaped.size() + max_ir, 0.0);
+    propagated_s.emplace(ws, shaped.size() + max_ir);
+    std::vector<double>& propagated = **propagated_s;
+    std::fill(propagated.begin(), propagated.end(), 0.0);
     for (auto& [start, y] : blocks) {
       for (std::size_t i = 0; i < y.size(); ++i) {
         if (start + i < propagated.size()) propagated[start + i] += y[i];
       }
     }
   }
+  std::span<const double> propagated = propagated_s->span();
 
   // 3. Microphone response.
-  std::vector<double> received = dsp::convolve(propagated, rx_fir_);
+  dsp::ScratchReal received_s(ws,
+                              rx_filter_.output_length(propagated.size()));
+  rx_filter_.convolve_into(propagated, received_s.span(), ws);
+  std::span<const double> received = received_s.span();
 
   // 4. Assemble the receiver timeline with noise.
   const std::size_t lead = static_cast<std::size_t>(lead_in_s * fs);
@@ -177,9 +195,9 @@ std::vector<double> UnderwaterChannel::ambient(std::size_t n) {
 }
 
 double UnderwaterChannel::frequency_response_mag(double freq_hz) const {
-  const double tx = std::abs(dsp::fir_response(tx_fir_, freq_hz,
+  const double tx = std::abs(dsp::fir_response(tx_filter_.kernel(), freq_hz,
                                                config_.sample_rate_hz));
-  const double rx = std::abs(dsp::fir_response(rx_fir_, freq_hz,
+  const double rx = std::abs(dsp::fir_response(rx_filter_.kernel(), freq_hz,
                                                config_.sample_rate_hz));
   const double medium = std::abs(paths_frequency_response(base_paths_, freq_hz));
   return tx * medium * rx;

@@ -18,8 +18,10 @@
 #include "channel/mobility.h"
 #include "channel/multipath.h"
 #include "channel/noise.h"
+#include "dsp/fft_filter.h"
 #include "dsp/fir.h"
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 
 namespace aqua::channel {
 
@@ -75,20 +77,32 @@ class UnderwaterChannel {
   /// Current link time (seconds since construction).
   double time_s() const { return time_s_; }
 
+  /// Leases transmit() scratch from `ws` instead of the calling thread's
+  /// arena (pass nullptr to revert). The caller keeps ownership; `ws` must
+  /// outlive the channel or the next use_workspace() call.
+  void use_workspace(dsp::Workspace* ws) { ws_ = ws; }
+
  private:
   Geometry geometry_at(double t_s) const;
   std::vector<Path> paths_at(double t_s, std::uint64_t block_index);
   std::vector<double> device_fir(bool speaker) const;
+  dsp::Workspace& scratch() const {
+    return ws_ ? *ws_ : dsp::thread_local_workspace();
+  }
 
   LinkConfig config_;
   MobilityModel mobility_;
   std::optional<NoiseGenerator> noise_;
-  std::vector<double> tx_fir_;      ///< speaker + case + static orientation
-  std::vector<double> rx_fir_;      ///< microphone + case
+  dsp::FftFilter tx_filter_;        ///< speaker + case + static orientation
+  dsp::FftFilter rx_filter_;        ///< microphone + case
   std::vector<Path> base_paths_;    ///< paths for the initial geometry
+  /// Impulse-response filter for links whose geometry never changes
+  /// (static underwater or in-air), built once at construction.
+  std::optional<dsp::FftFilter> fixed_ir_filter_;
   double reference_delay_s_ = 0.0;  ///< shared tap-delay origin
   double time_s_ = 0.0;             ///< link clock (advances per transmit)
   std::mt19937_64 roughness_rng_;
+  dsp::Workspace* ws_ = nullptr;    ///< borrowed; nullptr = thread-local
 };
 
 /// Builds the reverse-direction config (swaps devices/depths and accounts

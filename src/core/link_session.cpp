@@ -15,15 +15,22 @@ LinkSession::LinkSession(const SessionConfig& config)
       modem_(config.params),
       ofdm_(config.params) {}
 
+LinkSession::LinkSession(const SessionConfig& config, dsp::Workspace& ws)
+    : LinkSession(config) {
+  ws_ = &ws;
+  forward_.use_workspace(&ws);
+  backward_.use_workspace(&ws);
+}
+
 std::vector<double> LinkSession::probe_snr() {
   const std::vector<double>& wave = preamble_.waveform();
   std::vector<double> rx = forward_.transmit(wave);
-  auto det = preamble_.detect(rx);
+  auto det = preamble_.detect(rx, scratch());
   if (!det) return {};
   if (det->start_index + preamble_.core_samples() > rx.size()) return {};
   phy::ChannelEstimate est = phy::estimate_channel(
       ofdm_, std::span<const double>(rx).subspan(det->start_index),
-      preamble_.cazac_bins());
+      preamble_.cazac_bins(), scratch());
   return est.snr_db;
 }
 
@@ -38,9 +45,10 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
     phase1.insert(phase1.end(), id_sym.begin(), id_sym.end());
   }
   std::vector<double> rx1 = forward_.transmit(phase1);
+  trace.samples_processed += rx1.size();
 
   // ---- Phase 2: Bob detects the preamble and checks the ID. ----
-  auto det = preamble_.detect(rx1);
+  auto det = preamble_.detect(rx1, scratch());
   if (!det) return trace;
   trace.preamble_detected = true;
   trace.preamble_metric = det->sliding_metric;
@@ -52,7 +60,8 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
   // noise-estimation windows.
   {
     auto id = feedback_.decode_tone(
-        std::span<const double>(rx1).subspan(preamble_end), /*step=*/8);
+        std::span<const double>(rx1).subspan(preamble_end), /*step=*/8,
+        /*min_peak_fraction=*/0.3, scratch());
     if (!id || id->bin != config_.bob_id) return trace;
     trace.id_matched = true;
   }
@@ -60,7 +69,7 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
   // ---- Phase 3: Bob estimates SNR and runs Algorithm 1. ----
   phy::ChannelEstimate est = phy::estimate_channel(
       ofdm_, std::span<const double>(rx1).subspan(det->start_index),
-      preamble_.cazac_bins());
+      preamble_.cazac_bins(), scratch());
   trace.snr_db = est.snr_db;
   trace.band_selected =
       config_.fixed_band
@@ -77,7 +86,9 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
   } else {
     std::vector<double> fb = feedback_.encode_band(trace.band_selected);
     std::vector<double> rx2 = backward_.transmit(fb);
-    auto dec = feedback_.decode_band(rx2, /*step=*/8);
+    trace.samples_processed += rx2.size();
+    auto dec = feedback_.decode_band(rx2, /*step=*/8,
+                                     /*min_peak_fraction=*/0.3, scratch());
     if (!dec) return trace;
     trace.feedback_decoded = true;
     trace.band_used = dec->band;
@@ -95,6 +106,7 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
   std::vector<double> data =
       modem_.encode(info_bits, trace.band_used, config_.decode.use_differential);
   std::vector<double> rx3 = forward_.transmit(data);
+  trace.samples_processed += rx3.size();
 
   phy::DecodeOptions opts = config_.decode;
   const std::size_t rows =
@@ -103,7 +115,8 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
       (rows + 1) * config_.params.symbol_total_samples();
   opts.search_window = rx3.size() > region ? rx3.size() - region : 0;
   phy::DataDecodeResult res =
-      modem_.decode(rx3, trace.band_selected, info_bits.size(), opts);
+      modem_.decode(rx3, trace.band_selected, info_bits.size(), opts,
+                    scratch());
   if (!res.found) return trace;
   trace.data_found = true;
   trace.coded_bits = res.coded_hard.size();
@@ -127,7 +140,9 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
   if (config_.send_ack && trace.packet_ok) {
     std::vector<double> ack = feedback_.encode_tone(phy::FeedbackCodec::kAckBin);
     std::vector<double> rx4 = backward_.transmit(ack);
-    auto got = feedback_.decode_tone(rx4, /*step=*/8);
+    trace.samples_processed += rx4.size();
+    auto got = feedback_.decode_tone(rx4, /*step=*/8,
+                                     /*min_peak_fraction=*/0.3, scratch());
     trace.ack_received = got && got->bin == phy::FeedbackCodec::kAckBin;
   }
   return trace;

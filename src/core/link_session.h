@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "channel/channel.h"
+#include "dsp/workspace.h"
 #include "phy/bandselect.h"
 #include "phy/datamodem.h"
 #include "phy/feedback.h"
@@ -60,12 +61,20 @@ struct PacketTrace {
   std::size_t coded_bit_errors = 0; ///< pre-Viterbi (uncoded) errors
   double preamble_metric = 0.0;
   std::vector<std::uint8_t> decoded_bits;  ///< Bob's decoded payload
+  /// Receiver-side samples pushed through the DSP chain for this packet
+  /// (all four protocol phases) — the benches' samples/s throughput metric.
+  std::size_t samples_processed = 0;
 };
 
 /// Runs the protocol over a forward/backward channel pair.
 class LinkSession {
  public:
   explicit LinkSession(const SessionConfig& config);
+
+  /// As above, but all DSP scratch (channels, detection, decode) leases
+  /// from `ws`, which must outlive the session. A sweep worker passes its
+  /// own arena so back-to-back sessions reuse the same buffers.
+  LinkSession(const SessionConfig& config, dsp::Workspace& ws);
 
   /// Executes one full packet exchange carrying `info_bits` (0/1 values).
   PacketTrace send_packet(std::span<const std::uint8_t> info_bits);
@@ -79,7 +88,12 @@ class LinkSession {
   channel::UnderwaterChannel& backward_channel() { return backward_; }
 
  private:
+  dsp::Workspace& scratch() const {
+    return ws_ ? *ws_ : dsp::thread_local_workspace();
+  }
+
   SessionConfig config_;
+  dsp::Workspace* ws_ = nullptr;  ///< borrowed; nullptr = thread-local
   channel::UnderwaterChannel forward_;
   channel::UnderwaterChannel backward_;
   phy::Preamble preamble_;

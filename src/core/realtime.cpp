@@ -48,7 +48,7 @@ std::vector<ReceiverEvent> RealtimeReceiver::push(
         preamble_.core_samples() + 4 * config_.params.symbol_total_samples();
     if (buffer_.size() < need) return events;
 
-    auto det = preamble_.detect(buffer_);
+    auto det = preamble_.detect(buffer_, ws_);
     if (!det) {
       // Keep a tail long enough that a preamble straddling the block
       // boundary is still found next time.
@@ -73,7 +73,8 @@ std::vector<ReceiverEvent> RealtimeReceiver::push(
     }
 
     auto id = feedback_.decode_tone(
-        std::span<const double>(buffer_).subspan(pre_end), /*step=*/8);
+        std::span<const double>(buffer_).subspan(pre_end), /*step=*/8,
+        /*min_peak_fraction=*/0.3, ws_);
     if (!id) {
       announced_before_ = consumed_ + pre_end;
       // No ID tone at all: with stale audio ahead of a packet the repeated
@@ -94,7 +95,7 @@ std::vector<ReceiverEvent> RealtimeReceiver::push(
 
     phy::ChannelEstimate est = phy::estimate_channel(
         ofdm_, std::span<const double>(buffer_).subspan(det->start_index),
-        preamble_.cazac_bins());
+        preamble_.cazac_bins(), ws_);
     band_ = phy::select_band(est.snr_db, config_.params.snr_threshold_db,
                              config_.params.lambda);
 
@@ -127,7 +128,7 @@ std::vector<ReceiverEvent> RealtimeReceiver::push(
   opts.search_window = avail > region ? avail - region : 0;
   phy::DataDecodeResult res = modem_.decode(
       std::span<const double>(buffer_).subspan(data_search_origin_), band_,
-      config_.payload_bits, opts);
+      config_.payload_bits, opts, ws_);
 
   ReceiverEvent ev;
   ev.training_metric = res.training_metric;

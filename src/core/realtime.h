@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "dsp/workspace.h"
 #include "phy/bandselect.h"
 #include "phy/datamodem.h"
 #include "phy/feedback.h"
@@ -79,6 +80,7 @@ class RealtimeReceiver {
   phy::FeedbackCodec feedback_;
   phy::DataModem modem_;
   phy::Ofdm ofdm_;
+  dsp::Workspace ws_;  ///< scratch arena reused across push() calls
   std::vector<double> buffer_;
   State state_ = State::kSearching;
   phy::BandSelection band_;

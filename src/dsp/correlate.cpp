@@ -2,35 +2,69 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "dsp/fir.h"
 
 namespace aqua::dsp {
 
+namespace {
+
+// Re-accumulate the running window sum this often (in output samples). A
+// loud leading segment otherwise leaves O(eps * peak_energy * steps)
+// residue in the running sum, which dwarfs the true energy of later quiet
+// windows (catastrophic cancellation); periodic direct re-summation resets
+// that drift at < 1 extra flop per output for any window length.
+constexpr std::size_t kEnergyReaccumulate = 4096;
+
+}  // namespace
+
+namespace {
+
+// Valid-region correlation by the direct loop — below the one-shot
+// threshold the FftFilter construction (kernel copy + FFT + plan lookup)
+// inside CrossCorrelator would dominate a single call.
+std::vector<double> direct_cross_correlate(std::span<const double> x,
+                                           std::span<const double> ref) {
+  std::vector<double> out(x.size() - ref.size() + 1);
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < ref.size(); ++j) acc += x[s + j] * ref[j];
+    out[s] = acc;
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<double> cross_correlate(std::span<const double> x,
                                     std::span<const double> ref) {
   if (ref.empty() || x.size() < ref.size()) return {};
-  // Correlation == convolution with the time-reversed template.
-  std::vector<double> rev(ref.rbegin(), ref.rend());
-  std::vector<double> full = convolve(x, rev);
-  // Valid region starts at ref.size()-1 and has x.size()-ref.size()+1 points.
-  const std::size_t start = ref.size() - 1;
-  const std::size_t count = x.size() - ref.size() + 1;
-  return {full.begin() + static_cast<std::ptrdiff_t>(start),
-          full.begin() + static_cast<std::ptrdiff_t>(start + count)};
+  if (x.size() * ref.size() <= kOneShotDirectConvOpsThreshold) {
+    return direct_cross_correlate(x, ref);
+  }
+  CrossCorrelator corr(std::vector<double>(ref.begin(), ref.end()));
+  std::vector<double> out(corr.output_length(x.size()));
+  corr.correlate_into(x, out, thread_local_workspace());
+  return out;
 }
 
 std::vector<double> normalized_cross_correlate(std::span<const double> x,
                                                std::span<const double> ref) {
-  std::vector<double> corr = cross_correlate(x, ref);
-  if (corr.empty()) return corr;
-  const double ref_energy = energy(ref);
-  std::vector<double> win_energy = sliding_energy(x, ref.size());
-  for (std::size_t i = 0; i < corr.size(); ++i) {
-    const double denom = std::sqrt(ref_energy * win_energy[i]);
-    corr[i] = denom > 1e-12 ? corr[i] / denom : 0.0;
+  if (ref.empty() || x.size() < ref.size()) return {};
+  if (x.size() * ref.size() <= kOneShotDirectConvOpsThreshold) {
+    std::vector<double> out = direct_cross_correlate(x, ref);
+    std::vector<double> win_energy(out.size());
+    sliding_energy_into(x, ref.size(), win_energy);
+    const double ref_energy = energy(ref);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double denom = std::sqrt(ref_energy * win_energy[i]);
+      out[i] = denom > 1e-12 ? out[i] / denom : 0.0;
+    }
+    return out;
   }
-  return corr;
+  CrossCorrelator corr(std::vector<double>(ref.begin(), ref.end()));
+  return corr.normalized(x, thread_local_workspace());
 }
 
 std::size_t argmax(std::span<const double> x) {
@@ -39,16 +73,88 @@ std::size_t argmax(std::span<const double> x) {
       std::distance(x.begin(), std::max_element(x.begin(), x.end())));
 }
 
-std::vector<double> sliding_energy(std::span<const double> x, std::size_t win) {
-  if (win == 0 || x.size() < win) return {};
-  std::vector<double> out(x.size() - win + 1, 0.0);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < win; ++i) acc += x[i] * x[i];
+void sliding_energy_into(std::span<const double> x, std::size_t win,
+                         std::span<double> out) {
+  if (win == 0 || x.size() < win) {
+    throw std::invalid_argument("sliding_energy: window exceeds signal");
+  }
+  if (out.size() != x.size() - win + 1) {
+    throw std::invalid_argument("sliding_energy: output size mismatch");
+  }
+  const auto direct = [&](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < win; ++j) acc += x[i + j] * x[i + j];
+    return acc;
+  };
+  double acc = direct(0);
   out[0] = acc;
   for (std::size_t i = 1; i < out.size(); ++i) {
-    acc += x[i + win - 1] * x[i + win - 1] - x[i - 1] * x[i - 1];
+    if (i % kEnergyReaccumulate == 0) {
+      acc = direct(i);
+    } else {
+      acc += x[i + win - 1] * x[i + win - 1] - x[i - 1] * x[i - 1];
+    }
     out[i] = std::max(acc, 0.0);
   }
+}
+
+std::vector<double> sliding_energy(std::span<const double> x, std::size_t win) {
+  if (win == 0 || x.size() < win) return {};
+  std::vector<double> out(x.size() - win + 1);
+  sliding_energy_into(x, win, out);
+  return out;
+}
+
+namespace {
+
+std::vector<double> reversed_template(std::vector<double> ref) {
+  if (ref.empty()) {
+    throw std::invalid_argument("CrossCorrelator: empty template");
+  }
+  std::reverse(ref.begin(), ref.end());
+  return ref;
+}
+
+}  // namespace
+
+CrossCorrelator::CrossCorrelator(std::vector<double> ref)
+    : ref_size_(ref.size()),
+      ref_energy_(energy(ref)),
+      conv_(reversed_template(std::move(ref))) {}
+
+void CrossCorrelator::correlate_into(std::span<const double> x,
+                                     std::span<double> out,
+                                     Workspace& ws) const {
+  if (out.size() != output_length(x.size())) {
+    throw std::invalid_argument("CrossCorrelator: output size mismatch");
+  }
+  if (out.empty()) return;
+  // Correlation == convolution with the time-reversed template; the valid
+  // region of the full convolution starts at ref_size - 1.
+  ScratchReal full_s(ws, x.size() + ref_size_ - 1);
+  conv_.convolve_into(x, full_s.span(), ws);
+  std::copy_n(full_s->begin() + static_cast<std::ptrdiff_t>(ref_size_ - 1),
+              out.size(), out.begin());
+}
+
+void CrossCorrelator::normalized_into(std::span<const double> x,
+                                      std::span<double> out,
+                                      Workspace& ws) const {
+  correlate_into(x, out, ws);
+  if (out.empty()) return;
+  ScratchReal energy_s(ws, out.size());
+  sliding_energy_into(x, ref_size_, energy_s.span());
+  const std::vector<double>& win_energy = *energy_s;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double denom = std::sqrt(ref_energy_ * win_energy[i]);
+    out[i] = denom > 1e-12 ? out[i] / denom : 0.0;
+  }
+}
+
+std::vector<double> CrossCorrelator::normalized(std::span<const double> x,
+                                                Workspace& ws) const {
+  std::vector<double> out(output_length(x.size()));
+  normalized_into(x, out, ws);
   return out;
 }
 

@@ -5,7 +5,9 @@
 #include <span>
 #include <vector>
 
+#include "dsp/fft_filter.h"
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 
 namespace aqua::dsp {
 
@@ -24,7 +26,47 @@ std::vector<double> normalized_cross_correlate(std::span<const double> x,
 std::size_t argmax(std::span<const double> x);
 
 /// Moving sum of `x*x` over windows of `win` samples:
-/// out[i] = sum_{j<win} x[i+j]^2 (prefix-sum based, O(n)).
+/// out[i] = sum_{j<win} x[i+j]^2 (running-sum based, O(n), periodically
+/// re-accumulated so rounding drift cannot survive a loud-then-quiet
+/// capture). out.size() must be x.size() - win + 1.
+void sliding_energy_into(std::span<const double> x, std::size_t win,
+                         std::span<double> out);
 std::vector<double> sliding_energy(std::span<const double> x, std::size_t win);
+
+/// Template-cached sliding correlator: the time-reversed template and its
+/// overlap-save spectrum are built once, so every detect() call pays only
+/// the per-block signal transforms. Immutable after construction;
+/// shareable across threads.
+class CrossCorrelator {
+ public:
+  /// `ref` must be non-empty.
+  explicit CrossCorrelator(std::vector<double> ref);
+
+  std::size_t ref_size() const { return ref_size_; }
+  double ref_energy() const { return ref_energy_; }
+
+  /// Number of valid correlation lags for an `n`-sample signal (0 when the
+  /// signal is shorter than the template).
+  std::size_t output_length(std::size_t n) const {
+    return n >= ref_size_ ? n - ref_size_ + 1 : 0;
+  }
+
+  /// Raw sliding dot products: out[i] = sum_j x[i+j] * ref[j].
+  /// out.size() must be output_length(x.size()).
+  void correlate_into(std::span<const double> x, std::span<double> out,
+                      Workspace& ws) const;
+
+  /// Energy-normalized correlation (same contract as
+  /// normalized_cross_correlate).
+  void normalized_into(std::span<const double> x, std::span<double> out,
+                       Workspace& ws) const;
+  std::vector<double> normalized(std::span<const double> x,
+                                 Workspace& ws) const;
+
+ private:
+  std::size_t ref_size_ = 0;
+  double ref_energy_ = 0.0;
+  FftFilter conv_;  ///< kernel = time-reversed template
+};
 
 }  // namespace aqua::dsp

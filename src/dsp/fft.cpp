@@ -1,7 +1,9 @@
 #include "dsp/fft.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -63,7 +65,7 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
   }
 }
 
-void FftPlan::radix2(std::vector<cplx>& data, bool invert) const {
+void FftPlan::radix2(std::span<cplx> data, bool invert) const {
   const std::size_t m = data.size();
   // Must fail loudly in release builds too: transforming with a mismatched
   // plan would silently produce garbage spectra.
@@ -90,23 +92,26 @@ void FftPlan::radix2(std::vector<cplx>& data, bool invert) const {
 }
 
 void FftPlan::transform(std::span<const cplx> in, std::span<cplx> out,
-                        bool invert) const {
+                        bool invert, Workspace& ws) const {
   if (in.size() != n_ || out.size() != n_) {
     throw std::invalid_argument("FftPlan: buffer size mismatch");
   }
   if (pow2_) {
-    std::vector<cplx> work(in.begin(), in.end());
-    radix2(work, invert);
-    for (std::size_t i = 0; i < n_; ++i) out[i] = work[i];
+    // Radix-2 runs in place on `out` (n_ == m_ here).
+    if (in.data() != out.data()) std::copy(in.begin(), in.end(), out.begin());
+    radix2(out, invert);
     return;
   }
   // Bluestein: X[k] = conj-chirp convolution. For the inverse transform we
   // conjugate input and output of the forward machinery.
-  std::vector<cplx> a(m_, cplx{0.0, 0.0});
+  ScratchCplx a_s(ws, m_);
+  std::span<cplx> a = a_s.span();
   for (std::size_t k = 0; k < n_; ++k) {
     const cplx x = invert ? std::conj(in[k]) : in[k];
     a[k] = x * chirp_[k];
   }
+  std::fill(a.begin() + static_cast<std::ptrdiff_t>(n_), a.end(),
+            cplx{0.0, 0.0});
   radix2(a, /*invert=*/false);
   for (std::size_t k = 0; k < m_; ++k) a[k] *= chirp_fft_[k];
   radix2(a, /*invert=*/true);
@@ -117,43 +122,74 @@ void FftPlan::transform(std::span<const cplx> in, std::span<cplx> out,
   }
 }
 
-void FftPlan::forward(std::span<const cplx> in, std::span<cplx> out) const {
-  transform(in, out, /*invert=*/false);
+void FftPlan::forward(std::span<const cplx> in, std::span<cplx> out,
+                      Workspace& ws) const {
+  transform(in, out, /*invert=*/false, ws);
 }
 
-void FftPlan::inverse(std::span<const cplx> in, std::span<cplx> out) const {
-  transform(in, out, /*invert=*/true);
+void FftPlan::forward(std::span<const cplx> in, std::span<cplx> out) const {
+  forward(in, out, thread_local_workspace());
+}
+
+void FftPlan::inverse(std::span<const cplx> in, std::span<cplx> out,
+                      Workspace& ws) const {
+  transform(in, out, /*invert=*/true, ws);
   const double scale = 1.0 / static_cast<double>(n_);
   for (cplx& v : out) v *= scale;
 }
 
-namespace {
+void FftPlan::inverse(std::span<const cplx> in, std::span<cplx> out) const {
+  inverse(in, out, thread_local_workspace());
+}
 
-// Per-size plan cache shared by the free-function API. Guarded by a mutex;
-// FftPlan itself is immutable after construction so shared use is safe.
-const FftPlan& cached_plan(std::size_t n) {
-  static std::mutex mu;
-  static std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, std::make_unique<FftPlan>(n)).first;
+const FftPlan& plan_of(std::size_t n) {
+  // Fast path: a thread-local pointer map so steady-state lookups touch no
+  // shared state at all. Plans are never evicted, so the cached pointers
+  // stay valid for the process lifetime.
+  thread_local std::unordered_map<std::size_t, const FftPlan*> local;
+  if (const auto it = local.find(n); it != local.end()) return *it->second;
+
+  static std::shared_mutex mu;
+  static std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>* global =
+      new std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>();
+  {
+    std::shared_lock<std::shared_mutex> read(mu);
+    if (const auto it = global->find(n); it != global->end()) {
+      local.emplace(n, it->second.get());
+      return *it->second;
+    }
   }
+  std::unique_lock<std::shared_mutex> write(mu);
+  auto it = global->find(n);
+  if (it == global->end()) {
+    // Construct before inserting: if FftPlan's constructor throws (n == 0),
+    // the map must stay unchanged so the next lookup throws again instead
+    // of finding a null entry.
+    auto plan = std::make_unique<FftPlan>(n);
+    it = global->emplace(n, std::move(plan)).first;
+  }
+  local.emplace(n, it->second.get());
   return *it->second;
 }
 
-}  // namespace
-
 std::vector<cplx> fft(std::span<const cplx> x) {
   std::vector<cplx> out(x.size());
-  cached_plan(x.size()).forward(x, out);
+  plan_of(x.size()).forward(x, out);
   return out;
 }
 
 std::vector<cplx> ifft(std::span<const cplx> x) {
   std::vector<cplx> out(x.size());
-  cached_plan(x.size()).inverse(x, out);
+  plan_of(x.size()).inverse(x, out);
   return out;
+}
+
+void fft_into(std::span<const cplx> x, std::span<cplx> out, Workspace& ws) {
+  plan_of(x.size()).forward(x, out, ws);
+}
+
+void ifft_into(std::span<const cplx> x, std::span<cplx> out, Workspace& ws) {
+  plan_of(x.size()).inverse(x, out, ws);
 }
 
 std::vector<cplx> fft_real(std::span<const double> x) {

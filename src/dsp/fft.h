@@ -3,19 +3,23 @@
 // Power-of-two sizes use an iterative radix-2 Cooley-Tukey kernel; every other
 // size (e.g. the 960-point OFDM symbol used by the modem) goes through
 // Bluestein's chirp-z algorithm built on top of the radix-2 kernel. Plans are
-// cached per size so repeated transforms only pay for twiddle generation once.
+// cached per size so repeated transforms only pay for twiddle generation once;
+// the cache read path is contention-free (per-thread pointer map backed by a
+// shared_mutex-guarded global), so worker pools never serialize on it.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 
 namespace aqua::dsp {
 
-/// Reusable FFT plan for a fixed transform size. Thread-compatible (use one
-/// plan per thread); construction precomputes twiddles and, for non
-/// power-of-two sizes, the Bluestein chirp pair.
+/// Reusable FFT plan for a fixed transform size. Immutable after
+/// construction, so one plan may be shared by any number of threads.
+/// Construction precomputes twiddles and, for non power-of-two sizes, the
+/// Bluestein chirp pair.
 class FftPlan {
  public:
   /// Creates a plan for `n`-point transforms. `n` must be >= 1.
@@ -26,15 +30,21 @@ class FftPlan {
 
   /// Out-of-place forward DFT: X[k] = sum_n x[n] e^{-j 2 pi k n / N}.
   /// `in` and `out` must both have size() elements and may alias.
+  /// Scratch comes from `ws`; the 2-argument form uses the calling thread's
+  /// arena.
+  void forward(std::span<const cplx> in, std::span<cplx> out,
+               Workspace& ws) const;
   void forward(std::span<const cplx> in, std::span<cplx> out) const;
 
   /// Out-of-place inverse DFT, normalized by 1/N so inverse(forward(x)) == x.
+  void inverse(std::span<const cplx> in, std::span<cplx> out,
+               Workspace& ws) const;
   void inverse(std::span<const cplx> in, std::span<cplx> out) const;
 
  private:
-  void radix2(std::vector<cplx>& data, bool invert) const;
-  void transform(std::span<const cplx> in, std::span<cplx> out,
-                 bool invert) const;
+  void radix2(std::span<cplx> data, bool invert) const;
+  void transform(std::span<const cplx> in, std::span<cplx> out, bool invert,
+                 Workspace& ws) const;
 
   std::size_t n_ = 0;
   bool pow2_ = false;
@@ -49,12 +59,22 @@ class FftPlan {
   friend struct FftPlanTestPeer;       // white-box access for the throw test
 };
 
+/// Shared per-size plan cache. The returned reference is valid for the
+/// lifetime of the process; repeated lookups from the same thread take a
+/// lock-free thread-local fast path.
+const FftPlan& plan_of(std::size_t n);
+
 /// Forward FFT of a complex signal (any length >= 1). Convenience wrapper
-/// around a per-size plan cache.
+/// around the shared plan cache.
 std::vector<cplx> fft(std::span<const cplx> x);
 
 /// Inverse FFT (normalized by 1/N).
 std::vector<cplx> ifft(std::span<const cplx> x);
+
+/// Zero-allocation variants writing into caller buffers (out.size() must
+/// equal x.size(); scratch comes from `ws`).
+void fft_into(std::span<const cplx> x, std::span<cplx> out, Workspace& ws);
+void ifft_into(std::span<const cplx> x, std::span<cplx> out, Workspace& ws);
 
 /// Forward FFT of a real signal; returns all N complex bins.
 std::vector<cplx> fft_real(std::span<const double> x);

@@ -1,0 +1,129 @@
+#include "dsp/fft_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aqua::dsp {
+
+namespace {
+
+// Estimated cost per valid output sample of one overlap-save block of FFT
+// size m for an M-tap kernel: two m-point transforms amortized over
+// m - M + 1 outputs.
+double block_cost(std::size_t m, std::size_t taps) {
+  const double logm = std::log2(static_cast<double>(m));
+  return 2.0 * static_cast<double>(m) * logm /
+         static_cast<double>(m - taps + 1);
+}
+
+}  // namespace
+
+FftFilter::FftFilter(std::vector<double> kernel) : kernel_(std::move(kernel)) {
+  if (kernel_.empty()) {
+    throw std::invalid_argument("FftFilter: empty kernel");
+  }
+  const std::size_t taps = kernel_.size();
+  // Candidate block sizes: the smallest power of two holding one full
+  // overlap plus at least as many fresh samples, then a few doublings.
+  // Larger blocks amortize the transforms better until memory traffic wins.
+  std::size_t best = std::max<std::size_t>(next_pow2(2 * taps), 64);
+  double best_cost = block_cost(best, taps);
+  for (std::size_t m = best * 2; m <= best * 16; m *= 2) {
+    const double c = block_cost(m, taps);
+    if (c < best_cost) {
+      best_cost = c;
+      best = m;
+    }
+  }
+  m_ = best;
+  step_ = m_ - taps + 1;
+  plan_ = &plan_of(m_);
+
+  std::vector<cplx> k(m_, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < taps; ++i) k[i] = {kernel_[i], 0.0};
+  kernel_fft_.resize(m_);
+  plan_->forward(k, kernel_fft_);
+}
+
+void FftFilter::convolve_into(std::span<const double> x, std::span<double> out,
+                              Workspace& ws) const {
+  const std::size_t taps = kernel_.size();
+  if (x.empty()) {
+    // Convolving nothing yields nothing (matching convolve()); a non-empty
+    // out here means the caller sized its buffer for a different signal.
+    if (!out.empty()) {
+      throw std::invalid_argument("FftFilter: output size mismatch");
+    }
+    return;
+  }
+  const std::size_t out_len = x.size() + taps - 1;
+  if (out.size() != out_len) {
+    throw std::invalid_argument("FftFilter: output size mismatch");
+  }
+
+  if (x.size() * taps <= kDirectConvOpsThreshold) {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = 0; j < taps; ++j) out[i + j] += xi * kernel_[j];
+    }
+    return;
+  }
+
+  // Overlap-save over the zero-extended input: block b produces outputs
+  // [b*step, b*step + step) of the full convolution from the input segment
+  // starting at b*step - (taps - 1).
+  ScratchCplx seg_s(ws, m_);
+  ScratchCplx spec_s(ws, m_);
+  std::span<cplx> seg = seg_s.span();
+  std::span<cplx> spec = spec_s.span();
+  const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x.size());
+  for (std::size_t base = 0; base < out_len; base += step_) {
+    const std::ptrdiff_t seg_start =
+        static_cast<std::ptrdiff_t>(base) - static_cast<std::ptrdiff_t>(taps - 1);
+    for (std::size_t j = 0; j < m_; ++j) {
+      const std::ptrdiff_t idx = seg_start + static_cast<std::ptrdiff_t>(j);
+      seg[j] = (idx >= 0 && idx < nx)
+                   ? cplx{x[static_cast<std::size_t>(idx)], 0.0}
+                   : cplx{0.0, 0.0};
+    }
+    plan_->forward(seg, spec, ws);
+    for (std::size_t j = 0; j < m_; ++j) spec[j] *= kernel_fft_[j];
+    plan_->inverse(spec, seg, ws);
+    const std::size_t count = std::min(step_, out_len - base);
+    for (std::size_t j = 0; j < count; ++j) {
+      out[base + j] = seg[taps - 1 + j].real();
+    }
+  }
+}
+
+std::vector<double> FftFilter::convolve(std::span<const double> x,
+                                        Workspace& ws) const {
+  std::vector<double> out(output_length(x.size()));
+  if (!out.empty()) convolve_into(x, out, ws);
+  return out;
+}
+
+void FftFilter::filter_same_into(std::span<const double> x,
+                                 std::span<double> out, Workspace& ws) const {
+  if (out.size() != x.size()) {
+    throw std::invalid_argument("FftFilter: filter_same size mismatch");
+  }
+  if (x.empty()) return;
+  const std::size_t delay = (kernel_.size() - 1) / 2;
+  ScratchReal full_s(ws, x.size() + kernel_.size() - 1);
+  convolve_into(x, full_s.span(), ws);
+  std::copy_n(full_s->begin() + static_cast<std::ptrdiff_t>(delay), x.size(),
+              out.begin());
+}
+
+std::vector<double> FftFilter::filter_same(std::span<const double> x,
+                                           Workspace& ws) const {
+  std::vector<double> out(x.size());
+  filter_same_into(x, out, ws);
+  return out;
+}
+
+}  // namespace aqua::dsp

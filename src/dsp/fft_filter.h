@@ -1,0 +1,78 @@
+// Overlap-save FFT filtering with a cached kernel spectrum.
+//
+// Convolving an N-sample capture with an M-tap kernel one output block at a
+// time costs O(N log B) for a fixed FFT block size B, instead of the
+// O(N * M) of a direct loop or the O(N log N) (with a giant, often
+// Bluestein-sized transform) of zero-padding the whole capture. The kernel
+// spectrum is computed once at construction, so repeated calls — the 128-tap
+// receive bandpass, the 512-tap device responses, the 8-symbol preamble
+// correlation template — pay only the per-block signal transforms.
+//
+// An FftFilter is immutable after construction and may be shared across
+// threads; all per-call scratch comes from the caller's Workspace.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "dsp/types.h"
+#include "dsp/workspace.h"
+
+namespace aqua::dsp {
+
+/// Below this x.size() * kernel.size() product a direct loop beats the FFT
+/// machinery (and is exact); above it overlap-save wins. This is the
+/// per-call crossover for a constructed engine, whose kernel spectrum is
+/// already paid for.
+inline constexpr std::size_t kDirectConvOpsThreshold = std::size_t{1} << 14;
+
+/// Crossover for one-shot free functions (convolve, cross_correlate),
+/// which would pay the engine construction — kernel copy + FFT + plan
+/// lookup — on every call; the direct loop stays competitive to a much
+/// larger op product there.
+inline constexpr std::size_t kOneShotDirectConvOpsThreshold = std::size_t{1}
+                                                              << 18;
+
+/// Streaming-capable overlap-save convolution engine for one real kernel.
+class FftFilter {
+ public:
+  /// Builds the engine for `kernel` (must be non-empty). Chooses the FFT
+  /// block size minimizing estimated per-output cost and caches the kernel
+  /// spectrum at that size.
+  explicit FftFilter(std::vector<double> kernel);
+
+  std::size_t kernel_size() const { return kernel_.size(); }
+  const std::vector<double>& kernel() const { return kernel_; }
+  /// FFT block size chosen for this kernel (power of two).
+  std::size_t fft_size() const { return m_; }
+  /// New input samples consumed per block (fft_size - kernel_size + 1).
+  std::size_t step() const { return step_; }
+  /// Full-convolution output length for an n-sample input. Zero stays zero:
+  /// convolving nothing yields nothing, matching convolve() on empty input.
+  std::size_t output_length(std::size_t n) const {
+    return n == 0 ? 0 : n + kernel_.size() - 1;
+  }
+
+  /// Full linear convolution: out.size() must be x.size() + kernel_size - 1.
+  void convolve_into(std::span<const double> x, std::span<double> out,
+                     Workspace& ws) const;
+  std::vector<double> convolve(std::span<const double> x, Workspace& ws) const;
+
+  /// "Same"-size filtering with group-delay compensation, matching
+  /// dsp::filter_same: out.size() must equal x.size().
+  void filter_same_into(std::span<const double> x, std::span<double> out,
+                        Workspace& ws) const;
+  std::vector<double> filter_same(std::span<const double> x,
+                                  Workspace& ws) const;
+
+ private:
+  std::vector<double> kernel_;
+  std::size_t m_ = 0;     ///< FFT block size (power of two)
+  std::size_t step_ = 0;  ///< valid outputs per block
+  const FftPlan* plan_ = nullptr;  ///< shared cache entry, process lifetime
+  std::vector<cplx> kernel_fft_;
+};
+
+}  // namespace aqua::dsp

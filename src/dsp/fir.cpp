@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "dsp/fft.h"
+#include "dsp/fft_filter.h"
+#include "dsp/workspace.h"
 
 namespace aqua::dsp {
 
@@ -105,8 +107,11 @@ std::vector<double> convolve(std::span<const double> x,
                              std::span<const double> h) {
   if (x.empty() || h.empty()) return {};
   const std::size_t out_len = x.size() + h.size() - 1;
-  // Direct convolution for short kernels; FFT convolution otherwise.
-  if (h.size() * x.size() <= 1 << 18) {
+  // Direct convolution for short kernels; overlap-save otherwise. The
+  // shorter operand becomes the kernel (convolution commutes), so the FFT
+  // block size tracks the kernel, not the capture: an N-sample signal costs
+  // O(N log B) instead of one next_pow2(N+M) transform.
+  if (h.size() * x.size() <= kOneShotDirectConvOpsThreshold) {
     std::vector<double> y(out_len, 0.0);
     for (std::size_t i = 0; i < x.size(); ++i) {
       const double xi = x[i];
@@ -115,22 +120,16 @@ std::vector<double> convolve(std::span<const double> x,
     }
     return y;
   }
-  const std::size_t m = next_pow2(out_len);
-  std::vector<cplx> a(m, cplx{}), b(m, cplx{});
-  for (std::size_t i = 0; i < x.size(); ++i) a[i] = {x[i], 0.0};
-  for (std::size_t i = 0; i < h.size(); ++i) b[i] = {h[i], 0.0};
-  std::vector<cplx> fa = fft(a);
-  std::vector<cplx> fb = fft(b);
-  for (std::size_t i = 0; i < m; ++i) fa[i] *= fb[i];
-  std::vector<double> full = ifft_real(fa);
-  full.resize(out_len);
-  return full;
+  const std::span<const double> kernel = h.size() <= x.size() ? h : x;
+  const std::span<const double> signal = h.size() <= x.size() ? x : h;
+  const FftFilter filt(std::vector<double>(kernel.begin(), kernel.end()));
+  return filt.convolve(signal, thread_local_workspace());
 }
 
 std::vector<cplx> convolve(std::span<const cplx> x, std::span<const cplx> h) {
   if (x.empty() || h.empty()) return {};
   const std::size_t out_len = x.size() + h.size() - 1;
-  if (h.size() * x.size() <= 1 << 18) {
+  if (h.size() * x.size() <= kOneShotDirectConvOpsThreshold) {
     std::vector<cplx> y(out_len, cplx{});
     for (std::size_t i = 0; i < x.size(); ++i) {
       const cplx xi = x[i];
@@ -165,24 +164,42 @@ StreamingFir::StreamingFir(std::vector<double> taps) : taps_(std::move(taps)) {
 }
 
 std::vector<double> StreamingFir::process(std::span<const double> in) {
-  // Assemble [history | in] and run direct convolution valid-region only.
-  std::vector<double> buf;
-  buf.reserve(history_.size() + in.size());
-  buf.insert(buf.end(), history_.begin(), history_.end());
-  buf.insert(buf.end(), in.begin(), in.end());
-
-  std::vector<double> out(in.size(), 0.0);
+  // Filter against the persistent history without materializing the
+  // [history | in] concatenation: outputs in the head region read the tail
+  // of `history_` directly, the rest reads `in` alone. Same summation
+  // order (j ascending) as the concatenated form, so results are
+  // bit-identical to the batch filter.
+  if (in.empty()) return {};  // also keeps std::move below off result==first
   const std::size_t t = taps_.size();
-  for (std::size_t i = 0; i < in.size(); ++i) {
+  const std::size_t hist = t - 1;  // history_ always holds t-1 samples
+  std::vector<double> out(in.size(), 0.0);
+  const std::size_t head = std::min(in.size(), hist);
+  for (std::size_t i = 0; i < head; ++i) {
     double acc = 0.0;
-    // y[i] = sum_j taps[j] * buf[i + t - 1 - j]
-    for (std::size_t j = 0; j < t; ++j) acc += taps_[j] * buf[i + t - 1 - j];
+    // Virtual sample v[m] for m in (-hist, in.size()): in[m] when m >= 0,
+    // else history_[hist + m]. y[i] = sum_j taps[j] * v[i - j].
+    for (std::size_t j = 0; j <= i; ++j) acc += taps_[j] * in[i - j];
+    for (std::size_t j = i + 1; j < t; ++j) {
+      acc += taps_[j] * history_[hist + i - j];
+    }
     out[i] = acc;
   }
-  // Retain the trailing t-1 samples as the next call's history.
-  if (t > 1) {
-    if (buf.size() >= t - 1) {
-      history_.assign(buf.end() - static_cast<std::ptrdiff_t>(t - 1), buf.end());
+  for (std::size_t i = head; i < in.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < t; ++j) acc += taps_[j] * in[i - j];
+    out[i] = acc;
+  }
+  // Retain the trailing t-1 virtual samples as the next call's history.
+  if (hist > 0) {
+    if (in.size() >= hist) {
+      std::copy(in.end() - static_cast<std::ptrdiff_t>(hist), in.end(),
+                history_.begin());
+    } else {
+      // Shift the surviving history left and append the whole block.
+      std::move(history_.begin() + static_cast<std::ptrdiff_t>(in.size()),
+                history_.end(), history_.begin());
+      std::copy(in.begin(), in.end(),
+                history_.end() - static_cast<std::ptrdiff_t>(in.size()));
     }
   }
   return out;

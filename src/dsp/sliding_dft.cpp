@@ -1,0 +1,85 @@
+#include "dsp/sliding_dft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/types.h"
+
+namespace aqua::dsp {
+
+namespace {
+
+// Re-accumulate the running sum from scratch this often (in window starts).
+// Bounds the rounding drift of the O(1) update at ~interval * eps * |x|max
+// while adding less than one flop per output sample.
+constexpr std::size_t kReaccumulateInterval = 4096;
+
+}  // namespace
+
+void moving_dft_power(std::span<const double> x, std::size_t window,
+                      std::size_t first_bin, std::size_t num_bins,
+                      std::span<double> out, Workspace& ws,
+                      std::size_t stride) {
+  if (window == 0 || x.size() < window) {
+    throw std::invalid_argument("moving_dft_power: window exceeds signal");
+  }
+  if (first_bin + num_bins > window) {
+    throw std::invalid_argument("moving_dft_power: bins exceed window");
+  }
+  if (stride == 0) {
+    throw std::invalid_argument("moving_dft_power: stride must be >= 1");
+  }
+  const std::size_t count = x.size() - window + 1;
+  const std::size_t rows = (count + stride - 1) / stride;
+  if (out.size() != rows * num_bins) {
+    throw std::invalid_argument("moving_dft_power: output size mismatch");
+  }
+  if (num_bins == 0) return;
+
+  // Shared phasor table T[m] = e^{-j 2 pi m / window}; bin b reads it at
+  // indices (b * i) mod window, which the inner loops advance with integer
+  // adds, so the phasors are exact for every sample index.
+  ScratchCplx table_s(ws, window);
+  std::span<cplx> table = table_s.span();
+  for (std::size_t m = 0; m < window; ++m) {
+    const double a = -kTwoPi * static_cast<double>(m) /
+                     static_cast<double>(window);
+    table[m] = {std::cos(a), std::sin(a)};
+  }
+
+  for (std::size_t k = 0; k < num_bins; ++k) {
+    const std::size_t b = first_bin + k;
+    // Direct accumulation of the window at `s`, phasor index (b*s) % window.
+    const auto accumulate = [&](std::size_t s, std::size_t phase0) {
+      cplx acc{0.0, 0.0};
+      std::size_t idx = phase0;
+      for (std::size_t i = 0; i < window; ++i) {
+        acc += x[s + i] * table[idx];
+        idx += b;
+        if (idx >= window) idx -= window;
+      }
+      return acc;
+    };
+
+    std::size_t phase = 0;  // (b * s) % window for the current start s
+    cplx acc = accumulate(0, 0);
+    out[k] = std::norm(acc);
+    for (std::size_t s = 1; s < count; ++s) {
+      if (s % kReaccumulateInterval == 0) {
+        // phase still corresponds to s-1 here; advance it first.
+        std::size_t p = phase + b;
+        if (p >= window) p -= window;
+        acc = accumulate(s, p);
+        phase = p;
+      } else {
+        // Remove x[s-1], append x[s-1+window]; both share phasor (b*(s-1)).
+        acc += (x[s - 1 + window] - x[s - 1]) * table[phase];
+        phase += b;
+        if (phase >= window) phase -= window;
+      }
+      if (s % stride == 0) out[(s / stride) * num_bins + k] = std::norm(acc);
+    }
+  }
+}
+
+}  // namespace aqua::dsp

@@ -1,0 +1,40 @@
+// Moving-window DFT power for the feedback/ID/ACK sliding-FFT decoders.
+//
+// The protocol's tone decoders (section 2.2.3) slide an n-point FFT across
+// the capture and look only at the ~60 active in-band bins. Computing a full
+// n-point transform per window position costs O(n log n) every few samples;
+// this instead maintains, per bin b, the running sum
+//     S_b(s) = sum_{i < n} x[s+i] * e^{-j 2 pi b (s+i) / n}
+// updated in O(1) per sample (the phasor table has period n because b is an
+// integer bin, so the subtracted and added terms share one table entry:
+// S_b(s+1) = S_b(s) + (x[s+n] - x[s]) * T[(b*s) mod n]). |S_b(s)|^2 equals
+// the squared magnitude of DFT bin b of the window at s — the window-start
+// phase e^{-j 2 pi b s / n} the FFT convention drops has unit modulus.
+// The sum is re-accumulated from scratch periodically so rounding drift
+// from the running update cannot grow with the capture length.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/workspace.h"
+
+namespace aqua::dsp {
+
+/// Squared DFT-bin magnitudes for every stride-th window start.
+///
+/// The running sum still slides over every start (so values are identical
+/// for any stride), but only starts s with s % stride == 0 are written:
+///   out[(s / stride) * num_bins + k]
+///       == |DFT_window(x[s..s+window))[first_bin + k]|^2
+/// up to rounding. With count = x.size() - window + 1 window starts,
+/// `out.size()` must be ceil(count / stride) * num_bins — stride bounds the
+/// output footprint when the caller's search grid is coarser than one
+/// sample. Requires window >= 1, x.size() >= window, stride >= 1,
+/// first_bin + num_bins <= window.
+void moving_dft_power(std::span<const double> x, std::size_t window,
+                      std::size_t first_bin, std::size_t num_bins,
+                      std::span<double> out, Workspace& ws,
+                      std::size_t stride = 1);
+
+}  // namespace aqua::dsp

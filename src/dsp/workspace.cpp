@@ -1,0 +1,10 @@
+#include "dsp/workspace.h"
+
+namespace aqua::dsp {
+
+Workspace& thread_local_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace aqua::dsp

@@ -1,0 +1,116 @@
+// Reusable scratch-buffer arena for the zero-allocation DSP core.
+//
+// Every hot-path primitive (FFT transforms, overlap-save filtering,
+// correlation, the modem decode chain) takes a Workspace& and leases its
+// scratch buffers from it instead of constructing fresh std::vectors. A
+// lease keeps the vector's capacity when it returns to the pool, so after
+// one warm-up pass a steady-state pipeline performs no heap allocation in
+// its inner loops.
+//
+// Threading contract: a Workspace is single-threaded state. Each SweepRunner
+// worker owns one; code that only has the legacy allocating APIs available
+// goes through thread_local_workspace(), which is one arena per thread.
+// Buffer contents are always fully overwritten by the primitive that leases
+// them, so results never depend on what a previous lease left behind —
+// that is what keeps sweep output bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace aqua::dsp {
+
+/// Pool of reusable double / complex scratch vectors. Lease via ScratchReal
+/// / ScratchCplx below (RAII), or acquire/release directly for members.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Takes a buffer from the pool (or a fresh one) resized to `n`.
+  /// Contents are unspecified; callers must overwrite what they read.
+  std::vector<double> acquire_real(std::size_t n) {
+    std::vector<double> buf = pop(real_pool_);
+    buf.resize(n);
+    return buf;
+  }
+  std::vector<cplx> acquire_cplx(std::size_t n) {
+    std::vector<cplx> buf = pop(cplx_pool_);
+    buf.resize(n);
+    return buf;
+  }
+
+  /// Returns a buffer (keeping its capacity) for the next acquire.
+  void release_real(std::vector<double>&& buf) {
+    real_pool_.push_back(std::move(buf));
+  }
+  void release_cplx(std::vector<cplx>&& buf) {
+    cplx_pool_.push_back(std::move(buf));
+  }
+
+  /// Pool sizes (buffers currently at rest) — used by tests.
+  std::size_t pooled_real() const { return real_pool_.size(); }
+  std::size_t pooled_cplx() const { return cplx_pool_.size(); }
+
+ private:
+  template <typename V>
+  static V pop(std::vector<V>& pool) {
+    if (pool.empty()) return V{};
+    V buf = std::move(pool.back());
+    pool.pop_back();
+    return buf;
+  }
+
+  std::vector<std::vector<double>> real_pool_;
+  std::vector<std::vector<cplx>> cplx_pool_;
+};
+
+/// RAII lease of a double scratch vector sized to `n`.
+class ScratchReal {
+ public:
+  ScratchReal(Workspace& ws, std::size_t n)
+      : ws_(&ws), buf_(ws.acquire_real(n)) {}
+  ~ScratchReal() {
+    if (ws_) ws_->release_real(std::move(buf_));
+  }
+  ScratchReal(const ScratchReal&) = delete;
+  ScratchReal& operator=(const ScratchReal&) = delete;
+
+  std::vector<double>& operator*() { return buf_; }
+  std::vector<double>* operator->() { return &buf_; }
+  std::span<double> span() { return buf_; }
+
+ private:
+  Workspace* ws_;
+  std::vector<double> buf_;
+};
+
+/// RAII lease of a complex scratch vector sized to `n`.
+class ScratchCplx {
+ public:
+  ScratchCplx(Workspace& ws, std::size_t n)
+      : ws_(&ws), buf_(ws.acquire_cplx(n)) {}
+  ~ScratchCplx() {
+    if (ws_) ws_->release_cplx(std::move(buf_));
+  }
+  ScratchCplx(const ScratchCplx&) = delete;
+  ScratchCplx& operator=(const ScratchCplx&) = delete;
+
+  std::vector<cplx>& operator*() { return buf_; }
+  std::vector<cplx>* operator->() { return &buf_; }
+  std::span<cplx> span() { return buf_; }
+
+ private:
+  Workspace* ws_;
+  std::vector<cplx> buf_;
+};
+
+/// One arena per thread, used by the legacy allocating wrappers so existing
+/// call sites get buffer reuse without an API change.
+Workspace& thread_local_workspace();
+
+}  // namespace aqua::dsp

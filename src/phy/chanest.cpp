@@ -8,6 +8,14 @@ namespace aqua::phy {
 ChannelEstimate estimate_channel(const Ofdm& ofdm,
                                  std::span<const double> rx_preamble,
                                  std::span<const dsp::cplx> cazac_bins) {
+  return estimate_channel(ofdm, rx_preamble, cazac_bins,
+                          dsp::thread_local_workspace());
+}
+
+ChannelEstimate estimate_channel(const Ofdm& ofdm,
+                                 std::span<const double> rx_preamble,
+                                 std::span<const dsp::cplx> cazac_bins,
+                                 dsp::Workspace& ws) {
   const OfdmParams& p = ofdm.params();
   const std::size_t n = p.symbol_samples();
   const std::size_t nsym = OfdmParams::kPreambleSymbols;
@@ -18,10 +26,14 @@ ChannelEstimate estimate_channel(const Ofdm& ofdm,
     throw std::invalid_argument("estimate_channel: wrong CAZAC length");
   }
 
-  // Demodulate the eight symbols.
-  std::vector<std::vector<dsp::cplx>> y(nsym);
+  // Demodulate the eight symbols into one leased bins-by-symbol matrix.
+  dsp::ScratchCplx y_s(ws, nsym * p.num_bins());
+  std::span<dsp::cplx> ymat = y_s.span();
+  const auto y = [&](std::size_t s) {
+    return ymat.subspan(s * p.num_bins(), p.num_bins());
+  };
   for (std::size_t s = 0; s < nsym; ++s) {
-    y[s] = ofdm.demodulate(rx_preamble.subspan(s * n, n));
+    ofdm.demodulate_into(rx_preamble.subspan(s * n, n), y(s), ws);
   }
 
   // The transmitted value on bin k during symbol s is
@@ -40,7 +52,7 @@ ChannelEstimate estimate_channel(const Ofdm& ofdm,
     for (std::size_t s = 0; s < nsym; ++s) {
       const dsp::cplx x =
           scale * static_cast<double>(OfdmParams::kPnSigns[s]) * cazac_bins[k];
-      num += std::conj(x) * y[s][k];
+      num += std::conj(x) * y(s)[k];
       den += std::norm(x);
     }
     const dsp::cplx h = den > 0.0 ? num / den : dsp::cplx{0.0, 0.0};
@@ -52,7 +64,7 @@ ChannelEstimate estimate_channel(const Ofdm& ofdm,
       const dsp::cplx x =
           scale * static_cast<double>(OfdmParams::kPnSigns[s]) * cazac_bins[k];
       sig += std::norm(h * x);
-      err += std::norm(y[s][k] - h * x);
+      err += std::norm(y(s)[k] - h * x);
     }
     est.snr_db[k] = err > 0.0 ? dsp::power_to_db(sig / err) : 300.0;
   }

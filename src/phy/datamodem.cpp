@@ -47,16 +47,24 @@ std::vector<double> DataModem::modulate_rows(
   if (abs_bits.size() % width != 0) {
     throw std::invalid_argument("modulate_rows: ragged rows");
   }
+  dsp::Workspace& ws = dsp::thread_local_workspace();
   const std::size_t rows = abs_bits.size() / width;
-  std::vector<double> waveform;
-  waveform.reserve(rows * params_.symbol_total_samples());
-  std::vector<dsp::cplx> bins(width);
+  const std::size_t n = params_.symbol_samples();
+  const std::size_t cp = params_.cp_samples();
+  const std::size_t sym_total = n + cp;
+  std::vector<double> waveform(rows * sym_total);
+  dsp::ScratchCplx bins_s(ws, width);
+  std::span<dsp::cplx> bins = bins_s.span();
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t k = 0; k < width; ++k) {
       bins[k] = bpsk(abs_bits[r * width + k]);
     }
-    std::vector<double> sym = ofdm_.modulate_with_cp(bins, band.begin_bin);
-    waveform.insert(waveform.end(), sym.begin(), sym.end());
+    // Modulate straight into the output row, then copy the symbol tail in
+    // front of it as the cyclic prefix.
+    std::span<double> row(waveform.data() + r * sym_total + cp, n);
+    ofdm_.modulate_into(bins, band.begin_bin, row, ws);
+    std::copy_n(row.end() - static_cast<std::ptrdiff_t>(cp), cp,
+                waveform.begin() + static_cast<std::ptrdiff_t>(r * sym_total));
   }
   return waveform;
 }
@@ -101,27 +109,66 @@ std::vector<double> DataModem::encode_coded(
   return modulate_rows(abs_bits, band);
 }
 
+const DataModem::TrainingTemplate& DataModem::training_template(
+    const BandSelection& band) const {
+  const std::uint32_t key = (static_cast<std::uint32_t>(band.begin_bin) << 16) |
+                            static_cast<std::uint32_t>(band.end_bin);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (const auto it = training_cache_.find(key);
+        it != training_cache_.end()) {
+      return *it->second;
+    }
+  }
+  // Build outside the lock (modulation is the expensive part); a racing
+  // builder for the same band loses and its copy is discarded.
+  std::vector<double> wave = modulate_rows(training_bits(band.width()), band);
+  dsp::CrossCorrelator corr(wave);
+  auto entry = std::make_unique<const TrainingTemplate>(
+      TrainingTemplate{std::move(wave), std::move(corr)});
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto [it, inserted] = training_cache_.try_emplace(key, std::move(entry));
+  return *it->second;
+}
+
 std::vector<double> DataModem::training_waveform(
     const BandSelection& band) const {
-  const std::vector<std::uint8_t> train = training_bits(band.width());
-  return modulate_rows(train, band);
+  return training_template(band).waveform;
 }
 
 DataDecodeResult DataModem::decode(std::span<const double> signal,
                                    const BandSelection& band,
                                    std::size_t info_bits,
                                    const DecodeOptions& options) const {
+  return decode(signal, band, info_bits, options,
+                dsp::thread_local_workspace());
+}
+
+DataDecodeResult DataModem::decode(std::span<const double> signal,
+                                   const BandSelection& band,
+                                   std::size_t info_bits,
+                                   const DecodeOptions& options,
+                                   dsp::Workspace& ws) const {
   const std::size_t coded = coding::coded_length(info_bits, codec_.rate());
   return decode_impl(signal, band, coded, /*run_viterbi=*/true, info_bits,
-                     options);
+                     options, ws);
 }
 
 DataDecodeResult DataModem::decode_coded(std::span<const double> signal,
                                          const BandSelection& band,
                                          std::size_t coded_bits,
                                          const DecodeOptions& options) const {
+  return decode_coded(signal, band, coded_bits, options,
+                      dsp::thread_local_workspace());
+}
+
+DataDecodeResult DataModem::decode_coded(std::span<const double> signal,
+                                         const BandSelection& band,
+                                         std::size_t coded_bits,
+                                         const DecodeOptions& options,
+                                         dsp::Workspace& ws) const {
   return decode_impl(signal, band, coded_bits, /*run_viterbi=*/false, 0,
-                     options);
+                     options, ws);
 }
 
 DataDecodeResult DataModem::decode_impl(std::span<const double> signal,
@@ -129,7 +176,8 @@ DataDecodeResult DataModem::decode_impl(std::span<const double> signal,
                                         std::size_t coded_bits,
                                         bool run_viterbi,
                                         std::size_t info_bits,
-                                        const DecodeOptions& options) const {
+                                        const DecodeOptions& options,
+                                        dsp::Workspace& ws) const {
   DataDecodeResult result;
   const std::size_t width = band.width();
   const std::size_t n = params_.symbol_samples();
@@ -139,19 +187,27 @@ DataDecodeResult DataModem::decode_impl(std::span<const double> signal,
   const std::size_t region = (rows + 1) * sym_total;
 
   // Receive bandpass (1-4 kHz), group-delay compensated.
-  std::vector<double> filtered = dsp::filter_same(signal, bandpass_);
+  dsp::ScratchReal filtered_s(ws, signal.size());
+  bandpass_.filter_same_into(signal, filtered_s.span(), ws);
+  std::span<const double> filtered = filtered_s.span();
 
   // Locate the training symbol: cross-correlation with the known waveform
-  // plus an energy gate in each symbol interval.
+  // plus an energy gate in each symbol interval. The per-band template and
+  // its spectrum come from the cache.
   std::size_t start = 0;
   double training_metric = 0.0;
-  const std::vector<double> tw = training_waveform(band);
+  const TrainingTemplate& tmpl = training_template(band);
+  const std::vector<double>& tw = tmpl.waveform;
   if (options.search_window > 0) {
     const std::size_t span_len =
         std::min(filtered.size(), options.search_window + tw.size());
-    std::vector<double> corr = dsp::normalized_cross_correlate(
-        std::span<const double>(filtered).first(span_len), tw);
-    if (corr.empty()) return result;
+    const std::size_t corr_len =
+        tmpl.correlator.output_length(span_len);
+    if (corr_len == 0) return result;
+    dsp::ScratchReal corr_s(ws, corr_len);
+    tmpl.correlator.normalized_into(filtered.first(span_len), corr_s.span(),
+                                    ws);
+    std::span<const double> corr = corr_s.span();
     const std::size_t peak = dsp::argmax(corr);
     // Sanity gate only: the protocol's preamble detection is the real
     // packet-presence authority; narrowband templates correlate with
@@ -192,28 +248,38 @@ DataDecodeResult DataModem::decode_impl(std::span<const double> signal,
   result.training_start = start;
 
   // Equalizer trained on the training symbol.
-  std::span<const double> rx_all(filtered);
-  std::vector<double> equalized;
+  dsp::ScratchReal equalized_s(ws, region);
+  std::span<double> equalized = equalized_s.span();
   if (options.use_equalizer) {
     const std::size_t taps = params_.equalizer_taps();
-    const std::size_t train_len = std::min(sym_total + cp, filtered.size() - start);
+    const std::size_t train_len =
+        std::min(sym_total + cp, filtered.size() - start);
     MmseEqualizer eq = MmseEqualizer::train(
-        rx_all.subspan(start, train_len), tw, taps, taps / 2);
-    equalized = eq.apply(rx_all.subspan(
-        start, std::min(region + taps, filtered.size() - start)));
+        filtered.subspan(start, train_len), tw, taps, taps / 2);
+    const std::size_t eq_len =
+        std::min(region + taps, filtered.size() - start);
+    dsp::ScratchReal eq_out_s(ws, eq_len);
+    eq.apply_into(filtered.subspan(start, eq_len), eq_out_s.span());
+    const std::size_t copy_len = std::min(eq_len, region);
+    std::copy_n(eq_out_s->begin(), copy_len, equalized.begin());
+    std::fill(equalized.begin() + static_cast<std::ptrdiff_t>(copy_len),
+              equalized.end(), 0.0);
   } else {
     const std::size_t len = std::min(region, filtered.size() - start);
-    equalized.assign(filtered.begin() + static_cast<std::ptrdiff_t>(start),
-                     filtered.begin() + static_cast<std::ptrdiff_t>(start + len));
+    std::copy_n(filtered.begin() + static_cast<std::ptrdiff_t>(start), len,
+                equalized.begin());
+    std::fill(equalized.begin() + static_cast<std::ptrdiff_t>(len),
+              equalized.end(), 0.0);
   }
-  if (equalized.size() < region) equalized.resize(region, 0.0);
 
   // Per-symbol FFT over the selected band.
-  std::vector<dsp::cplx> y((rows + 1) * width);
+  dsp::ScratchCplx y_s(ws, (rows + 1) * width);
+  std::span<dsp::cplx> y = y_s.span();
+  dsp::ScratchCplx bins_s(ws, params_.num_bins());
+  std::span<dsp::cplx> bins = bins_s.span();
   for (std::size_t r = 0; r <= rows; ++r) {
     const std::size_t sym_start = r * sym_total + cp;
-    std::vector<dsp::cplx> bins = ofdm_.demodulate(
-        std::span<const double>(equalized).subspan(sym_start, n));
+    ofdm_.demodulate_into(equalized.subspan(sym_start, n), bins, ws);
     for (std::size_t k = 0; k < width; ++k) {
       y[r * width + k] = bins[band.begin_bin + k];
     }

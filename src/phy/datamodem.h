@@ -9,16 +9,27 @@
 // cross-correlation + energy detection -> train the time-domain MMSE
 // equalizer -> per-symbol FFT -> differential soft demodulation ->
 // deinterleave -> Viterbi.
+//
+// The receive bandpass spectrum is cached at construction, and per-band
+// training waveforms (plus their correlation templates) are cached on first
+// use, so repeated encode/decode calls for the same band never rebuild
+// them. All decode scratch comes from a Workspace.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "coding/convolutional.h"
 #include "coding/differential.h"
 #include "coding/interleaver.h"
+#include "dsp/correlate.h"
+#include "dsp/fft_filter.h"
+#include "dsp/workspace.h"
 #include "phy/bandselect.h"
 #include "phy/equalizer.h"
 #include "phy/ofdm.h"
@@ -76,11 +87,22 @@ class DataModem {
 
   /// Decodes `info_bits` info bits from `signal`, whose sample 0 should be
   /// at (or `options.search_window` samples before) the training symbol.
+  /// Scratch comes from `ws`; the overloads without it use the calling
+  /// thread's arena.
+  DataDecodeResult decode(std::span<const double> signal,
+                          const BandSelection& band, std::size_t info_bits,
+                          const DecodeOptions& options,
+                          dsp::Workspace& ws) const;
   DataDecodeResult decode(std::span<const double> signal,
                           const BandSelection& band, std::size_t info_bits,
                           const DecodeOptions& options = {}) const;
 
   /// Decodes raw coded bits (no Viterbi) — counterpart of encode_coded().
+  DataDecodeResult decode_coded(std::span<const double> signal,
+                                const BandSelection& band,
+                                std::size_t coded_bits,
+                                const DecodeOptions& options,
+                                dsp::Workspace& ws) const;
   DataDecodeResult decode_coded(std::span<const double> signal,
                                 const BandSelection& band,
                                 std::size_t coded_bits,
@@ -92,18 +114,35 @@ class DataModem {
   std::vector<std::uint8_t> training_bits(std::size_t width) const;
 
  private:
+  /// Per-band cache entry: the training waveform and its correlator (the
+  /// reversed template + spectrum), built once per (begin_bin, end_bin).
+  struct TrainingTemplate {
+    std::vector<double> waveform;
+    dsp::CrossCorrelator correlator;
+  };
+
+  const TrainingTemplate& training_template(const BandSelection& band) const;
   std::vector<double> modulate_rows(std::span<const std::uint8_t> abs_bits,
                                     const BandSelection& band) const;
   DataDecodeResult decode_impl(std::span<const double> signal,
                                const BandSelection& band,
                                std::size_t coded_bits, bool run_viterbi,
                                std::size_t info_bits,
-                               const DecodeOptions& options) const;
+                               const DecodeOptions& options,
+                               dsp::Workspace& ws) const;
 
   OfdmParams params_;
   Ofdm ofdm_;
   coding::ConvolutionalCodec codec_;
-  std::vector<double> bandpass_;
+  dsp::FftFilter bandpass_;  ///< receive bandpass, cached spectrum
+
+  // Lazy per-band template cache. The mutex only guards the map itself;
+  // entries are immutable once inserted (stable addresses via unique_ptr),
+  // so decode paths hold the lock only for the lookup.
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<std::uint32_t,
+                             std::unique_ptr<const TrainingTemplate>>
+      training_cache_;
 };
 
 }  // namespace aqua::phy

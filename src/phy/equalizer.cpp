@@ -44,8 +44,20 @@ MmseEqualizer MmseEqualizer::train(std::span<const double> rx,
 }
 
 std::vector<double> MmseEqualizer::apply(std::span<const double> x) const {
-  if (taps_.empty()) return {x.begin(), x.end()};  // identity
-  std::vector<double> out(x.size(), 0.0);
+  std::vector<double> out(x.size());
+  apply_into(x, out);
+  return out;
+}
+
+void MmseEqualizer::apply_into(std::span<const double> x,
+                               std::span<double> out) const {
+  if (out.size() != x.size()) {
+    throw std::invalid_argument("MmseEqualizer: output size mismatch");
+  }
+  if (taps_.empty()) {  // identity
+    std::copy(x.begin(), x.end(), out.begin());
+    return;
+  }
   const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x.size());
   const std::ptrdiff_t d = static_cast<std::ptrdiff_t>(delay_);
   for (std::ptrdiff_t m = 0; m < nx; ++m) {
@@ -57,7 +69,6 @@ std::vector<double> MmseEqualizer::apply(std::span<const double> x) const {
     }
     out[static_cast<std::size_t>(m)] = acc;
   }
-  return out;
 }
 
 MmseEqualizer MmseEqualizer::identity() { return MmseEqualizer{}; }

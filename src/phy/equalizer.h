@@ -29,6 +29,9 @@ class MmseEqualizer {
   /// sample m of the output estimates transmitted sample m.
   std::vector<double> apply(std::span<const double> x) const;
 
+  /// Zero-allocation apply: `out` must be x.size() long and not alias `x`.
+  void apply_into(std::span<const double> x, std::span<double> out) const;
+
   const std::vector<double>& taps() const { return taps_; }
   std::size_t delay() const { return delay_; }
 

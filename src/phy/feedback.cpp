@@ -2,79 +2,98 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "dsp/fir.h"
+#include "dsp/sliding_dft.h"
 
 namespace aqua::phy {
 
 namespace {
+
+// The decoders only read window starts on the caller's step grid plus the
+// repeat offsets r * sym_total; both lie on the gcd(step, sym_total) grid,
+// so a strided moving-DFT pass keeps the power matrix at count / stride
+// rows instead of pinning count * num_bins doubles in the arena for long
+// captures.
+std::size_t power_grid_stride(std::size_t step, std::size_t sym_total) {
+  return std::gcd(step, sym_total);
+}
+
+// Noncoherent combining of the kRepeats repeated symbols at window start
+// `start`, whitened per bin by the edge noise profile. `win` is the strided
+// moving-DFT power matrix.
+void combine_repeats(std::span<const double> win,
+                     std::span<const double> noise, std::size_t start,
+                     std::size_t sym_total, std::size_t stride,
+                     std::span<double> powers) {
+  std::fill(powers.begin(), powers.end(), 0.0);
+  const std::size_t bins = powers.size();
+  for (std::size_t r = 0; r < FeedbackCodec::kRepeats; ++r) {
+    const double* row = win.data() + ((start + r * sym_total) / stride) * bins;
+    for (std::size_t k = 0; k < bins; ++k) powers[k] += row[k] / noise[k];
+  }
+}
 
 // Per-bin noise profile estimated from the first and last symbol-length
 // windows of the capture (at least one of them precedes/follows the symbol
 // being searched for). Whitening by this profile removes the receiver-side
 // spectral tilt — residual sub-kHz ambient noise in the filter transition
 // band, device response slope — that would otherwise bias the top-bin
-// search toward the band edges.
-std::vector<double> edge_noise_profile(const Ofdm& ofdm,
-                                       std::span<const double> signal) {
+// search toward the band edges. Fills `noise` (num_bins() values).
+void edge_noise_profile(const Ofdm& ofdm, std::span<const double> signal,
+                        std::span<double> noise, dsp::Workspace& ws) {
   const std::size_t n = ofdm.params().symbol_samples();
   const std::size_t bins = ofdm.params().num_bins();
+  dsp::ScratchCplx spec_s(ws, bins);
+  std::span<dsp::cplx> spec = spec_s.span();
   // Average several overlapping windows at each edge of the capture (hop
   // n/2); single-window periodograms have far too much variance to divide
   // by. At least one edge precedes/follows the symbol being searched for.
-  auto edge_mean = [&](bool from_start) {
-    std::vector<double> acc(bins, 0.0);
+  const auto edge_mean = [&](bool from_start, std::span<double> acc) {
+    std::fill(acc.begin(), acc.end(), 0.0);
     std::size_t count = 0;
     for (std::size_t w = 0; w < 4; ++w) {
       const std::size_t off = w * n / 2;
       if (off + n > signal.size()) break;
       const std::size_t start = from_start ? off : signal.size() - n - off;
-      std::vector<dsp::cplx> spec = ofdm.demodulate(signal.subspan(start, n));
+      ofdm.demodulate_into(signal.subspan(start, n), spec, ws);
       for (std::size_t k = 0; k < bins; ++k) acc[k] += std::norm(spec[k]);
       ++count;
     }
     if (count > 0) {
       for (double& v : acc) v /= static_cast<double>(count);
     }
-    return acc;
   };
-  const std::vector<double> head = edge_mean(true);
-  const std::vector<double> tail = edge_mean(false);
-  std::vector<double> noise(bins);
+  dsp::ScratchReal head_s(ws, bins);
+  dsp::ScratchReal tail_s(ws, bins);
+  edge_mean(true, head_s.span());
+  edge_mean(false, tail_s.span());
+  dsp::ScratchReal raw_s(ws, bins);
+  std::span<double> raw = raw_s.span();
   for (std::size_t k = 0; k < bins; ++k) {
-    noise[k] = std::min(head[k], tail[k]);
+    raw[k] = std::min((*head_s)[k], (*tail_s)[k]);
   }
   // Smooth across bins (5-bin moving average) and floor against near-zero
   // estimates so no single bin gets an unbounded whitened score.
-  std::vector<double> smooth(bins, 0.0);
   for (std::size_t k = 0; k < bins; ++k) {
     double acc = 0.0;
     std::size_t cnt = 0;
     for (std::ptrdiff_t d = -2; d <= 2; ++d) {
       const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(k) + d;
       if (j < 0 || j >= static_cast<std::ptrdiff_t>(bins)) continue;
-      acc += noise[static_cast<std::size_t>(j)];
+      acc += raw[static_cast<std::size_t>(j)];
       ++cnt;
     }
-    smooth[k] = acc / static_cast<double>(cnt);
+    noise[k] = acc / static_cast<double>(cnt);
   }
-  std::vector<double> sorted = smooth;
-  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
-                   sorted.end());
-  const double floor_val = 0.2 * sorted[sorted.size() / 2] + 1e-18;
-  for (double& v : smooth) v = std::max(v, floor_val);
-  return smooth;
+  dsp::ScratchReal sorted_s(ws, bins);
+  std::copy(noise.begin(), noise.end(), sorted_s->begin());
+  std::nth_element(sorted_s->begin(), sorted_s->begin() + bins / 2,
+                   sorted_s->end());
+  const double floor_val = 0.2 * (*sorted_s)[bins / 2] + 1e-18;
+  for (double& v : noise) v = std::max(v, floor_val);
 }
-
-}  // namespace
-
-FeedbackCodec::FeedbackCodec(const OfdmParams& params)
-    : params_(params),
-      ofdm_(params),
-      bandpass_(dsp::design_bandpass(params.band_low_hz, params.band_high_hz,
-                                     params.sample_rate_hz, 129)) {}
-
-namespace {
 
 std::vector<double> repeat_symbol(const std::vector<double>& sym,
                                   std::size_t repeats) {
@@ -87,6 +106,12 @@ std::vector<double> repeat_symbol(const std::vector<double>& sym,
 }
 
 }  // namespace
+
+FeedbackCodec::FeedbackCodec(const OfdmParams& params)
+    : params_(params),
+      ofdm_(params),
+      bandpass_(dsp::design_bandpass(params.band_low_hz, params.band_high_hz,
+                                     params.sample_rate_hz, 129)) {}
 
 std::vector<double> FeedbackCodec::encode_band(const BandSelection& band) const {
   std::vector<dsp::cplx> bins(params_.num_bins(), dsp::cplx{0.0, 0.0});
@@ -104,34 +129,46 @@ std::vector<double> FeedbackCodec::encode_tone(std::size_t bin) const {
 std::optional<FeedbackDecode> FeedbackCodec::decode_band(
     std::span<const double> raw, std::size_t step,
     double min_peak_fraction) const {
+  return decode_band(raw, step, min_peak_fraction,
+                     dsp::thread_local_workspace());
+}
+
+std::optional<FeedbackDecode> FeedbackCodec::decode_band(
+    std::span<const double> raw, std::size_t step, double min_peak_fraction,
+    dsp::Workspace& ws) const {
   const std::size_t n = params_.symbol_samples();
+  const std::size_t bins = params_.num_bins();
   if (raw.size() < n || step == 0) return std::nullopt;
   // Sub-kHz ambient noise (and machinery tones) otherwise leak into the
   // band-edge FFT bins through the rectangular-window sidelobes and
   // masquerade as a transmitted tone.
-  const std::vector<double> filtered = dsp::filter_same(raw, bandpass_);
-  std::span<const double> signal(filtered);
+  dsp::ScratchReal filtered_s(ws, raw.size());
+  bandpass_.filter_same_into(raw, filtered_s.span(), ws);
+  std::span<const double> signal = filtered_s.span();
 
-  const std::vector<double> noise = edge_noise_profile(ofdm_, signal);
+  dsp::ScratchReal noise_s(ws, bins);
+  edge_noise_profile(ofdm_, signal, noise_s.span(), ws);
+  std::span<const double> noise = noise_s.span();
 
   const std::size_t sym_total = params_.symbol_total_samples();
   const std::size_t span_needed = (kRepeats - 1) * sym_total + n;
   if (signal.size() < span_needed) return std::nullopt;
 
+  // One moving-DFT pass covers every window start and every repeat offset.
+  const std::size_t stride = power_grid_stride(step, sym_total);
+  const std::size_t count = signal.size() - n + 1;
+  dsp::ScratchReal win_s(ws, ((count + stride - 1) / stride) * bins);
+  dsp::moving_dft_power(signal, n, params_.first_bin(), bins, win_s.span(),
+                        ws, stride);
+  std::span<const double> win = win_s.span();
+
   std::optional<FeedbackDecode> best;
   double best_peak_sum = 0.0;
-  std::vector<double> powers(params_.num_bins());
+  dsp::ScratchReal powers_s(ws, bins);
+  std::vector<double>& powers = *powers_s;
   for (std::size_t start = 0; start + span_needed <= signal.size();
        start += step) {
-    // Noncoherent combining over the repeated symbols.
-    std::fill(powers.begin(), powers.end(), 0.0);
-    for (std::size_t r = 0; r < kRepeats; ++r) {
-      std::vector<dsp::cplx> bins =
-          ofdm_.demodulate(signal.subspan(start + r * sym_total, n));
-      for (std::size_t k = 0; k < bins.size(); ++k) {
-        powers[k] += std::norm(bins[k]) / noise[k];
-      }
-    }
+    combine_repeats(win, noise, start, sym_total, stride, powers);
     // Top-2 whitened (per-bin SNR) powers.
     double total = 0.0;
     std::size_t i1 = 0, i2 = 0;
@@ -182,30 +219,42 @@ std::optional<FeedbackDecode> FeedbackCodec::decode_band(
 std::optional<ToneDecode> FeedbackCodec::decode_tone(
     std::span<const double> raw, std::size_t step,
     double min_peak_fraction) const {
-  const std::size_t n = params_.symbol_samples();
-  if (raw.size() < n || step == 0) return std::nullopt;
-  const std::vector<double> filtered = dsp::filter_same(raw, bandpass_);
-  std::span<const double> signal(filtered);
+  return decode_tone(raw, step, min_peak_fraction,
+                     dsp::thread_local_workspace());
+}
 
-  const std::vector<double> noise = edge_noise_profile(ofdm_, signal);
+std::optional<ToneDecode> FeedbackCodec::decode_tone(
+    std::span<const double> raw, std::size_t step, double min_peak_fraction,
+    dsp::Workspace& ws) const {
+  const std::size_t n = params_.symbol_samples();
+  const std::size_t bins = params_.num_bins();
+  if (raw.size() < n || step == 0) return std::nullopt;
+  dsp::ScratchReal filtered_s(ws, raw.size());
+  bandpass_.filter_same_into(raw, filtered_s.span(), ws);
+  std::span<const double> signal = filtered_s.span();
+
+  dsp::ScratchReal noise_s(ws, bins);
+  edge_noise_profile(ofdm_, signal, noise_s.span(), ws);
+  std::span<const double> noise = noise_s.span();
 
   const std::size_t sym_total = params_.symbol_total_samples();
   const std::size_t span_needed = (kRepeats - 1) * sym_total + n;
   if (signal.size() < span_needed) return std::nullopt;
 
+  const std::size_t stride = power_grid_stride(step, sym_total);
+  const std::size_t count = signal.size() - n + 1;
+  dsp::ScratchReal win_s(ws, ((count + stride - 1) / stride) * bins);
+  dsp::moving_dft_power(signal, n, params_.first_bin(), bins, win_s.span(),
+                        ws, stride);
+  std::span<const double> win = win_s.span();
+
   std::optional<ToneDecode> best;
   double best_peak = 0.0;
-  std::vector<double> powers(params_.num_bins());
+  dsp::ScratchReal powers_s(ws, bins);
+  std::vector<double>& powers = *powers_s;
   for (std::size_t start = 0; start + span_needed <= signal.size();
        start += step) {
-    std::fill(powers.begin(), powers.end(), 0.0);
-    for (std::size_t r = 0; r < kRepeats; ++r) {
-      std::vector<dsp::cplx> bins =
-          ofdm_.demodulate(signal.subspan(start + r * sym_total, n));
-      for (std::size_t k = 0; k < bins.size(); ++k) {
-        powers[k] += std::norm(bins[k]) / noise[k];
-      }
-    }
+    combine_repeats(win, noise, start, sym_total, stride, powers);
     double total = 0.0;
     double p1 = -1.0;
     std::size_t i1 = 0;

@@ -4,7 +4,9 @@
 // The band-selection feedback is one OFDM symbol with ALL transmit power in
 // the two bins (f_begin, f_end); the receiver finds it with a sliding FFT
 // and picks the top-2 bins. Device IDs and ACKs use the same trick with a
-// single bin.
+// single bin. The sliding FFT is evaluated with a moving-window DFT bank
+// (dsp/sliding_dft.h) that updates each active bin in O(1) per sample, so a
+// capture costs O(N * bins) instead of one full transform per window.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "dsp/fft_filter.h"
+#include "dsp/workspace.h"
 #include "phy/bandselect.h"
 #include "phy/ofdm.h"
 
@@ -46,12 +50,21 @@ class FeedbackCodec {
 
   /// Searches `signal` for a two-tone feedback symbol using a sliding FFT
   /// with step `step`. Returns nullopt when no window concentrates at least
-  /// `min_peak_fraction` of its in-band power in two bins.
+  /// `min_peak_fraction` of its in-band power in two bins. Scratch comes
+  /// from `ws`; the overloads without it use the calling thread's arena.
+  std::optional<FeedbackDecode> decode_band(std::span<const double> signal,
+                                            std::size_t step,
+                                            double min_peak_fraction,
+                                            dsp::Workspace& ws) const;
   std::optional<FeedbackDecode> decode_band(std::span<const double> signal,
                                             std::size_t step = 16,
                                             double min_peak_fraction = 0.3) const;
 
   /// Searches `signal` for a single-tone symbol.
+  std::optional<ToneDecode> decode_tone(std::span<const double> signal,
+                                        std::size_t step,
+                                        double min_peak_fraction,
+                                        dsp::Workspace& ws) const;
   std::optional<ToneDecode> decode_tone(std::span<const double> signal,
                                         std::size_t step = 16,
                                         double min_peak_fraction = 0.3) const;
@@ -69,7 +82,7 @@ class FeedbackCodec {
  private:
   OfdmParams params_;
   Ofdm ofdm_;
-  std::vector<double> bandpass_;  ///< receive bandpass applied before decode
+  dsp::FftFilter bandpass_;  ///< receive bandpass, cached spectrum
 };
 
 }  // namespace aqua::phy

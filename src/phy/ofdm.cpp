@@ -1,5 +1,6 @@
 #include "phy/ofdm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -13,7 +14,7 @@ constexpr double kTargetMeanPower = 0.05;
 }  // namespace
 
 Ofdm::Ofdm(const OfdmParams& params)
-    : params_(params), plan_(params.symbol_samples()) {}
+    : params_(params), plan_(&dsp::plan_of(params.symbol_samples())) {}
 
 double Ofdm::power_norm(std::size_t active_bin_count) const {
   if (active_bin_count == 0) return 0.0;
@@ -28,27 +29,39 @@ std::vector<double> Ofdm::modulate(std::span<const dsp::cplx> bins) const {
 
 std::vector<double> Ofdm::modulate_at(std::span<const dsp::cplx> bins,
                                       std::size_t bin_offset) const {
+  std::vector<double> out(params_.symbol_samples());
+  modulate_into(bins, bin_offset, out, dsp::thread_local_workspace());
+  return out;
+}
+
+void Ofdm::modulate_into(std::span<const dsp::cplx> bins,
+                         std::size_t bin_offset, std::span<double> out,
+                         dsp::Workspace& ws) const {
   const std::size_t n = params_.symbol_samples();
   if (bin_offset + bins.size() > params_.num_bins()) {
     throw std::invalid_argument("Ofdm::modulate_at: bins exceed active band");
+  }
+  if (out.size() != n) {
+    throw std::invalid_argument("Ofdm::modulate_into: wrong output length");
   }
   std::size_t active = 0;
   for (const dsp::cplx& b : bins) {
     if (std::norm(b) > 1e-20) ++active;
   }
   const double scale = power_norm(active == 0 ? 1 : active);
-  std::vector<dsp::cplx> spec(n, dsp::cplx{0.0, 0.0});
+  dsp::ScratchCplx spec_s(ws, n);
+  dsp::ScratchCplx time_s(ws, n);
+  std::span<dsp::cplx> spec = spec_s.span();
+  std::fill(spec.begin(), spec.end(), dsp::cplx{0.0, 0.0});
   const std::size_t k0 = params_.first_bin() + bin_offset;
   for (std::size_t i = 0; i < bins.size(); ++i) {
     const std::size_t k = k0 + i;
     spec[k] = bins[i] * scale;
     spec[n - k] = std::conj(spec[k]);  // Hermitian symmetry -> real waveform
   }
-  std::vector<dsp::cplx> time(n);
-  plan_.inverse(spec, time);
-  std::vector<double> out(n);
+  std::span<dsp::cplx> time = time_s.span();
+  plan_->inverse(spec, time, ws);
   for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real();
-  return out;
 }
 
 std::vector<double> Ofdm::add_cp(std::span<const double> symbol) const {
@@ -70,19 +83,30 @@ std::vector<double> Ofdm::modulate_with_cp(std::span<const dsp::cplx> bins,
 }
 
 std::vector<dsp::cplx> Ofdm::demodulate(std::span<const double> symbol) const {
+  std::vector<dsp::cplx> bins(params_.num_bins());
+  demodulate_into(symbol, bins, dsp::thread_local_workspace());
+  return bins;
+}
+
+void Ofdm::demodulate_into(std::span<const double> symbol,
+                           std::span<dsp::cplx> bins,
+                           dsp::Workspace& ws) const {
   const std::size_t n = params_.symbol_samples();
   if (symbol.size() != n) {
     throw std::invalid_argument("Ofdm::demodulate: wrong symbol length");
   }
-  std::vector<dsp::cplx> time(n);
+  if (bins.size() != params_.num_bins()) {
+    throw std::invalid_argument("Ofdm::demodulate_into: wrong bins length");
+  }
+  dsp::ScratchCplx time_s(ws, n);
+  dsp::ScratchCplx spec_s(ws, n);
+  std::span<dsp::cplx> time = time_s.span();
   for (std::size_t i = 0; i < n; ++i) time[i] = {symbol[i], 0.0};
-  std::vector<dsp::cplx> spec(n);
-  plan_.forward(time, spec);
-  std::vector<dsp::cplx> bins(params_.num_bins());
+  std::span<dsp::cplx> spec = spec_s.span();
+  plan_->forward(time, spec, ws);
   for (std::size_t k = 0; k < bins.size(); ++k) {
     bins[k] = spec[params_.first_bin() + k];
   }
-  return bins;
 }
 
 }  // namespace aqua::phy

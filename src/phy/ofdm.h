@@ -10,11 +10,13 @@
 
 #include "dsp/fft.h"
 #include "dsp/types.h"
+#include "dsp/workspace.h"
 #include "phy/params.h"
 
 namespace aqua::phy {
 
-/// Modulator/demodulator for one OFDM numerology. Owns the FFT plan.
+/// Modulator/demodulator for one OFDM numerology. Uses the shared FFT plan
+/// cache, so construction is cheap and instances are freely copyable.
 class Ofdm {
  public:
   explicit Ofdm(const OfdmParams& params);
@@ -31,6 +33,10 @@ class Ofdm {
   std::vector<double> modulate_at(std::span<const dsp::cplx> bins,
                                   std::size_t bin_offset) const;
 
+  /// Zero-allocation modulate_at: `out` must be symbol_samples() long.
+  void modulate_into(std::span<const dsp::cplx> bins, std::size_t bin_offset,
+                     std::span<double> out, dsp::Workspace& ws) const;
+
   /// Prepends the cyclic prefix to a symbol.
   std::vector<double> add_cp(std::span<const double> symbol) const;
 
@@ -42,6 +48,10 @@ class Ofdm {
   /// CP-free/aligned. Returns the num_bins() active-bin values.
   std::vector<dsp::cplx> demodulate(std::span<const double> symbol) const;
 
+  /// Zero-allocation demodulate: `bins` must be num_bins() long.
+  void demodulate_into(std::span<const double> symbol,
+                       std::span<dsp::cplx> bins, dsp::Workspace& ws) const;
+
   /// Scales a time-domain symbol so that full-band unit-magnitude bins give
   /// a waveform with approximately unit peak. All modulate() outputs are
   /// already normalized so the *total transmit power* is the same no matter
@@ -50,7 +60,7 @@ class Ofdm {
 
  private:
   OfdmParams params_;
-  dsp::FftPlan plan_;
+  const dsp::FftPlan* plan_;  ///< shared cache entry, process lifetime
 };
 
 }  // namespace aqua::phy

@@ -4,37 +4,48 @@
 #include <cmath>
 
 #include "dsp/cazac.h"
-#include "dsp/correlate.h"
 #include "dsp/fir.h"
 
 namespace aqua::phy {
 
-Preamble::Preamble(const OfdmParams& params) : params_(params), ofdm_(params) {
-  bandpass_ = dsp::design_bandpass(params.band_low_hz, params.band_high_hz,
-                                   params.sample_rate_hz, 129);
-  cazac_bins_ = dsp::zadoff_chu(params.num_bins());
-  one_symbol_ = ofdm_.modulate(cazac_bins_);
-  const std::size_t n = params.symbol_samples();
-  core_samples_ = OfdmParams::kPreambleSymbols * n;
+namespace {
 
-  // Core: eight signed copies.
-  std::vector<double> core;
-  core.reserve(core_samples_);
-  for (std::size_t s = 0; s < OfdmParams::kPreambleSymbols; ++s) {
-    const double sign = static_cast<double>(OfdmParams::kPnSigns[s]);
-    for (std::size_t i = 0; i < n; ++i) core.push_back(sign * one_symbol_[i]);
-  }
+// CP + 8 signed copies of the CAZAC symbol.
+std::vector<double> build_waveform(const OfdmParams& params,
+                                   std::span<const double> one_symbol) {
+  const std::size_t n = params.symbol_samples();
+  const std::size_t cp = params.cp_samples();
+  std::vector<double> waveform;
+  waveform.reserve(cp + OfdmParams::kPreambleSymbols * n);
   // One cyclic prefix in front (tail of the first signed symbol) to absorb
   // multipath before the sync point.
-  const std::size_t cp = params.cp_samples();
-  waveform_.clear();
-  waveform_.reserve(cp + core.size());
   const double sign0 = static_cast<double>(OfdmParams::kPnSigns[0]);
   for (std::size_t i = n - cp; i < n; ++i) {
-    waveform_.push_back(sign0 * one_symbol_[i]);
+    waveform.push_back(sign0 * one_symbol[i]);
   }
-  waveform_.insert(waveform_.end(), core.begin(), core.end());
+  for (std::size_t s = 0; s < OfdmParams::kPreambleSymbols; ++s) {
+    const double sign = static_cast<double>(OfdmParams::kPnSigns[s]);
+    for (std::size_t i = 0; i < n; ++i) {
+      waveform.push_back(sign * one_symbol[i]);
+    }
+  }
+  return waveform;
 }
+
+}  // namespace
+
+Preamble::Preamble(const OfdmParams& params)
+    : params_(params),
+      ofdm_(params),
+      cazac_bins_(dsp::zadoff_chu(params.num_bins())),
+      one_symbol_(ofdm_.modulate(cazac_bins_)),
+      waveform_(build_waveform(params, one_symbol_)),
+      bandpass_(dsp::design_bandpass(params.band_low_hz, params.band_high_hz,
+                                     params.sample_rate_hz, 129)),
+      core_corr_(std::vector<double>(
+          waveform_.begin() + static_cast<std::ptrdiff_t>(params.cp_samples()),
+          waveform_.end())),
+      core_samples_(OfdmParams::kPreambleSymbols * params.symbol_samples()) {}
 
 double Preamble::sliding_metric_at(std::span<const double> signal,
                                    std::size_t start) const {
@@ -61,21 +72,28 @@ double Preamble::sliding_metric_at(std::span<const double> signal,
 
 std::optional<PreambleDetection> Preamble::detect(
     std::span<const double> raw_signal) const {
+  return detect(raw_signal, dsp::thread_local_workspace());
+}
+
+std::optional<PreambleDetection> Preamble::detect(
+    std::span<const double> raw_signal, dsp::Workspace& ws) const {
   const std::size_t n = params_.symbol_samples();
   if (raw_signal.size() < core_samples_) return std::nullopt;
 
   // Receive bandpass (1-4 kHz): ambient noise is strongest below 1 kHz
   // (Fig. 4) and would otherwise dominate the energy normalization of both
   // detection stages. Group-delay compensated, so indices are unchanged.
-  const std::vector<double> filtered = dsp::filter_same(raw_signal, bandpass_);
-  std::span<const double> signal(filtered);
+  dsp::ScratchReal filtered_s(ws, raw_signal.size());
+  bandpass_.filter_same_into(raw_signal, filtered_s.span(), ws);
+  std::span<const double> signal = filtered_s.span();
 
-  // Stage 1: coarse normalized cross-correlation against the core.
-  const std::vector<double> core(waveform_.begin() +
-                                     static_cast<std::ptrdiff_t>(params_.cp_samples()),
-                                 waveform_.end());
-  std::vector<double> coarse = dsp::normalized_cross_correlate(signal, core);
-  if (coarse.empty()) return std::nullopt;
+  // Stage 1: coarse normalized cross-correlation against the core, through
+  // the cached template spectrum.
+  const std::size_t coarse_len = core_corr_.output_length(signal.size());
+  if (coarse_len == 0) return std::nullopt;
+  dsp::ScratchReal coarse_s(ws, coarse_len);
+  core_corr_.normalized_into(signal, coarse_s.span(), ws);
+  std::span<const double> coarse = coarse_s.span();
 
   // Candidate peaks: the best correlation in each half-symbol chunk.
   struct Candidate { double value; std::size_t index; };

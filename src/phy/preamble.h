@@ -5,12 +5,20 @@
 // normalized cross-correlation produces candidates; a normalized sliding
 // segment correlation (robust to gain changes and impulsive noise) confirms
 // them and yields sample-accurate timing.
+//
+// The receive bandpass and the correlation template are baked into cached
+// overlap-save engines at construction (kernel spectra computed once), and
+// detect() leases all per-call buffers from a Workspace, so steady-state
+// detection performs no heap allocation and no template transforms.
 #pragma once
 
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "dsp/correlate.h"
+#include "dsp/fft_filter.h"
+#include "dsp/workspace.h"
 #include "phy/ofdm.h"
 #include "phy/params.h"
 
@@ -41,7 +49,10 @@ class Preamble {
   /// Detects the preamble anywhere in `signal`. Internally applies the
   /// receive bandpass (1-4 kHz) before both detection stages so sub-kHz
   /// ambient noise cannot drown the normalization. Returns the confirmed
-  /// detection with the highest sliding metric, or nullopt.
+  /// detection with the highest sliding metric, or nullopt. Scratch comes
+  /// from `ws`; the 1-argument form uses the calling thread's arena.
+  std::optional<PreambleDetection> detect(std::span<const double> signal,
+                                          dsp::Workspace& ws) const;
   std::optional<PreambleDetection> detect(std::span<const double> signal) const;
 
   /// Normalized sliding segment-correlation metric for a window starting at
@@ -66,7 +77,8 @@ class Preamble {
   std::vector<dsp::cplx> cazac_bins_;
   std::vector<double> one_symbol_;       ///< unsigned CAZAC symbol
   std::vector<double> waveform_;         ///< CP + 8 signed symbols
-  std::vector<double> bandpass_;         ///< receive bandpass taps
+  dsp::FftFilter bandpass_;              ///< receive bandpass, cached spectrum
+  dsp::CrossCorrelator core_corr_;       ///< cached core-template correlator
   std::size_t core_samples_ = 0;
 };
 

@@ -17,7 +17,9 @@ SweepRunner::SweepRunner(const RunnerOptions& options) {
 }
 
 void SweepRunner::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::mt19937_64&)>& fn,
+    std::size_t n,
+    const std::function<void(std::size_t, std::mt19937_64&, dsp::Workspace&)>&
+        fn,
     std::uint64_t seed_base) const {
   if (n == 0) return;
   const auto item_seed = [seed_base](std::size_t i) {
@@ -33,9 +35,10 @@ void SweepRunner::parallel_for(
       std::min<std::size_t>(static_cast<std::size_t>(threads_), n));
   if (workers <= 1) {
     std::mt19937_64 rng;
+    dsp::Workspace ws;  // scratch shared by all items of this serial pass
     for (std::size_t i = 0; i < n; ++i) {
       rng.seed(item_seed(i));
-      fn(i, rng);
+      fn(i, rng, ws);
     }
     return;
   }
@@ -46,6 +49,7 @@ void SweepRunner::parallel_for(
   std::exception_ptr first_error;
   const auto worker = [&] {
     std::mt19937_64 rng;  // this worker's stream, re-seeded per item
+    dsp::Workspace ws;    // this worker's private scratch arena
     for (;;) {
       // Stop claiming new items once any item has thrown; the remaining
       // results would be discarded with the rethrow anyway.
@@ -54,7 +58,7 @@ void SweepRunner::parallel_for(
       if (i >= n) return;
       try {
         rng.seed(item_seed(i));
-        fn(i, rng);
+        fn(i, rng, ws);
       } catch (...) {
         failed.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(error_mu);
@@ -68,6 +72,17 @@ void SweepRunner::parallel_for(
   for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void SweepRunner::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::mt19937_64&)>& fn,
+    std::uint64_t seed_base) const {
+  parallel_for(
+      n,
+      [&fn](std::size_t i, std::mt19937_64& rng, dsp::Workspace&) {
+        fn(i, rng);
+      },
+      seed_base);
 }
 
 std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& grid,
@@ -94,11 +109,11 @@ std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& grid,
 
   parallel_for(
       chunks.size(),
-      [&](std::size_t i, std::mt19937_64&) {
+      [&](std::size_t i, std::mt19937_64&, dsp::Workspace& ws) {
         const Chunk& c = chunks[i];
         partial[i] = run_packet_range(configs[c.scenario], c.begin, c.end,
                                       seed_base + c.scenario * 7919,
-                                      payload_bits);
+                                      payload_bits, &ws);
       },
       seed_base);
 

@@ -21,6 +21,7 @@
 #include <random>
 #include <vector>
 
+#include "dsp/workspace.h"
 #include "sim/sweep.h"
 
 namespace aqua::sim {
@@ -46,11 +47,22 @@ class SweepRunner {
   /// Resolved worker count (>= 1).
   int threads() const { return threads_; }
 
-  /// Deterministic parallel for: invokes fn(i, rng) exactly once for every
-  /// i in [0, n), distributed over the pool. `rng` is the calling worker's
-  /// RNG stream, re-seeded from (seed_base, i) before the call so output
-  /// depends only on the item index. fn must only touch state owned by
-  /// item i. The first exception thrown by any item is rethrown here.
+  /// Deterministic parallel for: invokes fn(i, rng, ws) exactly once for
+  /// every i in [0, n), distributed over the pool. `rng` is the calling
+  /// worker's RNG stream, re-seeded from (seed_base, i) before the call so
+  /// output depends only on the item index. `ws` is the calling worker's
+  /// private scratch arena — its buffers persist across that worker's
+  /// items (capacity reuse) but every item fully overwrites what it reads,
+  /// so results stay independent of the item-to-worker assignment. fn must
+  /// only touch state owned by item i. The first exception thrown by any
+  /// item is rethrown here.
+  void parallel_for(
+      std::size_t n,
+      const std::function<void(std::size_t, std::mt19937_64&,
+                               dsp::Workspace&)>& fn,
+      std::uint64_t seed_base = 0) const;
+
+  /// Convenience overload for items that need no DSP scratch.
   void parallel_for(
       std::size_t n,
       const std::function<void(std::size_t, std::mt19937_64&)>& fn,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <random>
 
 namespace aqua::sim {
@@ -15,6 +16,7 @@ void BatchStats::merge(const BatchStats& other) {
   bitrates.insert(bitrates.end(), other.bitrates.begin(), other.bitrates.end());
   coded_errors += other.coded_errors;
   coded_bits += other.coded_bits;
+  samples += other.samples;
 }
 
 double BatchStats::median_bitrate() const {
@@ -94,19 +96,26 @@ core::SessionConfig session_config(const Scenario& s) {
 
 BatchStats run_packet_range(const core::SessionConfig& base, int begin,
                             int end, std::uint64_t seed_base,
-                            std::size_t payload_bits) {
+                            std::size_t payload_bits, dsp::Workspace* ws) {
   BatchStats stats;
   for (int i = begin; i < end; ++i) {
     core::SessionConfig cfg = base;
     cfg.forward.seed = seed_base + static_cast<std::uint64_t>(i) * 131;
-    core::LinkSession session(cfg);
+    // Constructed in place: the modem's template cache makes sessions
+    // non-movable (mutex member).
+    std::optional<core::LinkSession> session;
+    if (ws) {
+      session.emplace(cfg, *ws);
+    } else {
+      session.emplace(cfg);
+    }
     // Payload derived from the packet index alone (splitmix-style stir) so
     // chunk boundaries cannot change what packet i carries.
     std::mt19937_64 rng(seed_base * 77 + 5 +
                         static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
     std::vector<std::uint8_t> bits(payload_bits);
     for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1);
-    const core::PacketTrace t = session.send_packet(bits);
+    const core::PacketTrace t = session->send_packet(bits);
     stats.sent++;
     if (t.preamble_detected) stats.preamble_detected++;
     if (t.feedback_decoded) stats.feedback_ok++;
@@ -117,6 +126,7 @@ BatchStats run_packet_range(const core::SessionConfig& base, int begin,
     }
     stats.coded_errors += t.coded_bit_errors;
     stats.coded_bits += t.coded_bits;
+    stats.samples += t.samples_processed;
   }
   return stats;
 }

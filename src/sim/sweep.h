@@ -19,6 +19,7 @@
 #include "channel/environment.h"
 #include "channel/mobility.h"
 #include "core/link_session.h"
+#include "dsp/workspace.h"
 #include "phy/bandselect.h"
 
 namespace aqua::sim {
@@ -34,6 +35,9 @@ struct BatchStats {
   std::vector<double> bitrates;  ///< selected (info) bitrate per packet
   std::size_t coded_errors = 0;
   std::size_t coded_bits = 0;
+  /// Receiver-side samples pushed through the DSP chain (throughput
+  /// accounting for the perf baseline).
+  std::uint64_t samples = 0;
 
   /// Accumulates `other` after this one (order matters for `bitrates`).
   void merge(const BatchStats& other);
@@ -100,9 +104,12 @@ core::SessionConfig session_config(const Scenario& s);
 /// (seed_base, i) — its channel seed and payload bits are derived from the
 /// packet index, never from previously run packets — so splitting [0, n)
 /// into chunks and merging the partial stats in index order is
-/// bit-identical to one serial pass.
+/// bit-identical to one serial pass. When `ws` is non-null every session in
+/// the range leases its DSP scratch from it (the sweep workers pass their
+/// per-thread arenas); scratch reuse never changes results.
 BatchStats run_packet_range(const core::SessionConfig& base, int begin,
                             int end, std::uint64_t seed_base,
-                            std::size_t payload_bits = 16);
+                            std::size_t payload_bits = 16,
+                            dsp::Workspace* ws = nullptr);
 
 }  // namespace aqua::sim

@@ -362,6 +362,16 @@ TEST(UnderwaterChannel, MobilityMakesOutputTimeVarying) {
   EXPECT_GT(mv, 5.0 * sv);
 }
 
+TEST(UnderwaterChannel, EmptyTransmitYieldsNoiseOnlyTimeline) {
+  // An empty tx waveform must still produce the lead-in/tail ambient-noise
+  // timeline (useful for probing the channel), not throw.
+  LinkConfig lc;
+  UnderwaterChannel ch(lc);
+  const std::vector<double> rx = ch.transmit({}, 0.01, 0.01);
+  EXPECT_GE(rx.size(), static_cast<std::size_t>(0.02 * 48000.0));
+  EXPECT_GT(dsp::energy(rx), 0.0);  // ambient noise is on by default
+}
+
 TEST(UnderwaterChannel, RejectsNonPositiveRange) {
   LinkConfig lc;
   lc.range_m = 0.0;

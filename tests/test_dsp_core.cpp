@@ -1,0 +1,350 @@
+// Zero-allocation DSP core: Workspace arenas, the overlap-save FftFilter
+// engine, the moving-window DFT bank, template-cached correlation, and the
+// running-sum regressions (sliding_energy drift, StreamingFir ring history).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "dsp/correlate.h"
+#include "dsp/fft.h"
+#include "dsp/fft_filter.h"
+#include "dsp/fir.h"
+#include "dsp/sliding_dft.h"
+#include "dsp/workspace.h"
+#include "phy/ofdm.h"
+#include "phy/params.h"
+
+namespace aqua::dsp {
+namespace {
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> x(n);
+  for (auto& v : x) v = g(rng);
+  return x;
+}
+
+std::vector<double> direct_convolve(std::span<const double> x,
+                                    std::span<const double> h) {
+  std::vector<double> y(x.size() + h.size() - 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < h.size(); ++j) y[i + j] += x[i] * h[j];
+  }
+  return y;
+}
+
+// --- Overlap-save equivalence across awkward size combinations. ---------
+
+struct ConvCase {
+  std::size_t signal;
+  std::size_t kernel;
+};
+
+class OverlapSaveTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(OverlapSaveTest, MatchesDirectConvolution) {
+  const auto [nx, nh] = GetParam();
+  Workspace ws;
+  const std::vector<double> x = random_real(nx, 1000 + nx);
+  const std::vector<double> h = random_real(nh, 2000 + nh);
+  const FftFilter filt{std::vector<double>(h)};
+  const std::vector<double> got = filt.convolve(x, ws);
+  const std::vector<double> expect = direct_convolve(x, h);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expect[i], 1e-9) << "sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, OverlapSaveTest,
+    ::testing::Values(
+        // Kernel exactly as long as the signal (odd length).
+        ConvCase{257, 257},
+        // Kernel longer than the signal.
+        ConvCase{129, 501},
+        // Odd everything, several full blocks plus a partial one.
+        ConvCase{4999, 129},
+        // The paper's receive bandpass and preamble-template shapes.
+        ConvCase{9973, 129},
+        ConvCase{1501, 961}));
+
+TEST(OverlapSave, BlockBoundaryStraddlingLengths) {
+  // Signal lengths placed exactly at, one before, and one past multiples of
+  // the engine's per-block step must all agree with direct convolution.
+  Workspace ws;
+  const std::vector<double> h = random_real(129, 7);
+  const FftFilter filt{std::vector<double>(h)};
+  const std::size_t step = filt.step();
+  ASSERT_GT(step, 2u);
+  for (const std::size_t nx :
+       {step - 1, step, step + 1, 2 * step - 1, 2 * step + 1, 3 * step}) {
+    const std::vector<double> x = random_real(nx, 31 + nx);
+    const std::vector<double> got = filt.convolve(x, ws);
+    const std::vector<double> expect = direct_convolve(x, h);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], expect[i], 1e-9) << "nx " << nx << " sample " << i;
+    }
+  }
+}
+
+TEST(OverlapSave, FilterSameMatchesFreeFunction) {
+  Workspace ws;
+  const std::vector<double> h = design_bandpass(1000.0, 4000.0, 48000.0, 129);
+  const std::vector<double> x = random_real(3000, 17);
+  const FftFilter filt{std::vector<double>(h)};
+  const std::vector<double> a = filt.filter_same(x, ws);
+  const std::vector<double> b = filter_same(x, h);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(OverlapSave, RejectsEmptyKernelAndWrongSizes) {
+  EXPECT_THROW(FftFilter{std::vector<double>{}}, std::invalid_argument);
+  Workspace ws;
+  const FftFilter filt{std::vector<double>{1.0, 2.0}};
+  std::vector<double> x(10), out(5);
+  EXPECT_THROW(filt.convolve_into(x, out, ws), std::invalid_argument);
+  // An empty signal convolves to nothing; a non-empty out is a sizing bug
+  // and must not be silently zero-filled.
+  EXPECT_THROW(filt.convolve_into({}, out, ws), std::invalid_argument);
+  EXPECT_NO_THROW(filt.convolve_into({}, {}, ws));
+}
+
+TEST(FftPlanCache, SizeZeroThrowsEveryTime) {
+  // A throwing FftPlan constructor must leave the shared plan cache
+  // unchanged: the second lookup used to find a null cache entry and
+  // crash instead of throwing again.
+  EXPECT_THROW(fft(std::vector<cplx>{}), std::invalid_argument);
+  EXPECT_THROW(fft(std::vector<cplx>{}), std::invalid_argument);
+  EXPECT_THROW(plan_of(0), std::invalid_argument);
+}
+
+// --- Template-cached correlation. ---------------------------------------
+
+TEST(CrossCorrelator, MatchesFreeFunctions) {
+  Workspace ws;
+  const std::vector<double> ref = random_real(200, 3);
+  std::vector<double> x(4000, 0.0);
+  for (std::size_t i = 0; i < ref.size(); ++i) x[700 + i] = 0.5 * ref[i];
+  const CrossCorrelator corr{std::vector<double>(ref)};
+  const std::vector<double> got = corr.normalized(x, ws);
+  const std::vector<double> expect = normalized_cross_correlate(x, ref);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expect[i], 1e-9);
+  }
+  EXPECT_EQ(argmax(got), 700u);
+  EXPECT_NEAR(got[700], 1.0, 1e-9);
+}
+
+// --- Moving-window DFT bank vs per-window FFT demodulation. --------------
+
+TEST(MovingDftPower, MatchesPerWindowFft) {
+  const phy::OfdmParams params;
+  const phy::Ofdm ofdm(params);
+  const std::size_t n = params.symbol_samples();
+  const std::size_t bins = params.num_bins();
+  Workspace ws;
+  const std::vector<double> x = random_real(3 * n + 137, 23);
+  const std::size_t count = x.size() - n + 1;
+  std::vector<double> powers(count * bins);
+  moving_dft_power(x, n, params.first_bin(), bins, powers, ws);
+  // Spot-check starts across the capture, including both edges.
+  for (const std::size_t s :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, n - 1, n, 2 * n + 41,
+        count - 1}) {
+    const std::vector<cplx> spec =
+        ofdm.demodulate(std::span<const double>(x).subspan(s, n));
+    for (std::size_t k = 0; k < bins; ++k) {
+      const double expect = std::norm(spec[k]);
+      EXPECT_NEAR(powers[s * bins + k], expect,
+                  1e-9 * (1.0 + expect))
+          << "start " << s << " bin " << k;
+    }
+  }
+}
+
+TEST(MovingDftPower, SurvivesLongCapturesWithoutDrift) {
+  // 60k samples crosses several re-accumulation intervals; the running sums
+  // must still match a direct window evaluation at the far end.
+  const std::size_t n = 960;
+  Workspace ws;
+  const std::vector<double> x = random_real(60000, 29);
+  const std::size_t count = x.size() - n + 1;
+  std::vector<double> powers(count * 1);
+  moving_dft_power(x, n, 20, 1, powers, ws);
+  const std::size_t s = count - 1;
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = -kTwoPi * 20.0 *
+                     static_cast<double>(s + i) / static_cast<double>(n);
+    acc += x[s + i] * cplx{std::cos(a), std::sin(a)};
+  }
+  EXPECT_NEAR(powers[s], std::norm(acc), 1e-6 * (1.0 + std::norm(acc)));
+}
+
+TEST(MovingDftPower, StridedOutputMatchesDenseRows) {
+  // The strided form must write exactly the rows at stride multiples, with
+  // values bit-identical to the dense pass (the slide itself is unchanged).
+  const std::size_t n = 960;
+  const std::size_t bins = 7;
+  Workspace ws;
+  const std::vector<double> x = random_real(3 * n + 61, 41);
+  const std::size_t count = x.size() - n + 1;
+  std::vector<double> dense(count * bins);
+  moving_dft_power(x, n, 20, bins, dense, ws);
+  for (const std::size_t stride : {std::size_t{8}, std::size_t{13}}) {
+    const std::size_t rows = (count + stride - 1) / stride;
+    std::vector<double> strided(rows * bins);
+    moving_dft_power(x, n, 20, bins, strided, ws, stride);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t k = 0; k < bins; ++k) {
+        ASSERT_EQ(strided[r * bins + k], dense[r * stride * bins + k])
+            << "stride " << stride << " row " << r << " bin " << k;
+      }
+    }
+  }
+}
+
+TEST(MovingDftPower, RejectsBadArguments) {
+  Workspace ws;
+  std::vector<double> x(100), out(100);
+  EXPECT_THROW(moving_dft_power(x, 0, 0, 1, out, ws), std::invalid_argument);
+  EXPECT_THROW(moving_dft_power(x, 200, 0, 1, out, ws),
+               std::invalid_argument);
+  EXPECT_THROW(moving_dft_power(x, 50, 40, 20, out, ws),
+               std::invalid_argument);
+}
+
+// --- sliding_energy running-sum drift regression. ------------------------
+
+TEST(SlidingEnergy, LoudThenSilentCaptureHasNoResidue) {
+  // A large-DC leading segment used to leave catastrophic-cancellation
+  // residue in the running sum, so windows deep inside the silent tail
+  // reported garbage energy. With periodic re-accumulation they are clean.
+  const std::size_t win = 64;
+  std::vector<double> x(20000, 0.0);
+  for (std::size_t i = 0; i < 6000; ++i) x[i] = 1e8 + std::sin(0.1 * i);
+  const std::vector<double> e = sliding_energy(x, win);
+  ASSERT_EQ(e.size(), x.size() - win + 1);
+  // Everywhere: accurate relative to the loudest window the running sum has
+  // carried (the best any streaming sum can promise through a 1e16-scale
+  // cancellation).
+  const double peak = 64.0 * 1e16;  // win * DC^2
+  for (std::size_t i = 0; i < e.size(); i += 97) {
+    double direct = 0.0;
+    for (std::size_t j = 0; j < win; ++j) direct += x[i + j] * x[i + j];
+    ASSERT_NEAR(e[i], direct, 1e-10 * peak) << "window " << i;
+  }
+  // The regression: windows past the next re-accumulation boundary must be
+  // ~exactly zero. Without periodic re-accumulation the cancellation
+  // residue (~1e3 here) survives to the end of the capture.
+  for (std::size_t i = 12000; i < e.size(); i += 501) {
+    ASSERT_LT(e[i], 1e-6) << "window " << i;
+  }
+}
+
+// --- StreamingFir ring history. ------------------------------------------
+
+TEST(StreamingFir, TinyBlocksMatchBatchConvolution) {
+  // Blocks shorter than the filter history exercise the in-place shift
+  // path; the streamed output must still be bit-compatible with the batch
+  // filter.
+  std::mt19937_64 rng(41);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> x(500), h(33);
+  for (auto& v : x) v = g(rng);
+  for (auto& v : h) v = g(rng);
+  StreamingFir fir{std::vector<double>(h)};
+  std::vector<double> streamed;
+  std::size_t base = 0;
+  const std::size_t sizes[] = {1, 3, 40, 7, 2, 100, 5};
+  std::size_t pick = 0;
+  while (base < x.size()) {
+    const std::size_t len =
+        std::min(sizes[pick++ % std::size(sizes)], x.size() - base);
+    auto block = fir.process(std::span<const double>(x).subspan(base, len));
+    streamed.insert(streamed.end(), block.begin(), block.end());
+    base += len;
+  }
+  const std::vector<double> full = convolve(x, h);
+  ASSERT_EQ(streamed.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(streamed[i], full[i], 1e-9) << "sample " << i;
+  }
+}
+
+TEST(StreamingFir, EmptyBlockIsANoOp) {
+  StreamingFir fir{std::vector<double>{0.5, 0.25, 0.25}};
+  std::vector<double> first = fir.process(std::vector<double>{1.0, 2.0});
+  EXPECT_TRUE(fir.process(std::span<const double>{}).empty());
+  // History must be unchanged by the empty call: next output continues the
+  // stream exactly.
+  std::vector<double> next = fir.process(std::vector<double>{3.0});
+  EXPECT_NEAR(next[0], 0.5 * 3.0 + 0.25 * 2.0 + 0.25 * 1.0, 1e-12);
+}
+
+// --- Workspace reuse and the zero-allocation FFT paths. ------------------
+
+TEST(Workspace, BuffersReturnToThePoolAndGetReused) {
+  Workspace ws;
+  EXPECT_EQ(ws.pooled_real(), 0u);
+  {
+    ScratchReal a(ws, 100);
+    ScratchReal b(ws, 200);
+    EXPECT_EQ(ws.pooled_real(), 0u);  // both leased out
+  }
+  EXPECT_EQ(ws.pooled_real(), 2u);  // returned
+  {
+    ScratchReal c(ws, 150);  // reuses a pooled buffer
+    EXPECT_EQ(ws.pooled_real(), 1u);
+    EXPECT_EQ(c->size(), 150u);
+  }
+  EXPECT_EQ(ws.pooled_real(), 2u);  // steady state: no growth
+}
+
+TEST(Workspace, SteadyStateDspPipelineStopsAllocatingBuffers) {
+  // After one warm-up pass, repeating the same filtering pipeline must not
+  // grow the arena's buffer pool.
+  Workspace ws;
+  const std::vector<double> x = random_real(5000, 5);
+  const FftFilter filt(design_bandpass(1000.0, 4000.0, 48000.0, 129));
+  std::vector<double> out(x.size());
+  filt.filter_same_into(x, out, ws);
+  const std::size_t real_after_warmup = ws.pooled_real();
+  const std::size_t cplx_after_warmup = ws.pooled_cplx();
+  for (int pass = 0; pass < 3; ++pass) {
+    filt.filter_same_into(x, out, ws);
+    EXPECT_EQ(ws.pooled_real(), real_after_warmup);
+    EXPECT_EQ(ws.pooled_cplx(), cplx_after_warmup);
+  }
+}
+
+TEST(FftInto, MatchesAllocatingWrappers) {
+  Workspace ws;
+  std::mt19937_64 rng(9);
+  std::normal_distribution<double> g(0.0, 1.0);
+  for (const std::size_t n : {8u, 60u, 960u, 1027u}) {
+    std::vector<cplx> x(n);
+    for (auto& v : x) v = {g(rng), g(rng)};
+    std::vector<cplx> out(n), back(n);
+    fft_into(x, out, ws);
+    const std::vector<cplx> expect = fft(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(out[i] - expect[i]), 0.0, 1e-9);
+    }
+    ifft_into(out, back, ws);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqua::dsp

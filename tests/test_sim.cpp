@@ -2,9 +2,13 @@
 // execution, and thread-count invariance of the worker pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <random>
 #include <set>
 
+#include "dsp/fft_filter.h"
+#include "dsp/fir.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 
@@ -15,7 +19,8 @@ bool stats_equal(const BatchStats& a, const BatchStats& b) {
   return a.sent == b.sent && a.preamble_detected == b.preamble_detected &&
          a.feedback_ok == b.feedback_ok && a.delivered == b.delivered &&
          a.feedback_exact == b.feedback_exact && a.bitrates == b.bitrates &&
-         a.coded_errors == b.coded_errors && a.coded_bits == b.coded_bits;
+         a.coded_errors == b.coded_errors && a.coded_bits == b.coded_bits &&
+         a.samples == b.samples;
 }
 
 TEST(ScenarioGrid, ExpandsCrossProductInAxisOrder) {
@@ -108,6 +113,32 @@ TEST(SweepRunner, ItemRngDependsOnIndexNotWorker) {
   EXPECT_EQ(serial, pooled);
   // Distinct items get distinct streams.
   EXPECT_NE(serial[0], serial[1]);
+}
+
+TEST(SweepRunner, PerWorkerWorkspacesAreThreadCountInvariant) {
+  // Each item runs real DSP through the worker's private arena; since every
+  // lease is fully overwritten, the output must be bit-identical no matter
+  // which worker (and therefore which recycled buffers) served the item.
+  const auto run_with = [](int threads) {
+    std::vector<double> peaks(24, 0.0);
+    SweepRunner runner(RunnerOptions{.threads = threads});
+    runner.parallel_for(
+        peaks.size(),
+        [&](std::size_t i, std::mt19937_64& rng, dsp::Workspace& ws) {
+          std::normal_distribution<double> g(0.0, 1.0);
+          std::vector<double> x(3000 + 17 * i);
+          for (auto& v : x) v = g(rng);
+          const dsp::FftFilter filt(
+              dsp::design_bandpass(1000.0, 4000.0, 48000.0, 129));
+          const std::vector<double> y = filt.filter_same(x, ws);
+          peaks[i] = *std::max_element(y.begin(), y.end());
+        },
+        /*seed_base=*/77);
+    return peaks;
+  };
+  const std::vector<double> serial = run_with(1);
+  const std::vector<double> pooled = run_with(8);
+  EXPECT_EQ(serial, pooled);  // bit-identical, not just approximately equal
 }
 
 TEST(SweepRunner, PropagatesTheFirstWorkerException) {
