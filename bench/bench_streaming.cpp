@@ -1,0 +1,157 @@
+// Streaming front end vs. the rescan baseline.
+//
+// The pre-Modem realtime receiver re-filtered and re-correlated its whole
+// rolling capture (search_buffer samples) on every push, so per-push cost
+// grew with the buffer. The PreambleScanner filters and correlates each
+// sample exactly once through stateful overlap-save streams, making
+// per-push cost O(chunk · log B) regardless of retention.
+//
+// This bench feeds the same microphone timeline (one phase-1 packet inside
+// ambient noise) to both front ends in app-sized pushes and reports
+// wall-clock per pushed sample at several retention sizes. The acceptance
+// bar: streaming >= 2x over the rescan baseline at the default
+// 48000-sample buffer.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "channel/channel.h"
+#include "core/modem.h"
+#include "phy/feedback.h"
+#include "phy/preamble.h"
+
+using namespace aqua;
+
+namespace {
+
+constexpr std::size_t kPush = 1600;  // one 33 ms microphone callback
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// The old receiver's search loop: keep the last `retain` samples, rerun the
+// batch detector over the whole buffer on every push.
+double run_rescan(const phy::Preamble& preamble,
+                  std::span<const double> timeline, std::size_t retain,
+                  std::size_t& detections, dsp::Workspace& ws) {
+  std::vector<double> buffer;
+  detections = 0;
+  const std::size_t need =
+      preamble.core_samples() + 4 * phy::OfdmParams().symbol_total_samples();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t base = 0; base < timeline.size(); base += kPush) {
+    const std::size_t len = std::min(kPush, timeline.size() - base);
+    buffer.insert(buffer.end(), timeline.begin() + static_cast<std::ptrdiff_t>(base),
+                  timeline.begin() + static_cast<std::ptrdiff_t>(base + len));
+    if (buffer.size() < need) continue;
+    if (preamble.detect(buffer, ws)) {
+      ++detections;
+      buffer.clear();  // consume the packet, as the old receiver did
+      continue;
+    }
+    if (buffer.size() > retain) {
+      buffer.erase(buffer.begin(),
+                   buffer.end() - static_cast<std::ptrdiff_t>(retain));
+    }
+  }
+  return seconds_since(t0);
+}
+
+double run_streaming(const phy::Preamble& preamble,
+                     std::span<const double> timeline, std::size_t& detections,
+                     dsp::Workspace& ws) {
+  phy::PreambleScanner scanner(preamble);
+  std::vector<phy::PreambleDetection> dets;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t base = 0; base < timeline.size(); base += kPush) {
+    const std::size_t len = std::min(kPush, timeline.size() - base);
+    scanner.scan(timeline.subspan(base, len), dets, ws);
+  }
+  detections = dets.size();
+  return seconds_since(t0);
+}
+
+double run_modem(std::span<const double> timeline, std::size_t& detections,
+                 dsp::Workspace& ws) {
+  core::ModemConfig mc;
+  mc.my_id = 32;
+  core::Modem modem(mc, ws);
+  detections = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t base = 0; base < timeline.size(); base += kPush) {
+    const std::size_t len = std::min(kPush, timeline.size() - base);
+    for (const core::ModemEvent& e : modem.push(timeline.subspan(base, len))) {
+      if (e.type == core::ModemEvent::Type::kPreambleDetected) ++detections;
+    }
+  }
+  return seconds_since(t0);
+}
+
+}  // namespace
+
+int main() {
+  const phy::OfdmParams params;
+  phy::Preamble preamble(params);
+  phy::FeedbackCodec codec(params);
+
+  // ~8 s of microphone audio: ambient noise with one phase-1 packet in it.
+  channel::LinkConfig lc;
+  lc.site = channel::site_preset(channel::Site::kBridge);
+  lc.range_m = 5.0;
+  lc.seed = 55;
+  channel::UnderwaterChannel ch(lc);
+  std::vector<double> timeline = ch.ambient(2 * 48000);
+  {
+    std::vector<double> wave = preamble.waveform();
+    const std::vector<double> id = codec.encode_tone(32);
+    wave.insert(wave.end(), id.begin(), id.end());
+    const std::vector<double> rx = ch.transmit(wave, 0.05, 0.5);
+    timeline.insert(timeline.end(), rx.begin(), rx.end());
+  }
+  {
+    const std::vector<double> tail = ch.ambient(5 * 48000);
+    timeline.insert(timeline.end(), tail.begin(), tail.end());
+  }
+  const double audio_s = static_cast<double>(timeline.size()) / 48000.0;
+  std::printf("timeline: %.1f s of audio, pushed in %zu-sample blocks\n\n",
+              audio_s, kPush);
+
+  dsp::Workspace ws;
+  std::printf("%-26s %10s %12s %10s %s\n", "front end", "wall [s]",
+              "ns/sample", "xrealtime", "detections");
+
+  std::size_t det_stream = 0;
+  const double t_stream = run_streaming(preamble, timeline, det_stream, ws);
+  std::size_t det_modem = 0;
+  const double t_modem = run_modem(timeline, det_modem, ws);
+
+  const auto row = [&](const char* name, double wall, std::size_t det) {
+    std::printf("%-26s %10.3f %12.1f %10.1f %10zu\n", name, wall,
+                1e9 * wall / static_cast<double>(timeline.size()),
+                audio_s / wall, det);
+  };
+  row("streaming scanner", t_stream, det_stream);
+  row("streaming Modem::push", t_modem, det_modem);
+
+  double t_rescan_48k = 0.0;
+  for (const std::size_t retain : {12000u, 24000u, 48000u, 96000u}) {
+    std::size_t det = 0;
+    const double t = run_rescan(preamble, timeline, retain, det, ws);
+    char name[64];
+    std::snprintf(name, sizeof name, "rescan (buffer %zu)", retain);
+    row(name, t, det);
+    if (retain == 48000u) t_rescan_48k = t;
+  }
+
+  const double speedup = t_rescan_48k / t_stream;
+  std::printf("\nstreaming speedup over rescan @ 48000-sample buffer: %.1fx\n",
+              speedup);
+  if (speedup < 2.0) {
+    std::printf("FAIL: below the 2x acceptance bar\n");
+    return 1;
+  }
+  return 0;
+}

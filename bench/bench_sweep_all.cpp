@@ -9,12 +9,22 @@
 // AQUA_SWEEP_THREADS). AQUA_BENCH_PACKETS scales the per-scenario batch.
 //
 // `--json <path>` additionally records per-grid wall-clock and throughput
-// (packets/s, receiver samples/s) — the repo's perf trajectory baseline
-// (BENCH_sweep.json). Timing goes to the JSON file and stderr only, so
-// stdout stays bit-identical across runs and thread counts.
+// (packets/s, receiver samples/s). The file is a perf SERIES: each run
+// APPENDS one `{machine, commit, …numbers}` entry to the `series` array
+// (creating or migrating the file as needed), so BENCH_sweep.json grows
+// into the per-PR perf trajectory — regressions show up as one diff line
+// in review. The commit id comes from $AQUA_COMMIT or $GITHUB_SHA. Timing
+// goes to the JSON file and stderr only, so stdout stays bit-identical
+// across runs and thread counts.
+#include <sys/utsname.h>
+
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -49,47 +59,149 @@ double rate(double count, double seconds) {
   return seconds > 0.0 ? count / seconds : 0.0;
 }
 
-void write_json(const char* path, int packets_per_scenario, int threads,
-                const std::vector<GridTiming>& grids) {
-  std::FILE* f = std::fopen(path, "w");
-  if (!f) {
-    std::fprintf(stderr, "warning: cannot open %s for writing\n", path);
-    return;
-  }
+// "<node> <machine>, N cores" — enough to tell runners apart in the series.
+std::string machine_label() {
+  struct utsname u {};
+  std::string label = uname(&u) == 0
+                          ? std::string(u.nodename) + " " + u.machine
+                          : std::string("unknown");
+  label += ", ";
+  label += std::to_string(std::thread::hardware_concurrency());
+  label += " cores";
+  return label;
+}
+
+std::string commit_label() {
+  if (const char* c = std::getenv("AQUA_COMMIT")) return c;
+  if (const char* c = std::getenv("GITHUB_SHA")) return c;
+  return "unknown";
+}
+
+// One series entry: this run's machine, commit and numbers.
+std::string entry_json(int packets_per_scenario, int threads,
+                       const std::vector<GridTiming>& grids) {
   GridTiming total;
   for (const GridTiming& g : grids) {
     total.packets += g.packets;
     total.samples += g.samples;
     total.wall_s += g.wall_s;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"bench_sweep_all\",\n");
-  std::fprintf(f, "  \"packets_per_scenario\": %d,\n", packets_per_scenario);
-  std::fprintf(f, "  \"threads\": %d,\n", threads);
-  std::fprintf(f, "  \"grids\": [\n");
+  std::ostringstream os;
+  char buf[512];
+  os << "    {\n";
+  std::snprintf(buf, sizeof buf,
+                "      \"machine\": \"%s\",\n      \"commit\": \"%s\",\n"
+                "      \"packets_per_scenario\": %d,\n      \"threads\": %d,\n",
+                machine_label().c_str(), commit_label().c_str(),
+                packets_per_scenario, threads);
+  os << buf << "      \"grids\": [\n";
   for (std::size_t i = 0; i < grids.size(); ++i) {
     const GridTiming& g = grids[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"scenarios\": %zu, "
-                 "\"packets\": %lld, \"samples\": %llu, \"wall_s\": %.3f, "
-                 "\"packets_per_s\": %.2f, \"samples_per_s\": %.0f}%s\n",
-                 g.name.c_str(), g.scenarios, g.packets,
-                 static_cast<unsigned long long>(g.samples), g.wall_s,
-                 rate(static_cast<double>(g.packets), g.wall_s),
-                 rate(static_cast<double>(g.samples), g.wall_s),
-                 i + 1 < grids.size() ? "," : "");
+    std::snprintf(buf, sizeof buf,
+                  "        {\"name\": \"%s\", \"scenarios\": %zu, "
+                  "\"packets\": %lld, \"samples\": %llu, \"wall_s\": %.3f, "
+                  "\"packets_per_s\": %.2f, \"samples_per_s\": %.0f}%s\n",
+                  g.name.c_str(), g.scenarios, g.packets,
+                  static_cast<unsigned long long>(g.samples), g.wall_s,
+                  rate(static_cast<double>(g.packets), g.wall_s),
+                  rate(static_cast<double>(g.samples), g.wall_s),
+                  i + 1 < grids.size() ? "," : "");
+    os << buf;
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f,
-               "  \"total\": {\"packets\": %lld, \"samples\": %llu, "
-               "\"wall_s\": %.3f, \"packets_per_s\": %.2f, "
-               "\"samples_per_s\": %.0f}\n",
-               total.packets, static_cast<unsigned long long>(total.samples),
-               total.wall_s, rate(static_cast<double>(total.packets),
-                                  total.wall_s),
-               rate(static_cast<double>(total.samples), total.wall_s));
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  os << "      ],\n";
+  std::snprintf(buf, sizeof buf,
+                "      \"total\": {\"packets\": %lld, \"samples\": %llu, "
+                "\"wall_s\": %.3f, \"packets_per_s\": %.2f, "
+                "\"samples_per_s\": %.0f}\n",
+                total.packets, static_cast<unsigned long long>(total.samples),
+                total.wall_s,
+                rate(static_cast<double>(total.packets), total.wall_s),
+                rate(static_cast<double>(total.samples), total.wall_s));
+  os << buf << "    }";
+  return os.str();
+}
+
+// Appends this run to the series file. A missing or empty file starts a
+// fresh series; an existing file must already be in the series format —
+// anything unrecognized is left untouched (with a warning) rather than
+// silently destroying the perf history it might hold.
+void write_json(const char* path, int packets_per_scenario, int threads,
+                const std::vector<GridTiming>& grids) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  const std::string entry = entry_json(packets_per_scenario, threads, grids);
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  std::string out;
+  bool blank = true;
+  for (char c : existing) {
+    if (!is_space(c)) {
+      blank = false;
+      break;
+    }
+  }
+  if (blank) {
+    out = "{\n  \"bench\": \"bench_sweep_all\",\n  \"series\": [\n";
+    out += entry;
+    out += "\n  ]\n}\n";
+  } else {
+    // Series format, structurally: a "series" array whose closing ']' is
+    // the last bracket, followed only by the object's closing brace.
+    const std::size_t series_pos = existing.find("\"series\"");
+    const std::size_t open = series_pos == std::string::npos
+                                 ? std::string::npos
+                                 : existing.find('[', series_pos);
+    const std::size_t close = existing.find_last_of(']');
+    bool ok = open != std::string::npos && close != std::string::npos &&
+              close > open;
+    if (ok) {
+      bool brace = false;
+      for (std::size_t i = close + 1; i < existing.size(); ++i) {
+        const char c = existing[i];
+        if (is_space(c)) continue;
+        if (c == '}' && !brace) {
+          brace = true;
+          continue;
+        }
+        ok = false;
+        break;
+      }
+      ok = ok && brace;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "warning: %s is not a bench_sweep_all series file; "
+                   "leaving it untouched (entry not recorded)\n",
+                   path);
+      return;
+    }
+    bool empty_series = true;
+    for (std::size_t i = open + 1; i < close; ++i) {
+      if (!is_space(existing[i])) {
+        empty_series = false;
+        break;
+      }
+    }
+    out = existing.substr(0, close);
+    while (!out.empty() && is_space(out.back())) out.pop_back();
+    out += empty_series ? "\n" : ",\n";
+    out += entry;
+    out += "\n  ]\n}\n";
+  }
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n", path);
+    return;
+  }
+  f << out;
 }
 
 }  // namespace

@@ -1,24 +1,90 @@
 // Two divers exchange a conversation while drifting in a busy bay.
 //
-// Demonstrates per-packet adaptation under mobility: every message rides a
-// fresh band selection, and the selected bitrate follows the changing
-// channel. Mirrors the paper's use case of divers using hand-signal
-// messages instead of visual signals in low-visibility water.
+// Demonstrates per-packet adaptation under mobility on one continuous
+// stream: the same two duplex Modem endpoints ride a single evolving
+// medium for the whole conversation, every message gets a fresh band
+// selection, and the selected bitrate follows the changing channel.
+// Mirrors the paper's use case of divers using hand-signal messages
+// instead of visual signals in low-visibility water.
 #include <cstdio>
+#include <span>
+#include <vector>
 
-#include "core/aquaapp.h"
+#include "channel/medium.h"
+#include "core/messages.h"
+#include "core/modem.h"
+
+namespace {
+
+// Runs the medium until Alice's transmit machine concludes (or a timeout),
+// reporting what each side saw for this message.
+struct ExchangeReport {
+  bool feedback = false;
+  bool delivered = false;
+  bool acked = false;
+  aqua::phy::BandSelection band;
+  std::vector<std::uint8_t> payload;
+};
+
+ExchangeReport run_exchange(aqua::channel::AcousticMedium& medium,
+                            aqua::core::Modem& alice, aqua::core::Modem& bob,
+                            aqua::dsp::Workspace& ws) {
+  using aqua::core::ModemEvent;
+  ExchangeReport report;
+  const std::size_t block = 480;
+  std::vector<double> tx_a(block), tx_b(block);
+  const std::vector<std::span<const double>> tx{tx_a, tx_b};
+  std::vector<std::vector<double>> rx;
+  bool alice_done = false;
+  for (int i = 0; i < 48000 * 5 / static_cast<int>(block); ++i) {
+    alice.pull_tx(std::span<double>(tx_a));
+    bob.pull_tx(std::span<double>(tx_b));
+    medium.step(tx, rx, ws);
+    for (const ModemEvent& e : bob.push(rx[1])) {
+      if (e.type == ModemEvent::Type::kPacketDecoded) {
+        report.delivered = true;
+        report.payload = e.payload_bits;
+      }
+    }
+    for (const ModemEvent& e : alice.push(rx[0])) {
+      if (e.type == ModemEvent::Type::kTxFeedbackReceived) {
+        report.feedback = true;
+        report.band = e.band;
+      }
+      if (e.type == ModemEvent::Type::kTxComplete) {
+        report.acked = e.ack_received;
+        alice_done = true;
+      }
+      if (e.type == ModemEvent::Type::kTxFailed) alice_done = true;
+    }
+    if (alice_done && bob.rx_state() == aqua::core::Modem::RxState::kSearching) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace
 
 int main() {
   using namespace aqua;
 
-  core::SessionConfig cfg;
-  cfg.forward.site = channel::site_preset(channel::Site::kBay);
-  cfg.forward.range_m = 8.0;
-  cfg.forward.tx_depth_m = 5.0;
-  cfg.forward.rx_depth_m = 5.0;
-  cfg.forward.motion = channel::MotionKind::kSlow;  // divers drift and sway
-  cfg.forward.seed = 21;
-  core::LinkSession session(cfg);
+  channel::LinkConfig fwd;
+  fwd.site = channel::site_preset(channel::Site::kBay);
+  fwd.range_m = 8.0;
+  fwd.tx_depth_m = 5.0;
+  fwd.rx_depth_m = 5.0;
+  fwd.motion = channel::MotionKind::kSlow;  // divers drift and sway
+  fwd.seed = 21;
+  channel::AcousticMedium medium(fwd.sample_rate_hz);
+  channel::add_duplex_link(medium, fwd);
+
+  core::ModemConfig mc;
+  mc.my_id = 28;
+  core::Modem alice(mc);
+  mc.my_id = 32;
+  core::Modem bob(mc);
+  dsp::Workspace ws;
 
   core::MessageCodebook book;
   // A realistic dive conversation, two signals per packet.
@@ -31,21 +97,23 @@ int main() {
   };
 
   int delivered = 0, sent = 0;
-  for (const auto& [a, b] : conversation) {
-    const core::MessageResult r = core::send_signals(session, a, b);
+  for (const auto& [first, second] : conversation) {
+    alice.send(core::MessageCodebook::pack(first, second), /*dest=*/32);
+    const ExchangeReport r = run_exchange(medium, alice, bob, ws);
     ++sent;
-    std::printf("[%d] \"%s\" + \"%s\"\n", sent, book.by_id(a).text.c_str(),
-                book.by_id(b).text.c_str());
-    if (!r.trace.preamble_detected) {
-      std::printf("     lost: preamble not detected\n");
+    std::printf("[%d] \"%s\" + \"%s\"\n", sent, book.by_id(first).text.c_str(),
+                book.by_id(second).text.c_str());
+    if (!r.feedback) {
+      std::printf("     lost: no feedback heard\n");
       continue;
     }
     std::printf("     band %.0f-%.0f Hz, %.0f bps, %s\n",
-                cfg.params.bin_freq_hz(r.trace.band_used.begin_bin),
-                cfg.params.bin_freq_hz(r.trace.band_used.end_bin),
-                r.trace.selected_bitrate_bps,
-                r.trace.packet_ok ? "delivered + ACKed" : "packet error");
-    if (r.trace.packet_ok) ++delivered;
+                mc.params.bin_freq_hz(r.band.begin_bin),
+                mc.params.bin_freq_hz(r.band.end_bin),
+                mc.params.reported_bitrate_bps(r.band.width()),
+                r.delivered ? (r.acked ? "delivered + ACKed" : "delivered")
+                            : "packet error");
+    if (r.delivered) ++delivered;
   }
   std::printf("\ndelivered %d/%d packets while drifting (%.0f%% PER)\n",
               delivered, sent, 100.0 * (sent - delivered) / sent);

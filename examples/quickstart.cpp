@@ -1,53 +1,106 @@
-// Quickstart: send one underwater message between two simulated phones.
+// Quickstart: send one underwater message between two simulated phones,
+// the way the app actually runs — two duplex core::Modem endpoints on one
+// shared acoustic medium, microphone in, speaker out, block by block.
 //
 // Alice (a Galaxy S9 in a waterproof pouch) sends "OK?" and "Follow me" to
-// Bob 10 m away in a lake. The full protocol runs: preamble + ID, per-bin
-// SNR estimation, Algorithm-1 band selection, two-tone feedback, adaptive
-// OFDM data transmission, ACK.
+// Bob 10 m away in a lake. The full protocol streams through: preamble +
+// ID, per-bin SNR estimation, Algorithm-1 band selection, two-tone
+// feedback, adaptive OFDM data, ACK.
 #include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
 
-#include "core/aquaapp.h"
+#include "channel/medium.h"
+#include "core/messages.h"
+#include "core/modem.h"
 
 int main() {
   using namespace aqua;
 
-  // 1. Describe the link: who, where, how far apart.
-  core::SessionConfig cfg;
-  cfg.forward.site = channel::site_preset(channel::Site::kLake);
-  cfg.forward.range_m = 10.0;
-  cfg.forward.tx_depth_m = 1.0;
-  cfg.forward.rx_depth_m = 1.0;
-  cfg.forward.seed = 7;
+  // 1. The medium: a lake, 10 m between the phones, one ambient-noise
+  // process per microphone, a directed channel per direction.
+  channel::LinkConfig fwd;
+  fwd.site = channel::site_preset(channel::Site::kLake);
+  fwd.range_m = 10.0;
+  fwd.tx_depth_m = 1.0;
+  fwd.rx_depth_m = 1.0;
+  fwd.seed = 7;
+  channel::AcousticMedium medium(fwd.sample_rate_hz);
+  channel::add_duplex_link(medium, fwd);
 
-  // 2. Open a protocol session (creates forward + backward channels).
-  core::LinkSession session(cfg);
+  // 2. Two identical duplex endpoints; only the ID differs.
+  core::ModemConfig mc;
+  mc.my_id = 28;
+  core::Modem alice(mc);
+  mc.my_id = 32;
+  core::Modem bob(mc);
 
-  // 3. Pick two hand signals from the 240-message codebook and send them.
+  // 3. Pick two hand signals from the 240-message codebook and queue them.
   core::MessageCodebook book;
-  const std::uint8_t ok_sign = 0;        // "OK?"
-  const std::uint8_t follow_sign = 69;   // "Follow me"
+  const std::uint8_t ok_sign = 0;       // "OK?"
+  const std::uint8_t follow_sign = 69;  // "Follow me"
   std::printf("Alice sends: \"%s\" + \"%s\"\n", book.by_id(ok_sign).text.c_str(),
               book.by_id(follow_sign).text.c_str());
+  alice.send(core::MessageCodebook::pack(ok_sign, follow_sign), /*dest=*/32);
 
-  const core::MessageResult result =
-      core::send_signals(session, ok_sign, follow_sign);
+  // 4. Clock both phones through the medium and watch the events.
+  const std::size_t block = 480;  // 10 ms
+  std::vector<double> tx_a(block), tx_b(block);
+  const std::vector<std::span<const double>> tx{tx_a, tx_b};
+  std::vector<std::vector<double>> rx;
+  dsp::Workspace ws;
+  bool delivered = false, acked = false;
+  for (int i = 0; i < 48000 * 4 / static_cast<int>(block); ++i) {
+    alice.pull_tx(std::span<double>(tx_a));
+    bob.pull_tx(std::span<double>(tx_b));
+    medium.step(tx, rx, ws);
 
-  // 4. Inspect what happened on the air.
-  const core::PacketTrace& t = result.trace;
-  std::printf("preamble detected: %s (metric %.2f)\n",
-              t.preamble_detected ? "yes" : "no", t.preamble_metric);
-  std::printf("band selected:     %.0f-%.0f Hz (%zu bins)\n",
-              cfg.params.bin_freq_hz(t.band_selected.begin_bin),
-              cfg.params.bin_freq_hz(t.band_selected.end_bin),
-              t.band_selected.width());
-  std::printf("bitrate:           %.1f bps\n", t.selected_bitrate_bps);
-  std::printf("packet delivered:  %s, ACK %s\n", t.packet_ok ? "yes" : "no",
-              t.ack_received ? "received" : "not received");
-
-  if (result.received) {
-    std::printf("Bob decoded: \"%s\" + \"%s\"\n",
-                book.by_id(result.received->first).text.c_str(),
-                book.by_id(result.received->second).text.c_str());
+    for (const core::ModemEvent& e : bob.push(rx[1])) {
+      switch (e.type) {
+        case core::ModemEvent::Type::kPreambleDetected:
+          std::printf("Bob: preamble detected (metric %.2f)\n",
+                      e.preamble_metric);
+          break;
+        case core::ModemEvent::Type::kAddressedToUs:
+          std::printf("Bob: addressed to me; band %.0f-%.0f Hz (%zu bins), "
+                      "feedback queued\n",
+                      mc.params.bin_freq_hz(e.band.begin_bin),
+                      mc.params.bin_freq_hz(e.band.end_bin), e.band.width());
+          break;
+        case core::ModemEvent::Type::kPacketDecoded:
+          if (const auto ids = core::MessageCodebook::unpack(e.payload_bits)) {
+            std::printf("Bob decoded: \"%s\" + \"%s\"\n",
+                        book.by_id(ids->first).text.c_str(),
+                        book.by_id(ids->second).text.c_str());
+            delivered = true;
+          }
+          break;
+        case core::ModemEvent::Type::kPacketFailed:
+          std::printf("Bob: data window elapsed without a packet\n");
+          break;
+        default:
+          break;
+      }
+    }
+    for (const core::ModemEvent& e : alice.push(rx[0])) {
+      if (e.type == core::ModemEvent::Type::kTxFeedbackReceived) {
+        std::printf("Alice: feedback decoded; sending data at %.1f bps\n",
+                    mc.params.reported_bitrate_bps(e.band.width()));
+      }
+      if (e.type == core::ModemEvent::Type::kTxComplete) {
+        acked = e.ack_received;
+        // The ACK rides the 1 kHz bin — the noisiest corner of the band —
+        // and is best-effort in the paper's protocol too.
+        std::printf("Alice: exchange complete, ACK %s\n",
+                    acked ? "received" : "not received");
+      }
+      if (e.type == core::ModemEvent::Type::kTxFailed) {
+        std::printf("Alice: no feedback heard; packet lost\n");
+      }
+    }
+    if (alice.tx_idle() && delivered) break;
   }
-  return result.trace.packet_ok ? 0 : 1;
+  (void)acked;
+  return delivered ? 0 : 1;
 }

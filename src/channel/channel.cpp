@@ -20,6 +20,10 @@ double clamp_depth(double z, double water_depth) {
 
 }  // namespace
 
+std::uint64_t mic_noise_seed(std::uint64_t link_seed) {
+  return link_seed * 6151 + 3;
+}
+
 LinkConfig reverse_link(const LinkConfig& fwd) {
   LinkConfig rev = fwd;
   std::swap(rev.tx_device, rev.rx_device);
@@ -46,7 +50,7 @@ UnderwaterChannel::UnderwaterChannel(const LinkConfig& config)
       np.bubble_rate_hz = 0.0;
       np.boat_tones_hz.clear();
     }
-    noise_.emplace(np, config_.sample_rate_hz, config_.seed * 6151 + 3);
+    noise_.emplace(np, config_.sample_rate_hz, mic_noise_seed(config_.seed));
   }
 
   base_paths_ = paths_at(0.0, /*block_index=*/0);
@@ -85,7 +89,8 @@ Geometry UnderwaterChannel::geometry_at(double t_s) const {
 }
 
 std::vector<Path> UnderwaterChannel::paths_at(double t_s,
-                                              std::uint64_t block_index) {
+                                              std::uint64_t block_index,
+                                              std::mt19937_64& rng) const {
   const Geometry g = geometry_at(t_s);
   if (config_.in_air) {
     const double len = std::hypot(g.range_m, g.source_depth_m - g.receiver_depth_m);
@@ -97,9 +102,14 @@ std::vector<Path> UnderwaterChannel::paths_at(double t_s,
     // Waves decorrelate the surface bounce from block to block.
     std::normal_distribution<double> gauss(0.0, config_.site.surface_roughness);
     wp.surface_reflection = std::clamp(
-        wp.surface_reflection * (1.0 + gauss(roughness_rng_)), 0.3, 1.0);
+        wp.surface_reflection * (1.0 + gauss(rng)), 0.3, 1.0);
   }
   return compute_paths(g, wp);
+}
+
+std::vector<Path> UnderwaterChannel::paths_at(double t_s,
+                                              std::uint64_t block_index) {
+  return paths_at(t_s, block_index, roughness_rng_);
 }
 
 std::vector<double> UnderwaterChannel::device_fir(bool speaker) const {
@@ -192,6 +202,105 @@ std::vector<double> UnderwaterChannel::ambient(std::size_t n) {
   time_s_ += static_cast<double>(n) / config_.sample_rate_hz;
   if (!noise_) return std::vector<double>(n, 0.0);
   return noise_->generate(n);
+}
+
+UnderwaterChannel::Stream::Stream(const UnderwaterChannel& ch)
+    : ch_(&ch),
+      tx_stream_(ch.tx_filter_, dsp::kMaxStreamStep),
+      rx_stream_(ch.rx_filter_, dsp::kMaxStreamStep),
+      roughness_rng_(ch.config_.seed * 104729 + 7) {
+  if (ch.fixed_ir_filter_) {
+    ir_stream_.emplace(*ch.fixed_ir_filter_, dsp::kMaxStreamStep);
+  }
+  // Worst-case samples the chain can hold back at any instant: one
+  // incomplete overlap-save block per filter stage plus one incomplete
+  // 10 ms multipath block. Priming the FIFO with this many zeros (on top
+  // of the physical bulk delay) guarantees every push can emit exactly as
+  // many samples as it consumed.
+  pad_ = tx_stream_.step() + rx_stream_.step() +
+         (ir_stream_ ? ir_stream_->step() : kBlockSamples);
+  const std::size_t ref_offset = static_cast<std::size_t>(
+      std::llround(ch.reference_delay_s_ * ch.config_.sample_rate_hz));
+  fifo_.assign(ref_offset + pad_, 0.0);
+}
+
+// Renders the time-varying multipath for `shaped` speaker-filtered samples:
+// every absolute 10 ms block gets its own impulse response (tap drift =
+// physical Doppler), overlap-added into mp_ring_; samples no future block
+// can touch are final and flow on into mp_final_.
+void UnderwaterChannel::Stream::run_multipath(std::span<const double> shaped) {
+  const double fs = ch_->config_.sample_rate_hz;
+  shaped_pending_.insert(shaped_pending_.end(), shaped.begin(), shaped.end());
+  std::size_t head = 0;
+  while (shaped_pending_.size() - head >= kBlockSamples) {
+    const std::uint64_t block_start = mp_blocks_ * kBlockSamples;
+    const double t_mid =
+        (static_cast<double>(block_start) + 0.5 * kBlockSamples) / fs;
+    const std::vector<Path> paths =
+        ch_->paths_at(t_mid, mp_blocks_ + 1, roughness_rng_);
+    const std::vector<double> ir = paths_to_impulse_response_ref(
+        paths, fs, ch_->reference_delay_s_);
+    const std::vector<double> y = dsp::convolve(
+        std::span<const double>(shaped_pending_).subspan(head, kBlockSamples),
+        ir);
+    const std::size_t off = static_cast<std::size_t>(block_start - mp_emitted_);
+    if (mp_ring_.size() < off + y.size()) mp_ring_.resize(off + y.size(), 0.0);
+    for (std::size_t i = 0; i < y.size(); ++i) mp_ring_[off + i] += y[i];
+    ++mp_blocks_;
+    head += kBlockSamples;
+  }
+  shaped_pending_.erase(
+      shaped_pending_.begin(),
+      shaped_pending_.begin() + static_cast<std::ptrdiff_t>(head));
+  // Positions below the next block's start are final: later blocks only
+  // add at or beyond it.
+  const std::uint64_t final_through = mp_blocks_ * kBlockSamples;
+  const std::size_t n_final =
+      static_cast<std::size_t>(final_through - mp_emitted_);
+  mp_final_.clear();
+  if (n_final > 0) {
+    const std::size_t have = std::min(n_final, mp_ring_.size());
+    mp_final_.assign(mp_ring_.begin(),
+                     mp_ring_.begin() + static_cast<std::ptrdiff_t>(have));
+    mp_final_.resize(n_final, 0.0);  // ring shorter than the block: zeros
+    mp_ring_.erase(mp_ring_.begin(),
+                   mp_ring_.begin() + static_cast<std::ptrdiff_t>(have));
+    mp_emitted_ = final_through;
+  }
+}
+
+void UnderwaterChannel::Stream::push(std::span<const double> speaker,
+                                     std::vector<double>& out,
+                                     dsp::Workspace& ws) {
+  tmp_a_.clear();
+  tx_stream_.push(speaker, tmp_a_, ws);
+  std::span<const double> propagated;
+  if (ir_stream_) {
+    tmp_b_.clear();
+    ir_stream_->push(tmp_a_, tmp_b_, ws);
+    propagated = tmp_b_;
+  } else {
+    run_multipath(tmp_a_);
+    propagated = mp_final_;
+  }
+  tmp_a_.clear();
+  rx_stream_.push(propagated, tmp_a_, ws);
+  fifo_.insert(fifo_.end(), tmp_a_.begin(), tmp_a_.end());
+
+  // Emit exactly what we consumed. The FIFO cannot underrun: it was primed
+  // with the worst-case hold-back of the chain.
+  const std::size_t n = speaker.size();
+  const std::size_t have = fifo_.size() - fifo_head_;
+  const std::size_t take = std::min(n, have);
+  out.insert(out.end(), fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_),
+             fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_ + take));
+  if (take < n) out.insert(out.end(), n - take, 0.0);
+  fifo_head_ += take;
+  if (fifo_head_ > 1 << 15) {
+    fifo_.erase(fifo_.begin(),
+                fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_));
+    fifo_head_ = 0;
+  }
 }
 
 double UnderwaterChannel::frequency_response_mag(double freq_hz) const {

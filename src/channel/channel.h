@@ -82,8 +82,59 @@ class UnderwaterChannel {
   /// outlive the channel or the next use_workspace() call.
   void use_workspace(dsp::Workspace* ws) { ws_ = ws; }
 
+  /// Streaming signal path through this link: push speaker blocks of any
+  /// size and receive exactly as many microphone samples per push, on one
+  /// continuous clock. The bulk propagation delay plus a fixed processing
+  /// latency (bounded by the chain's overlap-save block sizes) appear as
+  /// leading zeros of the stream. Ambient noise is NOT added — a shared
+  /// medium owns one noise process per microphone, not per path.
+  ///
+  /// A Stream keeps its own clock, mobility time and surface-roughness RNG
+  /// (seeded exactly like the owning channel's), so it neither perturbs nor
+  /// observes the packet-mode transmit() state. The parent channel must
+  /// outlive the stream.
+  class Stream {
+   public:
+    /// Consumes `speaker` and appends exactly speaker.size() microphone
+    /// samples to `out`.
+    void push(std::span<const double> speaker, std::vector<double>& out,
+              dsp::Workspace& ws);
+
+    /// Fixed processing latency added on top of the physical bulk delay.
+    std::size_t extra_latency() const { return pad_; }
+
+   private:
+    friend class UnderwaterChannel;
+    explicit Stream(const UnderwaterChannel& ch);
+
+    void run_multipath(std::span<const double> shaped);
+
+    const UnderwaterChannel* ch_;
+    dsp::FftFilter::Stream tx_stream_;
+    std::optional<dsp::FftFilter::Stream> ir_stream_;  ///< fixed geometry
+    dsp::FftFilter::Stream rx_stream_;
+    std::size_t pad_ = 0;
+    // Time-varying multipath state (absolute 10 ms block grid).
+    std::vector<double> shaped_pending_;
+    std::vector<double> mp_ring_;     ///< overlap-add tail, base mp_emitted_
+    std::uint64_t mp_blocks_ = 0;     ///< blocks rendered so far
+    std::uint64_t mp_emitted_ = 0;    ///< final samples handed to rx_stream_
+    std::vector<double> mp_final_;
+    std::mt19937_64 roughness_rng_;
+    // Output FIFO, primed with the bulk-delay + latency zeros.
+    std::vector<double> fifo_;
+    std::size_t fifo_head_ = 0;
+    std::vector<double> tmp_a_;
+    std::vector<double> tmp_b_;
+  };
+
+  /// Opens a streaming signal path over this link.
+  Stream stream() const { return Stream(*this); }
+
  private:
   Geometry geometry_at(double t_s) const;
+  std::vector<Path> paths_at(double t_s, std::uint64_t block_index,
+                             std::mt19937_64& rng) const;
   std::vector<Path> paths_at(double t_s, std::uint64_t block_index);
   std::vector<double> device_fir(bool speaker) const;
   dsp::Workspace& scratch() const {
@@ -109,5 +160,10 @@ class UnderwaterChannel {
 /// for the speaker/mic physical offsets, which is what breaks reciprocity
 /// underwater).
 LinkConfig reverse_link(const LinkConfig& fwd);
+
+/// Ambient-noise seed at the microphone of a link seeded `link_seed` —
+/// UnderwaterChannel's own derivation, exposed so an AcousticMedium's
+/// per-mic processes hear the same kind of ocean as the packet channels.
+std::uint64_t mic_noise_seed(std::uint64_t link_seed);
 
 }  // namespace aqua::channel

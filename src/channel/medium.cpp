@@ -1,0 +1,89 @@
+#include "channel/medium.h"
+
+#include <stdexcept>
+
+namespace aqua::channel {
+
+namespace {
+
+LinkConfig path_config(const LinkConfig& cfg) {
+  // The path renders signal only; ambient noise is a per-microphone
+  // process owned by the medium.
+  LinkConfig c = cfg;
+  c.noise_enabled = false;
+  return c;
+}
+
+}  // namespace
+
+AcousticMedium::PathEntry::PathEntry(int f, int t, const LinkConfig& cfg)
+    : from(f), to(t), channel(path_config(cfg)), stream(channel.stream()) {}
+
+AcousticMedium::AcousticMedium(double sample_rate_hz) : fs_(sample_rate_hz) {}
+
+int AcousticMedium::add_endpoint(const std::optional<NoiseParams>& noise,
+                                 std::uint64_t noise_seed) {
+  if (noise) {
+    mics_.emplace_back(std::in_place, *noise, fs_, noise_seed);
+  } else {
+    mics_.emplace_back(std::nullopt);
+  }
+  return static_cast<int>(mics_.size()) - 1;
+}
+
+void AcousticMedium::connect(int from, int to, const LinkConfig& cfg) {
+  if (from == to || from < 0 || to < 0 || from >= endpoints() ||
+      to >= endpoints()) {
+    throw std::invalid_argument("AcousticMedium: bad endpoint pair");
+  }
+  paths_.push_back(std::make_unique<PathEntry>(from, to, cfg));
+}
+
+void AcousticMedium::step(const std::vector<std::span<const double>>& tx,
+                          std::vector<std::vector<double>>& rx,
+                          dsp::Workspace& ws) {
+  const std::size_t eps = mics_.size();
+  if (tx.size() != eps) {
+    throw std::invalid_argument("AcousticMedium: one tx block per endpoint");
+  }
+  const std::size_t n = eps > 0 ? tx[0].size() : 0;
+  for (const auto& b : tx) {
+    if (b.size() != n) {
+      throw std::invalid_argument("AcousticMedium: tx blocks must match");
+    }
+  }
+  rx.resize(eps);
+  for (std::size_t i = 0; i < eps; ++i) {
+    if (mics_[i]) {
+      rx[i] = mics_[i]->generate(n);
+    } else {
+      rx[i].assign(n, 0.0);
+    }
+  }
+  // Paths are walked in insertion order and each mixes additively, so the
+  // result is independent of how callers interleave their pushes.
+  for (const std::unique_ptr<PathEntry>& p : paths_) {
+    path_tmp_.clear();
+    p->stream.push(tx[static_cast<std::size_t>(p->from)], path_tmp_, ws);
+    std::vector<double>& dst = rx[static_cast<std::size_t>(p->to)];
+    for (std::size_t i = 0; i < n; ++i) dst[i] += path_tmp_[i];
+  }
+  clock_ += n;
+}
+
+std::pair<int, int> add_duplex_link(AcousticMedium& medium,
+                                    const LinkConfig& fwd) {
+  const LinkConfig back = reverse_link(fwd);
+  const auto mic_noise =
+      [](const LinkConfig& cfg) -> std::optional<NoiseParams> {
+    if (!cfg.noise_enabled) return std::nullopt;
+    return cfg.site.noise;
+  };
+  const int a = medium.add_endpoint(mic_noise(back), mic_noise_seed(back.seed));
+  const int b = medium.add_endpoint(mic_noise(fwd), mic_noise_seed(fwd.seed));
+  medium.connect(a, b, fwd);
+  medium.connect(b, a, back);
+  return {a, b};
+}
+
+}  // namespace aqua::channel

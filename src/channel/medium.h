@@ -1,0 +1,79 @@
+// Full-duplex shared acoustic medium.
+//
+// N endpoints (speaker + microphone pairs) hang off one medium; every
+// connected ordered pair gets a directed UnderwaterChannel streamed through
+// UnderwaterChannel::Stream, and every microphone gets ONE ambient-noise
+// process (noise belongs to the receiver, not to a path — with three
+// transmitters you do not hear three oceans). step() advances all endpoint
+// clocks together, block by block, which is what lets duplex modem
+// endpoints run the real protocol against each other on a continuous
+// sample timeline instead of oracle-spliced captures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "channel/channel.h"
+#include "channel/noise.h"
+#include "dsp/workspace.h"
+
+namespace aqua::channel {
+
+class AcousticMedium {
+ public:
+  explicit AcousticMedium(double sample_rate_hz = 48000.0);
+
+  /// Adds an endpoint; returns its index. `noise` is the ambient process
+  /// at this endpoint's microphone (nullopt = silent medium, e.g. tests).
+  int add_endpoint(const std::optional<NoiseParams>& noise,
+                   std::uint64_t noise_seed);
+
+  /// Opens the directed signal path `from` -> `to`. `cfg.noise_enabled`
+  /// and `cfg.seed`-derived noise are ignored here (see the per-mic noise
+  /// above); everything else — geometry, devices, mobility, site physics —
+  /// applies to this direction only.
+  void connect(int from, int to, const LinkConfig& cfg);
+
+  int endpoints() const { return static_cast<int>(mics_.size()); }
+
+  /// Advances the medium by one block: tx[i] is endpoint i's speaker block
+  /// (all blocks the same size), and rx[i] is filled with endpoint i's
+  /// microphone block. An endpoint's own speaker is excluded from its mic
+  /// (the app transmits and listens on one phone; its echo path is not
+  /// part of the protocol).
+  void step(const std::vector<std::span<const double>>& tx,
+            std::vector<std::vector<double>>& rx, dsp::Workspace& ws);
+
+  /// Samples elapsed on the shared clock.
+  std::uint64_t clock() const { return clock_; }
+
+  double sample_rate_hz() const { return fs_; }
+
+ private:
+  struct PathEntry {
+    int from;
+    int to;
+    UnderwaterChannel channel;        ///< owns filters / path model
+    UnderwaterChannel::Stream stream; ///< streaming state over `channel`
+    PathEntry(int f, int t, const LinkConfig& cfg);
+  };
+
+  double fs_;
+  std::vector<std::optional<NoiseGenerator>> mics_;
+  std::vector<std::unique_ptr<PathEntry>> paths_;
+  std::uint64_t clock_ = 0;
+  std::vector<double> path_tmp_;
+};
+
+/// Wires the standard two-endpoint duplex link onto `medium`: endpoint A
+/// transmits `fwd`, endpoint B answers over reverse_link(fwd), and each
+/// microphone gets the site's ambient process (honoring
+/// `fwd.noise_enabled`). Returns {A, B}.
+std::pair<int, int> add_duplex_link(AcousticMedium& medium,
+                                    const LinkConfig& fwd);
+
+}  // namespace aqua::channel

@@ -35,6 +35,7 @@ NoiseGenerator::NoiseGenerator(const NoiseParams& params,
     : params_(params),
       sample_rate_hz_(sample_rate_hz),
       rng_(seed),
+      burst_rng_(seed * 0x9E3779B97F4A7C15ULL + 0x6A09E667F3BCC909ULL),
       shaping_(design_shaping_filter(params, sample_rate_hz)),
       shaping_taps_(design_shaping_filter(params, sample_rate_hz)) {
   // Calibrate the shaped floor RMS empirically once (deterministic warmup
@@ -71,12 +72,12 @@ std::vector<double> NoiseGenerator::generate(std::size_t n) {
     // Impulsive bubble bursts: Poisson arrivals, exponentially decaying
     // envelopes of white noise (spiky, which is what stresses plain
     // cross-correlation detection in the paper).
-    if (params_.bubble_rate_hz > 0.0 && uni(rng_) < p_burst) {
-      burst_remaining_ = 0.02 + 0.03 * uni(rng_);
+    if (params_.bubble_rate_hz > 0.0 && uni(burst_rng_) < p_burst) {
+      burst_remaining_ = 0.02 + 0.03 * uni(burst_rng_);
       burst_env_ = params_.bubble_gain * floor_rms_;
     }
     if (burst_remaining_ > 0.0) {
-      out[i] += burst_env_ * gauss_(rng_);
+      out[i] += burst_env_ * burst_gauss_(burst_rng_);
       burst_env_ *= std::exp(-dt / 0.008);
       burst_remaining_ -= dt;
     }

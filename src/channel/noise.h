@@ -28,7 +28,11 @@ struct NoiseParams {
   double boat_tone_gain = 3.0;    ///< tone amplitude relative to floor RMS
 };
 
-/// Streaming colored-noise generator. Deterministic for a given seed.
+/// Streaming colored-noise generator. Deterministic for a given seed, and
+/// chunking-invariant: generate(a) followed by generate(b) produces the
+/// same samples as generate(a + b). The noise floor and the impulsive
+/// bursts draw from separate RNG streams, so the per-call draw counts of
+/// one cannot shift the other's sequence.
 class NoiseGenerator {
  public:
   NoiseGenerator(const NoiseParams& params, double sample_rate_hz,
@@ -49,8 +53,10 @@ class NoiseGenerator {
  private:
   NoiseParams params_;
   double sample_rate_hz_;
-  std::mt19937_64 rng_;
+  std::mt19937_64 rng_;        ///< noise-floor stream (n draws per call)
+  std::mt19937_64 burst_rng_;  ///< burst arrivals + burst noise
   std::normal_distribution<double> gauss_{0.0, 1.0};
+  std::normal_distribution<double> burst_gauss_{0.0, 1.0};
   dsp::StreamingFir shaping_;
   std::vector<double> shaping_taps_;
   double floor_rms_ = 0.0;

@@ -34,7 +34,8 @@ std::vector<double> LinkSession::probe_snr() {
   return est.snr_db;
 }
 
-PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
+PacketTrace LinkSession::send_packet_oracle(
+    std::span<const std::uint8_t> info_bits) {
   PacketTrace trace;
   trace.info_bits = info_bits.size();
 
@@ -145,6 +146,144 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
                                      /*min_peak_fraction=*/0.3, scratch());
     trace.ack_received = got && got->bin == phy::FeedbackCodec::kAckBin;
   }
+  return trace;
+}
+
+void LinkSession::ensure_duplex() {
+  if (medium_) return;
+  medium_ =
+      std::make_unique<channel::AcousticMedium>(config_.forward.sample_rate_hz);
+  channel::add_duplex_link(*medium_, config_.forward);
+
+  ModemConfig mc;
+  mc.params = config_.params;
+  mc.send_ack = config_.send_ack;
+  mc.fixed_band = config_.fixed_band;
+  mc.decode = config_.decode;
+
+  ModemConfig alice_cfg = mc;
+  alice_cfg.my_id = config_.alice_id;
+  ModemConfig bob_cfg = mc;
+  bob_cfg.my_id = config_.bob_id;
+  if (ws_) {
+    alice_ = std::make_unique<Modem>(alice_cfg, *ws_);
+    bob_ = std::make_unique<Modem>(bob_cfg, *ws_);
+  } else {
+    alice_ = std::make_unique<Modem>(alice_cfg);
+    bob_ = std::make_unique<Modem>(bob_cfg);
+  }
+}
+
+PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
+  ensure_duplex();
+  PacketTrace trace;
+  trace.info_bits = info_bits.size();
+
+  // The payload size feeds Bob's data-deadline arithmetic.
+  alice_->set_payload_bits(info_bits.size());
+  bob_->set_payload_bits(info_bits.size());
+
+  alice_->send(info_bits, config_.bob_id);
+
+  const std::size_t block = std::max<std::size_t>(config_.medium_block_samples, 1);
+  const double fs = config_.forward.sample_rate_hz;
+  // Hard cap well beyond a full exchange (phase 1 + feedback + data + ACK
+  // listen windows come to ~2 s of audio).
+  const std::uint64_t cap =
+      medium_->clock() + static_cast<std::uint64_t>(10.0 * fs);
+
+  std::vector<double> tx_a(block), tx_b(block);
+  std::vector<std::span<const double>> tx_spans{std::span<const double>(tx_a),
+                                                std::span<const double>(tx_b)};
+  std::vector<std::vector<double>> rx;
+  std::vector<ModemEvent> ev;
+  bool alice_done = false;
+  dsp::Workspace& ws = scratch();
+  while (medium_->clock() < cap) {
+    alice_->pull_tx(std::span<double>(tx_a));
+    bob_->pull_tx(std::span<double>(tx_b));
+    medium_->step(tx_spans, rx, ws);
+    trace.samples_processed += 2 * block;
+
+    ev = alice_->push(rx[0]);
+    for (const ModemEvent& e : ev) {
+      switch (e.type) {
+        case ModemEvent::Type::kTxFeedbackReceived:
+          trace.feedback_decoded = true;
+          trace.band_used = e.band;
+          break;
+        case ModemEvent::Type::kTxComplete:
+          trace.ack_received = e.ack_received;
+          alice_done = true;
+          break;
+        case ModemEvent::Type::kTxFailed:
+          alice_done = true;
+          break;
+        default:
+          break;
+      }
+    }
+    ev = bob_->push(rx[1]);
+    for (ModemEvent& e : ev) {
+      switch (e.type) {
+        case ModemEvent::Type::kPreambleDetected:
+          trace.preamble_detected = true;
+          trace.preamble_metric = e.preamble_metric;
+          break;
+        case ModemEvent::Type::kAddressedToUs:
+          trace.id_matched = true;
+          trace.band_selected = e.band;
+          trace.snr_db = std::move(e.snr_db);
+          break;
+        case ModemEvent::Type::kPacketDecoded:
+        case ModemEvent::Type::kPacketFailed:
+          if (e.type == ModemEvent::Type::kPacketDecoded) {
+            trace.data_found = true;
+            trace.decoded_bits = std::move(e.payload_bits);
+            trace.coded_bits = e.coded_hard.size();
+            coding::ConvolutionalCodec codec(coding::CodeRate::kRate2_3);
+            const std::vector<std::uint8_t> coded_tx = codec.encode(info_bits);
+            for (std::size_t i = 0;
+                 i < e.coded_hard.size() && i < coded_tx.size(); ++i) {
+              if (e.coded_hard[i] != coded_tx[i]) trace.coded_bit_errors++;
+            }
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    // The exchange is over once Alice's machine has concluded and Bob is
+    // back to searching (his terminal decode fires at an absolute deadline
+    // Alice's ACK listen window always outlasts).
+    if (alice_done && bob_->rx_state() == Modem::RxState::kSearching) break;
+  }
+
+  if (config_.fixed_band) {
+    // Baselines have no feedback exchange to fail.
+    trace.band_used = *config_.fixed_band;
+    trace.band_selected = *config_.fixed_band;
+    trace.feedback_decoded = true;
+    trace.feedback_exact = true;
+  } else {
+    trace.feedback_exact =
+        trace.feedback_decoded && trace.id_matched &&
+        trace.band_used.begin_bin == trace.band_selected.begin_bin &&
+        trace.band_used.end_bin == trace.band_selected.end_bin;
+  }
+  if (trace.feedback_decoded) {
+    trace.selected_bitrate_bps =
+        config_.params.reported_bitrate_bps(trace.band_used.width());
+  }
+  for (std::size_t i = 0;
+       i < trace.decoded_bits.size() && i < info_bits.size(); ++i) {
+    if ((trace.decoded_bits[i] & 1) != (info_bits[i] & 1)) {
+      trace.info_bit_errors++;
+    }
+  }
+  trace.packet_ok = trace.data_found &&
+                    trace.decoded_bits.size() == info_bits.size() &&
+                    trace.info_bit_errors == 0;
   return trace;
 }
 

@@ -10,14 +10,24 @@
 //   Bob:   locate training, equalize, decode, ACK on success
 // and returns a full trace (band, bitrate, errors) that the benches
 // aggregate into the paper's figures.
+//
+// send_packet() runs the exchange the way the app runs it: two duplex
+// core::Modem endpoints clocked block by block through a full-duplex
+// channel::AcousticMedium, every sample flowing through the streaming
+// receive front end. send_packet_oracle() keeps the original
+// capture-splicing reference path (each phase transmitted and decoded in
+// isolation with oracle timing); the equivalence tests compare the two.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "channel/channel.h"
+#include "channel/medium.h"
+#include "core/modem.h"
 #include "dsp/workspace.h"
 #include "phy/bandselect.h"
 #include "phy/datamodem.h"
@@ -40,6 +50,10 @@ struct SessionConfig {
   std::optional<phy::BandSelection> fixed_band;
   phy::DecodeOptions decode;
   bool send_ack = true;
+  /// Block size (samples) at which the duplex endpoints are clocked
+  /// through the shared medium. Results are bit-identical for any value:
+  /// every decision in the pipeline lives on the absolute sample grid.
+  std::size_t medium_block_samples = 480;
 };
 
 /// Everything observable about one packet exchange.
@@ -61,8 +75,9 @@ struct PacketTrace {
   std::size_t coded_bit_errors = 0; ///< pre-Viterbi (uncoded) errors
   double preamble_metric = 0.0;
   std::vector<std::uint8_t> decoded_bits;  ///< Bob's decoded payload
-  /// Receiver-side samples pushed through the DSP chain for this packet
-  /// (all four protocol phases) — the benches' samples/s throughput metric.
+  /// Microphone samples pushed through the receive DSP chains for this
+  /// packet (both endpoints on the streaming path; the four spliced
+  /// captures on the oracle path) — the benches' samples/s metric.
   std::size_t samples_processed = 0;
 };
 
@@ -76,8 +91,18 @@ class LinkSession {
   /// own arena so back-to-back sessions reuse the same buffers.
   LinkSession(const SessionConfig& config, dsp::Workspace& ws);
 
-  /// Executes one full packet exchange carrying `info_bits` (0/1 values).
+  /// Executes one full packet exchange carrying `info_bits` (0/1 values)
+  /// over the streaming duplex pipeline: two Modems on one AcousticMedium,
+  /// a continuous shared sample clock, every mic sample through the
+  /// overlap-save front end exactly once. The medium and both endpoints
+  /// persist across calls, so back-to-back packets ride one evolving
+  /// timeline (mobility keeps drifting, scanners keep their state).
   PacketTrace send_packet(std::span<const std::uint8_t> info_bits);
+
+  /// Reference implementation: each phase transmitted through the packet
+  /// channels and decoded from its own spliced capture with oracle timing.
+  /// Kept for the streaming-equivalence tests and A/B benches.
+  PacketTrace send_packet_oracle(std::span<const std::uint8_t> info_bits);
 
   /// The per-bin SNR Bob would estimate right now (sends a lone preamble).
   /// Used by the Fig. 16 channel-stability experiment.
@@ -91,6 +116,7 @@ class LinkSession {
   dsp::Workspace& scratch() const {
     return ws_ ? *ws_ : dsp::thread_local_workspace();
   }
+  void ensure_duplex();
 
   SessionConfig config_;
   dsp::Workspace* ws_ = nullptr;  ///< borrowed; nullptr = thread-local
@@ -100,6 +126,12 @@ class LinkSession {
   phy::FeedbackCodec feedback_;
   phy::DataModem modem_;
   phy::Ofdm ofdm_;
+
+  // Streaming path (built on first send_packet call): the shared medium
+  // and the two duplex endpoints.
+  std::unique_ptr<channel::AcousticMedium> medium_;
+  std::unique_ptr<Modem> alice_;
+  std::unique_ptr<Modem> bob_;
 };
 
 }  // namespace aqua::core

@@ -1,0 +1,344 @@
+#include "core/modem.h"
+
+#include <algorithm>
+
+#include "phy/chanest.h"
+
+namespace aqua::core {
+
+namespace {
+
+// Tone decoders want the symbol plus trailing audio for their
+// noise-estimation windows; deciding earlier mis-rejects weak IDs.
+constexpr std::size_t kIdWaitSymbols = 5;
+
+// The scanner confirms a preamble only once its correlation block and
+// confirmation span are complete — up to ~14k samples after the ID gate
+// above. The feedback's timeline anchor must sit at or beyond the worst
+// actual decision point (gate + this allowance + tx_latency covers
+// clocking blocks up to tx_latency), otherwise the anchor padding never
+// fires and the feedback start would quantize to the caller's block size.
+constexpr std::size_t kDetectionLagAllowance = 16800;
+
+// The scanner's decision lag (correlation block + confirmation span) plus
+// the ID window bounds how far behind rx_pos_ a detection can still need
+// raw samples; retaining less than this would drop packets regardless of
+// what the caller asked for.
+constexpr std::size_t kMinSearchBuffer = 36000;
+
+std::size_t compact_threshold() { return std::size_t{1} << 15; }
+
+}  // namespace
+
+Modem::Modem(const ModemConfig& config)
+    : config_(config),
+      preamble_(config.params),
+      scanner_(preamble_),
+      feedback_(config.params),
+      modem_(config.params),
+      ofdm_(config.params) {
+  config_.search_buffer = std::max(config_.search_buffer, kMinSearchBuffer);
+}
+
+Modem::Modem(const ModemConfig& config, dsp::Workspace& ws) : Modem(config) {
+  ws_ = &ws;
+}
+
+bool Modem::tx_idle() const {
+  return tx_state_ == TxState::kIdle && tx_messages_.empty() &&
+         tx_pending() == 0;
+}
+
+std::span<const double> Modem::raw(std::uint64_t from, std::size_t len) const {
+  return std::span<const double>(buffer_).subspan(
+      static_cast<std::size_t>(from - buffer_base_), len);
+}
+
+void Modem::enqueue_tx(std::span<const double> wave) {
+  tx_queue_.insert(tx_queue_.end(), wave.begin(), wave.end());
+}
+
+std::uint64_t Modem::enqueue_tx_at(std::uint64_t decision_pos,
+                                   std::span<const double> wave) {
+  const std::uint64_t target = decision_pos + config_.tx_latency;
+  const std::uint64_t queue_end = tx_pos_ + tx_pending();
+  if (target > queue_end) {
+    tx_queue_.insert(tx_queue_.end(),
+                     static_cast<std::size_t>(target - queue_end), 0.0);
+  }
+  const std::uint64_t start = std::max(target, queue_end);
+  enqueue_tx(wave);
+  return start + wave.size();
+}
+
+void Modem::pull_tx(std::span<double> speaker) {
+  const std::size_t have = tx_pending();
+  const std::size_t take = std::min(have, speaker.size());
+  std::copy_n(tx_queue_.begin() + static_cast<std::ptrdiff_t>(tx_head_), take,
+              speaker.begin());
+  std::fill(speaker.begin() + static_cast<std::ptrdiff_t>(take), speaker.end(),
+            0.0);
+  tx_head_ += take;
+  tx_pos_ += speaker.size();
+  if (tx_head_ > compact_threshold()) {
+    tx_queue_.erase(tx_queue_.begin(),
+                    tx_queue_.begin() + static_cast<std::ptrdiff_t>(tx_head_));
+    tx_head_ = 0;
+  }
+}
+
+std::vector<double> Modem::pull_tx(std::size_t n) {
+  std::vector<double> out(n);
+  pull_tx(std::span<double>(out));
+  return out;
+}
+
+void Modem::send(std::span<const std::uint8_t> info_bits,
+                 std::uint8_t dest_id) {
+  Outgoing msg;
+  msg.bits.assign(info_bits.begin(), info_bits.end());
+  msg.dest_id = dest_id;
+  tx_messages_.push_back(std::move(msg));
+  if (tx_state_ == TxState::kIdle) start_next_message();
+}
+
+void Modem::start_next_message() {
+  if (tx_messages_.empty()) return;
+  Outgoing msg = std::move(tx_messages_.front());
+  tx_messages_.pop_front();
+  tx_bits_ = std::move(msg.bits);
+
+  // Phase 1: preamble + receiver-ID symbol. The listen windows that follow
+  // are anchored to the absolute position where this waveform finishes
+  // playing out — a pure function of the sample timeline, so behavior is
+  // identical however the caller chunks push()/pull_tx().
+  std::vector<double> phase1 = preamble_.waveform();
+  {
+    const std::vector<double> id = feedback_.encode_tone(msg.dest_id);
+    phase1.insert(phase1.end(), id.begin(), id.end());
+  }
+  phase1_end_ = tx_pos_ + tx_pending() + phase1.size();
+  enqueue_tx(phase1);
+
+  if (config_.fixed_band) {
+    // Fixed-bandwidth baselines skip the feedback exchange: data follows
+    // the header immediately. Without an expected ACK the exchange still
+    // completes through kWaitAck with a zero listen window, i.e. as soon
+    // as the data has played out.
+    const std::vector<double> data = modem_.encode(
+        tx_bits_, *config_.fixed_band, config_.decode.use_differential);
+    data_end_ = tx_pos_ + tx_pending() + data.size();
+    enqueue_tx(data);
+    ack_deadline_ = data_end_ + (config_.send_ack ? config_.ack_window : 0);
+    tx_state_ = TxState::kWaitAck;
+    return;
+  }
+  fb_deadline_ = phase1_end_ + config_.feedback_window;
+  tx_state_ = TxState::kWaitFeedback;
+}
+
+bool Modem::rx_step(std::vector<ModemEvent>& events) {
+  const std::size_t sym_total = config_.params.symbol_total_samples();
+
+  if (rx_state_ == RxState::kSearching) {
+    while (!detections_.empty() &&
+           detections_.front().start_index < ignore_before_) {
+      detections_.pop_front();
+    }
+    if (detections_.empty()) return false;
+    const phy::PreambleDetection det = detections_.front();
+    const std::uint64_t pre_end = det.start_index + preamble_.core_samples();
+    // Decide only once the ID symbol plus the tone decoder's trailing
+    // noise windows are buffered — an absolute-position gate.
+    if (rx_pos_ < pre_end + kIdWaitSymbols * sym_total) return false;
+    detections_.pop_front();
+
+    ModemEvent detected;
+    detected.type = ModemEvent::Type::kPreambleDetected;
+    detected.stream_pos = det.start_index;
+    detected.preamble_metric = det.sliding_metric;
+    events.push_back(std::move(detected));
+
+    const auto id = feedback_.decode_tone(
+        raw(pre_end, kIdWaitSymbols * sym_total), /*step=*/8,
+        /*min_peak_fraction=*/0.3, scratch());
+    if (!id || id->bin != config_.my_id) return true;
+
+    const phy::ChannelEstimate est =
+        phy::estimate_channel(ofdm_, raw(det.start_index, preamble_.core_samples()),
+                              preamble_.cazac_bins(), scratch());
+    band_ = config_.fixed_band
+                ? *config_.fixed_band
+                : phy::select_band(est.snr_db, config_.params.snr_threshold_db,
+                                   config_.params.lambda);
+
+    ModemEvent addressed;
+    addressed.type = ModemEvent::Type::kAddressedToUs;
+    addressed.stream_pos = det.start_index;
+    addressed.preamble_metric = det.sliding_metric;
+    addressed.band = band_;
+    addressed.snr_db = est.snr_db;
+    events.push_back(std::move(addressed));
+
+    if (!config_.fixed_band) {
+      // The duplex endpoint owns its speaker: the feedback symbol goes
+      // onto the transmit queue, anchored past the scanner's bounded
+      // decision lag so its position on the shared timeline does not
+      // depend on block boundaries.
+      enqueue_tx_at(
+          pre_end + kIdWaitSymbols * sym_total + kDetectionLagAllowance,
+          feedback_.encode_band(band_));
+    }
+    rx_state_ = RxState::kAwaitingData;
+    data_origin_ = pre_end;
+    const std::size_t rows =
+        modem_.data_symbol_count(config_.payload_bits, band_.width());
+    const std::size_t wait_fb =
+        config_.fixed_band ? 0 : config_.feedback_window;
+    data_deadline_ = pre_end + wait_fb + config_.data_slack +
+                     (rows + 1) * sym_total;
+    return true;
+  }
+
+  // kAwaitingData: decode the fixed window [origin, deadline) exactly when
+  // the deadline position arrives.
+  if (rx_pos_ < data_deadline_) return false;
+  const std::size_t rows =
+      modem_.data_symbol_count(config_.payload_bits, band_.width());
+  const std::size_t region = (rows + 1) * sym_total;
+  const std::size_t window =
+      static_cast<std::size_t>(data_deadline_ - data_origin_);
+  phy::DecodeOptions opts = config_.decode;
+  opts.search_window = window > region ? window - region : 0;
+  const phy::DataDecodeResult res = modem_.decode(
+      raw(data_origin_, window), band_, config_.payload_bits, opts, scratch());
+
+  ModemEvent ev;
+  ev.stream_pos = data_deadline_;
+  ev.training_metric = res.training_metric;
+  ev.band = band_;
+  if (res.found) {
+    ev.type = ModemEvent::Type::kPacketDecoded;
+    ev.payload_bits = res.info_bits;
+    ev.coded_hard = res.coded_hard;
+    if (config_.send_ack) {
+      enqueue_tx_at(data_deadline_,
+                    feedback_.encode_tone(phy::FeedbackCodec::kAckBin));
+    }
+  } else {
+    ev.type = ModemEvent::Type::kPacketFailed;
+  }
+  events.push_back(std::move(ev));
+
+  rx_state_ = RxState::kSearching;
+  // Everything up to one symbol before the deadline has been consumed by
+  // this packet; a back-to-back successor's preamble survives past it.
+  ignore_before_ = data_deadline_ - sym_total;
+  return true;
+}
+
+bool Modem::tx_step(std::vector<ModemEvent>& events) {
+  if (tx_state_ == TxState::kWaitFeedback) {
+    if (rx_pos_ < fb_deadline_) return false;
+    const std::size_t window = config_.feedback_window;
+    const auto dec = feedback_.decode_band(
+        raw(fb_deadline_ - window, window), /*step=*/8,
+        /*min_peak_fraction=*/0.3, scratch());
+    if (!dec) {
+      ModemEvent ev;
+      ev.type = ModemEvent::Type::kTxFailed;
+      ev.stream_pos = fb_deadline_;
+      events.push_back(std::move(ev));
+      tx_state_ = TxState::kIdle;
+      start_next_message();
+      return true;
+    }
+    ModemEvent fb;
+    fb.type = ModemEvent::Type::kTxFeedbackReceived;
+    fb.stream_pos = fb_deadline_;
+    fb.band = dec->band;
+    events.push_back(std::move(fb));
+
+    const std::vector<double> data =
+        modem_.encode(tx_bits_, dec->band, config_.decode.use_differential);
+    data_end_ = enqueue_tx_at(fb_deadline_, data);
+    ModemEvent sent;
+    sent.type = ModemEvent::Type::kTxDataSent;
+    sent.stream_pos = fb_deadline_;
+    sent.band = dec->band;
+    events.push_back(std::move(sent));
+
+    ack_deadline_ = data_end_ + (config_.send_ack ? config_.ack_window : 0);
+    tx_state_ = TxState::kWaitAck;
+    return true;
+  }
+
+  if (tx_state_ == TxState::kWaitAck) {
+    if (rx_pos_ < ack_deadline_) return false;
+    const std::size_t window =
+        static_cast<std::size_t>(ack_deadline_ - data_end_);
+    std::optional<phy::ToneDecode> got;
+    if (window > 0) {
+      got = feedback_.decode_tone(raw(data_end_, window), /*step=*/8,
+                                  /*min_peak_fraction=*/0.3, scratch());
+    }
+    ModemEvent done;
+    done.type = ModemEvent::Type::kTxComplete;
+    done.stream_pos = ack_deadline_;
+    done.ack_received = got && got->bin == phy::FeedbackCodec::kAckBin;
+    events.push_back(std::move(done));
+    tx_state_ = TxState::kIdle;
+    start_next_message();
+    return true;
+  }
+  return false;
+}
+
+void Modem::trim_buffer() {
+  // Keep everything any pending decision may still read — all bounds are
+  // absolute stream positions, so trimming can never change what a decode
+  // window contains.
+  std::uint64_t keep_from =
+      rx_pos_ > config_.search_buffer ? rx_pos_ - config_.search_buffer : 0;
+  if (!detections_.empty()) {
+    keep_from = std::min(keep_from, detections_.front().start_index);
+  }
+  if (rx_state_ == RxState::kAwaitingData) {
+    keep_from = std::min(keep_from, data_origin_);
+  }
+  if (tx_state_ == TxState::kWaitFeedback) {
+    const std::uint64_t start = fb_deadline_ - config_.feedback_window;
+    keep_from = std::min(keep_from, start);
+  }
+  if (tx_state_ == TxState::kWaitAck) {
+    keep_from = std::min(keep_from, data_end_);
+  }
+  if (keep_from > buffer_base_ + compact_threshold()) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                       keep_from - buffer_base_));
+    buffer_base_ = keep_from;
+  }
+}
+
+std::vector<ModemEvent> Modem::push(std::span<const double> mic) {
+  buffer_.insert(buffer_.end(), mic.begin(), mic.end());
+  rx_pos_ += mic.size();
+
+  det_tmp_.clear();
+  scanner_.scan(mic, det_tmp_, scratch());
+  for (const phy::PreambleDetection& d : det_tmp_) detections_.push_back(d);
+
+  std::vector<ModemEvent> events;
+  // Run both machines to quiescence; each step performs at most one
+  // transition, and all gates are absolute sample positions.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    if (rx_step(events)) progressed = true;
+    if (tx_step(events)) progressed = true;
+  }
+  trim_buffer();
+  return events;
+}
+
+}  // namespace aqua::core

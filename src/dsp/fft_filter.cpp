@@ -17,26 +17,34 @@ double block_cost(std::size_t m, std::size_t taps) {
          static_cast<double>(m - taps + 1);
 }
 
-}  // namespace
-
-FftFilter::FftFilter(std::vector<double> kernel) : kernel_(std::move(kernel)) {
-  if (kernel_.empty()) {
-    throw std::invalid_argument("FftFilter: empty kernel");
-  }
-  const std::size_t taps = kernel_.size();
-  // Candidate block sizes: the smallest power of two holding one full
-  // overlap plus at least as many fresh samples, then a few doublings.
-  // Larger blocks amortize the transforms better until memory traffic wins.
+// Cost-minimizing power-of-two block size for an M-tap kernel, subject to
+// the block's valid-output count (m - taps + 1) not exceeding `max_step`.
+// The smallest candidate is always allowed: a kernel longer than max_step
+// has no conforming block at all, so latency degrades gracefully instead
+// of construction failing.
+std::size_t choose_block(std::size_t taps, std::size_t max_step) {
   std::size_t best = std::max<std::size_t>(next_pow2(2 * taps), 64);
   double best_cost = block_cost(best, taps);
   for (std::size_t m = best * 2; m <= best * 16; m *= 2) {
+    if (m - taps + 1 > max_step) break;
     const double c = block_cost(m, taps);
     if (c < best_cost) {
       best_cost = c;
       best = m;
     }
   }
-  m_ = best;
+  return best;
+}
+
+}  // namespace
+
+FftFilter::FftFilter(std::vector<double> kernel, std::size_t max_step)
+    : kernel_(std::move(kernel)) {
+  if (kernel_.empty()) {
+    throw std::invalid_argument("FftFilter: empty kernel");
+  }
+  const std::size_t taps = kernel_.size();
+  m_ = choose_block(taps, max_step);
   step_ = m_ - taps + 1;
   plan_ = &plan_of(m_);
 
@@ -124,6 +132,69 @@ std::vector<double> FftFilter::filter_same(std::span<const double> x,
   std::vector<double> out(x.size());
   filter_same_into(x, out, ws);
   return out;
+}
+
+FftFilter::Stream::Stream(const FftFilter& filter, std::size_t max_step)
+    : filter_(&filter) {
+  const std::size_t taps = filter.kernel_size();
+  m_ = filter.fft_size() - taps + 1 <= max_step
+           ? filter.fft_size()
+           : choose_block(taps, max_step);
+  step_ = m_ - taps + 1;
+  plan_ = &plan_of(m_);
+  if (m_ != filter.fft_size()) {
+    std::vector<cplx> k(m_, cplx{0.0, 0.0});
+    for (std::size_t i = 0; i < taps; ++i) k[i] = {filter.kernel()[i], 0.0};
+    own_kernel_fft_.resize(m_);
+    plan_->forward(k, own_kernel_fft_);
+  }
+  pending_.assign(taps - 1, 0.0);  // zero prehistory: causal convolution
+}
+
+void FftFilter::Stream::reset() {
+  pending_.assign(filter_->kernel_size() - 1, 0.0);
+  consumed_ = 0;
+  produced_ = 0;
+}
+
+std::size_t FftFilter::Stream::push(std::span<const double> x,
+                                    std::vector<double>& out, Workspace& ws) {
+  const std::size_t taps = filter_->kernel_size();
+  consumed_ += x.size();
+  pending_.insert(pending_.end(), x.begin(), x.end());
+  if (pending_.size() < m_) return 0;
+
+  const std::span<const cplx> kfft =
+      own_kernel_fft_.empty() ? std::span<const cplx>(filter_->kernel_fft_)
+                              : std::span<const cplx>(own_kernel_fft_);
+  ScratchCplx seg_s(ws, m_);
+  ScratchCplx spec_s(ws, m_);
+  std::span<cplx> seg = seg_s.span();
+  std::span<cplx> spec = spec_s.span();
+  std::size_t emitted = 0;
+  std::size_t head = 0;
+  // One overlap-save block per `step_` buffered samples: block b transforms
+  // the absolute input window [b*step - (taps-1), b*step + step) and emits
+  // outputs [b*step, (b+1)*step) of the causal convolution. The window is a
+  // pure function of the absolute position, which is what makes the output
+  // chunking-invariant.
+  while (pending_.size() - head >= m_) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      seg[j] = {pending_[head + j], 0.0};
+    }
+    plan_->forward(seg, spec, ws);
+    for (std::size_t j = 0; j < m_; ++j) spec[j] *= kfft[j];
+    plan_->inverse(spec, seg, ws);
+    for (std::size_t j = 0; j < step_; ++j) {
+      out.push_back(seg[taps - 1 + j].real());
+    }
+    emitted += step_;
+    head += step_;
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(head));
+  produced_ += emitted;
+  return emitted;
 }
 
 }  // namespace aqua::dsp

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -35,13 +36,23 @@ inline constexpr std::size_t kDirectConvOpsThreshold = std::size_t{1} << 14;
 inline constexpr std::size_t kOneShotDirectConvOpsThreshold = std::size_t{1}
                                                               << 18;
 
+/// Upper bound on the valid outputs per streaming block (FftFilter::Stream).
+/// Streams trade a little per-output efficiency for bounded latency: a
+/// batch-optimal block for a long kernel (e.g. the 7680-sample preamble
+/// template) can hold back seconds of audio, which no realtime front end
+/// can afford. 16384 samples is ~0.34 s at 48 kHz.
+inline constexpr std::size_t kMaxStreamStep = std::size_t{1} << 14;
+
 /// Streaming-capable overlap-save convolution engine for one real kernel.
 class FftFilter {
  public:
   /// Builds the engine for `kernel` (must be non-empty). Chooses the FFT
   /// block size minimizing estimated per-output cost and caches the kernel
-  /// spectrum at that size.
-  explicit FftFilter(std::vector<double> kernel);
+  /// spectrum at that size. `max_step` bounds the valid outputs per block
+  /// (i.e. the worst-case latency of a Stream over this engine); the
+  /// default allows the unconstrained batch optimum.
+  explicit FftFilter(std::vector<double> kernel,
+                     std::size_t max_step = static_cast<std::size_t>(-1));
 
   std::size_t kernel_size() const { return kernel_.size(); }
   const std::vector<double>& kernel() const { return kernel_; }
@@ -66,6 +77,54 @@ class FftFilter {
                         Workspace& ws) const;
   std::vector<double> filter_same(std::span<const double> x,
                                   Workspace& ws) const;
+
+  /// Stateful streaming mode: carries the kernel-length input tail between
+  /// calls so a continuous signal is filtered chunk by chunk with every
+  /// sample transformed exactly once. Output is the causal full
+  /// convolution (y[p] = sum_j kernel[j] * x[p - j], zero prehistory),
+  /// emitted in whole step()-sized blocks aligned to the absolute input
+  /// timeline: the produced sample sequence is bit-identical for any
+  /// chunking of the same input stream, because every block transforms the
+  /// same absolute input window through the same FFT path. Outputs
+  /// therefore lag inputs by at most step() - 1 samples.
+  ///
+  /// A Stream references its parent engine (which must outlive it) and is
+  /// single-threaded mutable state; the parent remains shareable.
+  class Stream {
+   public:
+    /// `max_step` bounds the per-block output count (worst-case latency).
+    /// When the parent's own block already satisfies it, the cached kernel
+    /// spectrum is shared; otherwise a latency-bounded block is chosen and
+    /// its spectrum computed once here.
+    explicit Stream(const FftFilter& filter,
+                    std::size_t max_step = kMaxStreamStep);
+
+    /// Valid outputs per block (worst-case output lag is step() - 1).
+    std::size_t step() const { return step_; }
+    std::size_t fft_size() const { return m_; }
+
+    /// Consumes `x` and appends every newly completed output sample to
+    /// `out`. Returns the number of samples appended.
+    std::size_t push(std::span<const double> x, std::vector<double>& out,
+                     Workspace& ws);
+
+    /// Totals since construction / reset().
+    std::uint64_t consumed() const { return consumed_; }
+    std::uint64_t produced() const { return produced_; }
+
+    /// Forgets all history (restarts the stream at absolute sample 0).
+    void reset();
+
+   private:
+    const FftFilter* filter_;
+    std::size_t m_ = 0;
+    std::size_t step_ = 0;
+    const FftPlan* plan_ = nullptr;
+    std::vector<cplx> own_kernel_fft_;   ///< empty when sharing the parent's
+    std::vector<double> pending_;        ///< [taps-1 history | unprocessed]
+    std::uint64_t consumed_ = 0;
+    std::uint64_t produced_ = 0;
+  };
 
  private:
   std::vector<double> kernel_;

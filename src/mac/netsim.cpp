@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 namespace aqua::mac {
 
@@ -176,6 +177,74 @@ MacSimResult run_mac_simulation(const MacSimConfig& config) {
                 static_cast<double>(result.total_packets)
           : 0.0;
   return result;
+}
+
+ModemNetwork::ModemNetwork(const ModemNetworkConfig& config,
+                           dsp::Workspace* ws)
+    : config_(config), ws_(ws) {
+  const channel::SitePreset site = channel::site_preset(config.site);
+  const double fs = 48000.0;
+  medium_ = std::make_unique<channel::AcousticMedium>(fs);
+
+  const int n = config.nodes;
+  for (int i = 0; i < n; ++i) {
+    const std::optional<channel::NoiseParams> noise =
+        config.noise_enabled ? std::optional<channel::NoiseParams>(site.noise)
+                             : std::nullopt;
+    medium_->add_endpoint(noise, channel::mic_noise_seed(config.seed) +
+                                     static_cast<std::uint64_t>(i));
+  }
+  // Directed link per ordered pair; range follows the line placement.
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      channel::LinkConfig lc;
+      lc.site = site;
+      lc.range_m = config.spacing_m * std::abs(a - b);
+      lc.tx_depth_m = config.depth_m;
+      lc.rx_depth_m = config.depth_m;
+      lc.sample_rate_hz = fs;
+      lc.seed = config.seed * 131 + static_cast<std::uint64_t>(a * n + b);
+      medium_->connect(a, b, lc);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    core::ModemConfig mc = config.modem;
+    mc.my_id = node_id(i);
+    modems_.push_back(ws_ ? std::make_unique<core::Modem>(mc, *ws_)
+                          : std::make_unique<core::Modem>(mc));
+  }
+}
+
+void ModemNetwork::send(int from, std::span<const std::uint8_t> info_bits,
+                        int to) {
+  node(from).send(info_bits, node_id(to));
+}
+
+std::vector<std::vector<core::ModemEvent>> ModemNetwork::run(double seconds) {
+  dsp::Workspace& arena = ws_ ? *ws_ : dsp::thread_local_workspace();
+  const std::size_t block = 480;
+  const std::uint64_t blocks = static_cast<std::uint64_t>(
+      seconds * medium_->sample_rate_hz() / static_cast<double>(block));
+  const std::size_t n = modems_.size();
+
+  std::vector<std::vector<core::ModemEvent>> events(n);
+  std::vector<std::vector<double>> tx(n, std::vector<double>(block));
+  std::vector<std::span<const double>> tx_spans;
+  tx_spans.reserve(n);
+  for (const std::vector<double>& t : tx) tx_spans.emplace_back(t);
+  std::vector<std::vector<double>> rx;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      modems_[i]->pull_tx(std::span<double>(tx[i]));
+    }
+    medium_->step(tx_spans, rx, arena);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<core::ModemEvent> ev = modems_[i]->push(rx[i]);
+      for (core::ModemEvent& e : ev) events[i].push_back(std::move(e));
+    }
+  }
+  return events;
 }
 
 }  // namespace aqua::mac

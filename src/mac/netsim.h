@@ -12,8 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <vector>
+
+#include "channel/medium.h"
+#include "core/modem.h"
+#include "dsp/workspace.h"
 
 namespace aqua::mac {
 
@@ -52,5 +57,54 @@ struct MacSimResult {
 
 /// Runs the time-stepped MAC simulation.
 MacSimResult run_mac_simulation(const MacSimConfig& config);
+
+/// Waveform-level multi-node network: N duplex core::Modem endpoints
+/// attached to one shared channel::AcousticMedium, in the Fig. 19 line
+/// deployment (nodes spaced along a transect at one site). Where
+/// run_mac_simulation() abstracts packets into intervals, this runs the
+/// actual modem pipeline — preambles collide as audio, feedback symbols
+/// mix, and third parties overhear real preambles they are not addressed
+/// by.
+struct ModemNetworkConfig {
+  int nodes = 3;
+  channel::Site site = channel::Site::kBridge;
+  double spacing_m = 5.0;   ///< distance between adjacent nodes
+  double depth_m = 1.0;
+  bool noise_enabled = true;
+  std::uint8_t id_base = 20;  ///< node i answers to active bin id_base + i
+  std::uint64_t seed = 1;
+  core::ModemConfig modem;    ///< shared protocol config (my_id overridden)
+};
+
+class ModemNetwork {
+ public:
+  /// When `ws` is non-null every node's DSP (scanners, tone/band/data
+  /// decodes) and the medium's streaming chains lease scratch from it —
+  /// the same per-worker-arena pattern LinkSession uses. It must outlive
+  /// the network; nullptr falls back to the calling thread's arena.
+  explicit ModemNetwork(const ModemNetworkConfig& config,
+                        dsp::Workspace* ws = nullptr);
+
+  int nodes() const { return static_cast<int>(modems_.size()); }
+  core::Modem& node(int i) { return *modems_[static_cast<std::size_t>(i)]; }
+  std::uint8_t node_id(int i) const {
+    return static_cast<std::uint8_t>(config_.id_base + i);
+  }
+
+  /// Queues `info_bits` at node `from`, addressed to node `to`.
+  void send(int from, std::span<const std::uint8_t> info_bits, int to);
+
+  /// Clocks all modems through the medium for `seconds`; returns the
+  /// events each node emitted (indexed by node).
+  std::vector<std::vector<core::ModemEvent>> run(double seconds);
+
+  channel::AcousticMedium& medium() { return *medium_; }
+
+ private:
+  ModemNetworkConfig config_;
+  dsp::Workspace* ws_ = nullptr;  ///< borrowed; nullptr = thread-local
+  std::unique_ptr<channel::AcousticMedium> medium_;
+  std::vector<std::unique_ptr<core::Modem>> modems_;
+};
 
 }  // namespace aqua::mac

@@ -42,10 +42,20 @@ Preamble::Preamble(const OfdmParams& params)
       waveform_(build_waveform(params, one_symbol_)),
       bandpass_(dsp::design_bandpass(params.band_low_hz, params.band_high_hz,
                                      params.sample_rate_hz, 129)),
-      core_corr_(std::vector<double>(
-          waveform_.begin() + static_cast<std::ptrdiff_t>(params.cp_samples()),
-          waveform_.end())),
       core_samples_(OfdmParams::kPreambleSymbols * params.symbol_samples()) {}
+
+std::vector<double> Preamble::core_template() const {
+  return std::vector<double>(
+      waveform_.begin() + static_cast<std::ptrdiff_t>(params_.cp_samples()),
+      waveform_.end());
+}
+
+const dsp::CrossCorrelator& Preamble::core_corr() const {
+  std::call_once(core_corr_once_, [this] {
+    core_corr_ = std::make_unique<const dsp::CrossCorrelator>(core_template());
+  });
+  return *core_corr_;
+}
 
 double Preamble::sliding_metric_at(std::span<const double> signal,
                                    std::size_t start) const {
@@ -89,10 +99,11 @@ std::optional<PreambleDetection> Preamble::detect(
 
   // Stage 1: coarse normalized cross-correlation against the core, through
   // the cached template spectrum.
-  const std::size_t coarse_len = core_corr_.output_length(signal.size());
+  const dsp::CrossCorrelator& corr = core_corr();
+  const std::size_t coarse_len = corr.output_length(signal.size());
   if (coarse_len == 0) return std::nullopt;
   dsp::ScratchReal coarse_s(ws, coarse_len);
-  core_corr_.normalized_into(signal, coarse_s.span(), ws);
+  corr.normalized_into(signal, coarse_s.span(), ws);
   std::span<const double> coarse = coarse_s.span();
 
   // Candidate peaks: the best correlation in each half-symbol chunk.
@@ -147,6 +158,232 @@ std::optional<PreambleDetection> Preamble::detect(
     }
   }
   return best;
+}
+
+namespace {
+
+// Re-accumulate the scanner's running window-energy sum at this absolute
+// lag spacing (same cancellation-drift argument as sliding_energy_into —
+// and pinning the re-sum points to the absolute grid is also what keeps
+// the normalization chunking-invariant).
+constexpr std::uint64_t kScannerEnergyReaccumulate = 4096;
+
+// Compact a ring's front lazily so trims amortize to O(1) per sample.
+constexpr std::size_t kRingTrimSlack = 8192;
+
+std::vector<double> reversed(std::vector<double> v) {
+  std::reverse(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+PreambleScanner::PreambleScanner(const Preamble& preamble)
+    : pre_(&preamble),
+      n_(preamble.params_.symbol_samples()),
+      core_(preamble.core_samples()),
+      delay_((preamble.bandpass_.kernel_size() - 1) / 2),
+      window_(std::max<std::size_t>(n_ / 2, 1)),
+      ref_energy_(dsp::energy(preamble.core_template())),
+      corr_engine_(reversed(preamble.core_template()), dsp::kMaxStreamStep),
+      band_stream_(preamble.bandpass_, dsp::kMaxStreamStep),
+      corr_stream_(corr_engine_),
+      conv_drop_(delay_),
+      corr_drop_(core_ - 1) {}
+
+void PreambleScanner::reset() {
+  band_stream_.reset();
+  corr_stream_.reset();
+  filt_.clear();
+  corr_vals_.clear();
+  coarse_.clear();
+  filt_base_ = corr_base_ = coarse_base_ = 0;
+  conv_drop_ = delay_;
+  corr_drop_ = core_ - 1;
+  energy_acc_ = 0.0;
+  next_lag_ = next_window_ = 0;
+  pending_.reset();
+  consumed_ = 0;
+}
+
+std::uint64_t PreambleScanner::decided_through() const {
+  const std::uint64_t frontier = next_window_ * window_;
+  const std::uint64_t horizon = static_cast<std::uint64_t>(core_ + n_);
+  const std::uint64_t settled = frontier > horizon ? frontier - horizon : 0;
+  return pending_ ? std::min<std::uint64_t>(pending_->start_index, settled)
+                  : settled;
+}
+
+double PreambleScanner::metric_at(std::uint64_t abs_index) const {
+  // Below the ring means below anything a legitimate probe can reach
+  // (trim_rings retains the full confirmation span including the fine
+  // pass); the guard only turns a corner-case wild read into a 0.
+  if (abs_index < filt_base_) return 0.0;
+  return pre_->sliding_metric_at(
+      filt_, static_cast<std::size_t>(abs_index - filt_base_));
+}
+
+void PreambleScanner::scan(std::span<const double> chunk,
+                           std::vector<PreambleDetection>& out,
+                           dsp::Workspace& ws) {
+  consumed_ += chunk.size();
+
+  // Bandpass each arriving sample exactly once. Dropping the first
+  // group-delay outputs aligns the filtered ring with the raw timeline
+  // (same convention as the batch path's filter_same), so detection
+  // indices are raw-stream indices.
+  conv_tmp_.clear();
+  band_stream_.push(chunk, conv_tmp_, ws);
+  std::span<const double> newf = conv_tmp_;
+  if (conv_drop_ > 0) {
+    const std::size_t d = std::min(conv_drop_, newf.size());
+    newf = newf.subspan(d);
+    conv_drop_ -= d;
+  }
+  filt_.insert(filt_.end(), newf.begin(), newf.end());
+
+  // Correlate each filtered sample against the core template exactly once.
+  // The causal convolution with the reversed template yields correlation
+  // lag i at convolution index i + core - 1.
+  corr_tmp_.clear();
+  corr_stream_.push(newf, corr_tmp_, ws);
+  std::span<const double> newc = corr_tmp_;
+  if (corr_drop_ > 0) {
+    const std::size_t d = std::min(corr_drop_, newc.size());
+    newc = newc.subspan(d);
+    corr_drop_ -= d;
+  }
+  corr_vals_.insert(corr_vals_.end(), newc.begin(), newc.end());
+
+  advance(out);
+}
+
+void PreambleScanner::advance(std::vector<PreambleDetection>& out) {
+  const std::uint64_t filt_end = filt_base_ + filt_.size();
+  const std::uint64_t corr_end = corr_base_ + corr_vals_.size();
+
+  // Extend the normalized-correlation ring. The running window energy is
+  // updated lag by lag in absolute order (with absolute-grid re-sums), so
+  // the value sequence does not depend on chunk boundaries.
+  while (next_lag_ < corr_end && next_lag_ + core_ <= filt_end) {
+    const std::uint64_t i = next_lag_;
+    if (i == 0 || i % kScannerEnergyReaccumulate == 0) {
+      double acc = 0.0;
+      const double* f = filt_.data() + (i - filt_base_);
+      for (std::size_t j = 0; j < core_; ++j) acc += f[j] * f[j];
+      energy_acc_ = acc;
+    } else {
+      const double head = filt_[static_cast<std::size_t>(i - 1 - filt_base_)];
+      const double tail =
+          filt_[static_cast<std::size_t>(i + core_ - 1 - filt_base_)];
+      energy_acc_ += tail * tail - head * head;
+    }
+    const double e = std::max(energy_acc_, 0.0);
+    const double denom = std::sqrt(ref_energy_ * e);
+    const double c = corr_vals_[static_cast<std::size_t>(i - corr_base_)];
+    coarse_.push_back(denom > 1e-12 ? c / denom : 0.0);
+    ++next_lag_;
+  }
+
+  // Decide candidate windows once their coarse values are complete and the
+  // filtered ring covers every sliding-metric evaluation the confirmation
+  // pass could perform — both bounds are absolute, never "what this push
+  // happened to deliver".
+  while (true) {
+    const std::uint64_t lo = next_window_ * window_;
+    const std::uint64_t hi = lo + window_;
+    if (next_lag_ < hi) break;
+    if (filt_end < hi - 1 + n_ + Preamble::kSlidingStep + core_ + 1) break;
+    process_window(lo, hi, out);
+    ++next_window_;
+    // A confirmed detection is final once no later window's confirmation
+    // range — candidate minus one symbol, minus the fine pass's extra
+    // step — can still reach back into its merge span.
+    if (pending_ && next_window_ * window_ > pending_->start_index + core_ +
+                                                 n_ + Preamble::kSlidingStep) {
+      out.push_back(*pending_);
+      pending_.reset();
+    }
+  }
+  trim_rings();
+}
+
+void PreambleScanner::process_window(std::uint64_t lo, std::uint64_t hi,
+                                     std::vector<PreambleDetection>& out) {
+  // Best coarse value in the window (first maximum wins, like the batch
+  // candidate pass).
+  std::uint64_t c = lo;
+  for (std::uint64_t i = lo + 1; i < hi; ++i) {
+    if (coarse_[static_cast<std::size_t>(i - coarse_base_)] >
+        coarse_[static_cast<std::size_t>(c - coarse_base_)]) {
+      c = i;
+    }
+  }
+  const double coarse_peak = coarse_[static_cast<std::size_t>(c - coarse_base_)];
+  if (coarse_peak <= Preamble::kCoarseThreshold) return;
+
+  // Confirmation: sliding segment correlation around the candidate, step 8,
+  // then a +/-step fine pass — identical to the batch stage 2.
+  const std::uint64_t s_lo = c > n_ ? c - n_ : 0;
+  const std::uint64_t s_hi = c + n_;
+  double best_metric = 0.0;
+  std::uint64_t best_idx = s_lo;
+  for (std::uint64_t i = s_lo; i < s_hi; i += Preamble::kSlidingStep) {
+    const double m = metric_at(i);
+    if (m > best_metric) {
+      best_metric = m;
+      best_idx = i;
+    }
+  }
+  const std::uint64_t f_lo =
+      best_idx > Preamble::kSlidingStep ? best_idx - Preamble::kSlidingStep : 0;
+  const std::uint64_t f_hi = best_idx + Preamble::kSlidingStep + 1;
+  for (std::uint64_t i = f_lo; i < f_hi; ++i) {
+    const double m = metric_at(i);
+    if (m > best_metric) {
+      best_metric = m;
+      best_idx = i;
+    }
+  }
+  if (best_metric < Preamble::kSlidingThreshold) return;
+
+  PreambleDetection det{static_cast<std::size_t>(best_idx), best_metric,
+                        coarse_peak};
+  if (pending_ && det.start_index <= pending_->start_index + core_) {
+    // Same physical preamble (repeated-symbol structure correlates at
+    // shifted alignments): keep the strongest confirmation.
+    if (det.sliding_metric > pending_->sliding_metric) *pending_ = det;
+    return;
+  }
+  if (pending_) out.push_back(*pending_);
+  pending_ = det;
+}
+
+void PreambleScanner::trim_rings() {
+  // The filtered ring is still read at f[next_lag_ - 1] (energy recurrence)
+  // and from (window lo - n - fine-pass step) on (confirmation passes).
+  const std::uint64_t lag_back = next_lag_ > 0 ? next_lag_ - 1 : 0;
+  const std::uint64_t win_lo = next_window_ * window_;
+  const std::uint64_t reach = n_ + Preamble::kSlidingStep;
+  const std::uint64_t scan_back = win_lo > reach ? win_lo - reach : 0;
+  const std::uint64_t keep_f = std::min(lag_back, scan_back);
+  if (keep_f > filt_base_ + kRingTrimSlack) {
+    filt_.erase(filt_.begin(),
+                filt_.begin() + static_cast<std::ptrdiff_t>(keep_f - filt_base_));
+    filt_base_ = keep_f;
+  }
+  if (next_lag_ > corr_base_ + kRingTrimSlack) {
+    corr_vals_.erase(
+        corr_vals_.begin(),
+        corr_vals_.begin() + static_cast<std::ptrdiff_t>(next_lag_ - corr_base_));
+    corr_base_ = next_lag_;
+  }
+  if (win_lo > coarse_base_ + kRingTrimSlack) {
+    coarse_.erase(
+        coarse_.begin(),
+        coarse_.begin() + static_cast<std::ptrdiff_t>(win_lo - coarse_base_));
+    coarse_base_ = win_lo;
+  }
 }
 
 }  // namespace aqua::phy

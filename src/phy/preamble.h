@@ -12,6 +12,9 @@
 // detection performs no heap allocation and no template transforms.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -71,15 +74,96 @@ class Preamble {
   /// Sliding-correlation step during confirmation (paper: 8).
   static constexpr std::size_t kSlidingStep = 8;
 
+  /// The core correlation template (waveform without the cyclic prefix).
+  std::vector<double> core_template() const;
+
  private:
+  friend class PreambleScanner;
+
+  /// Batch-detect correlator, built on first detect() call: its
+  /// batch-optimal spectrum is large (128k complex bins for the 7680-sample
+  /// template), and streaming endpoints — which construct a Preamble per
+  /// session but never batch-detect — should not pay for it.
+  const dsp::CrossCorrelator& core_corr() const;
+
   OfdmParams params_;
   Ofdm ofdm_;
   std::vector<dsp::cplx> cazac_bins_;
   std::vector<double> one_symbol_;       ///< unsigned CAZAC symbol
   std::vector<double> waveform_;         ///< CP + 8 signed symbols
   dsp::FftFilter bandpass_;              ///< receive bandpass, cached spectrum
-  dsp::CrossCorrelator core_corr_;       ///< cached core-template correlator
+  mutable std::once_flag core_corr_once_;
+  mutable std::unique_ptr<const dsp::CrossCorrelator> core_corr_;
   std::size_t core_samples_ = 0;
+};
+
+/// Incremental preamble front end for the streaming receiver.
+///
+/// Feed arbitrary chunks of the microphone stream with scan(); each sample
+/// passes the receive bandpass and the core-template correlation exactly
+/// once (stateful overlap-save streams), so per-push cost is
+/// O(chunk · log B) regardless of how much audio the caller retains.
+/// Confirmed detections are emitted exactly once each, with start_index in
+/// absolute stream coordinates; detections closer than one core length are
+/// merged (highest sliding metric wins), which is what the batch detect()'s
+/// global-best selection does for a single capture.
+///
+/// Every decision point (filter blocks, energy re-accumulation, candidate
+/// windows, merge spans) lives on the absolute sample grid, so the emitted
+/// sequence is bit-identical for any chunking of the same stream. Decisions
+/// lag the input by a bounded amount (correlation block + confirmation
+/// span, ~0.4 s at the default numerology), never by the buffer length.
+class PreambleScanner {
+ public:
+  explicit PreambleScanner(const Preamble& preamble);
+
+  /// Consumes the next chunk and appends any newly confirmed detections.
+  void scan(std::span<const double> chunk, std::vector<PreambleDetection>& out,
+            dsp::Workspace& ws);
+
+  /// Raw samples consumed so far.
+  std::uint64_t consumed() const { return consumed_; }
+
+  /// Every detection starting before this stream position has been emitted.
+  std::uint64_t decided_through() const;
+
+  void reset();
+
+ private:
+  void advance(std::vector<PreambleDetection>& out);
+  void process_window(std::uint64_t lo, std::uint64_t hi,
+                      std::vector<PreambleDetection>& out);
+  void trim_rings();
+  double metric_at(std::uint64_t abs_index) const;
+
+  const Preamble* pre_;
+  std::size_t n_ = 0;       ///< symbol samples
+  std::size_t core_ = 0;    ///< core template length
+  std::size_t delay_ = 0;   ///< bandpass group delay
+  std::size_t window_ = 0;  ///< candidate window width (n / 2)
+  double ref_energy_ = 0.0;
+  dsp::FftFilter corr_engine_;  ///< latency-bounded reversed-template engine
+  dsp::FftFilter::Stream band_stream_;
+  dsp::FftFilter::Stream corr_stream_;
+
+  // Rings over the absolute timeline: element 0 of each vector is the
+  // absolute index stored in the matching *_base_.
+  std::vector<double> filt_;    ///< filter-same-aligned bandpassed samples
+  std::uint64_t filt_base_ = 0;
+  std::vector<double> corr_vals_;  ///< raw correlation per lag
+  std::uint64_t corr_base_ = 0;
+  std::vector<double> coarse_;     ///< normalized correlation per lag
+  std::uint64_t coarse_base_ = 0;
+
+  std::size_t conv_drop_ = 0;  ///< leading conv outputs to discard (delay)
+  std::size_t corr_drop_ = 0;  ///< leading conv outputs to discard (L - 1)
+  double energy_acc_ = 0.0;    ///< running core-window energy at next_lag_-1
+  std::uint64_t next_lag_ = 0;     ///< next coarse lag to compute
+  std::uint64_t next_window_ = 0;  ///< next candidate window to decide
+  std::optional<PreambleDetection> pending_;  ///< best in the open merge span
+  std::uint64_t consumed_ = 0;
+  std::vector<double> conv_tmp_;
+  std::vector<double> corr_tmp_;
 };
 
 }  // namespace aqua::phy

@@ -116,6 +116,100 @@ TEST(OverlapSave, RejectsEmptyKernelAndWrongSizes) {
   EXPECT_NO_THROW(filt.convolve_into({}, {}, ws));
 }
 
+TEST(FftFilterStream, MatchesBatchCausalConvolution) {
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> gauss;
+  std::vector<double> kernel(129);
+  std::vector<double> x(20000);
+  for (double& v : kernel) v = gauss(rng);
+  for (double& v : x) v = gauss(rng);
+  FftFilter filter(kernel);
+  Workspace ws;
+  const std::vector<double> batch = filter.convolve(x, ws);
+
+  FftFilter::Stream stream(filter);
+  std::vector<double> out;
+  for (std::size_t base = 0; base < x.size(); base += 700) {
+    const std::size_t len = std::min<std::size_t>(700, x.size() - base);
+    stream.push(std::span<const double>(x).subspan(base, len), out, ws);
+  }
+  // Whole step-blocks only: the stream holds back at most step-1 samples.
+  EXPECT_GE(out.size() + stream.step() - 1, x.size());
+  ASSERT_LE(out.size(), batch.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], batch[i]) << "sample " << i;
+  }
+  EXPECT_EQ(stream.consumed(), x.size());
+  EXPECT_EQ(stream.produced(), out.size());
+}
+
+TEST(FftFilterStream, ChunkingNeverChangesTheOutput) {
+  std::mt19937_64 rng(12);
+  std::normal_distribution<double> gauss;
+  std::vector<double> kernel(57);
+  std::vector<double> x(12000);
+  for (double& v : kernel) v = gauss(rng);
+  for (double& v : x) v = gauss(rng);
+  FftFilter filter(kernel);
+  Workspace ws;
+
+  const auto run = [&](std::size_t chunk) {
+    FftFilter::Stream stream(filter);
+    std::vector<double> out;
+    for (std::size_t base = 0; base < x.size(); base += chunk) {
+      const std::size_t len = std::min(chunk, x.size() - base);
+      stream.push(std::span<const double>(x).subspan(base, len), out, ws);
+    }
+    return out;
+  };
+  const std::vector<double> o1 = run(1);
+  const std::vector<double> o160 = run(160);
+  const std::vector<double> o4800 = run(4800);
+  // Bit-identical, not approximately equal: every block transforms the
+  // same absolute input window through the same FFT.
+  EXPECT_EQ(o1, o160);
+  EXPECT_EQ(o1, o4800);
+}
+
+TEST(FftFilterStream, LongKernelLatencyIsBounded) {
+  // A preamble-template-sized kernel: the batch engine is free to pick a
+  // huge block, but a stream must bound its hold-back.
+  std::mt19937_64 rng(13);
+  std::normal_distribution<double> gauss;
+  std::vector<double> kernel(7680);
+  for (double& v : kernel) v = gauss(rng);
+  FftFilter filter(kernel);
+  FftFilter::Stream stream(filter);
+  EXPECT_LE(stream.step(), kMaxStreamStep);
+
+  // And it still computes the same convolution prefix.
+  std::vector<double> x(40000);
+  for (double& v : x) v = gauss(rng);
+  Workspace ws;
+  const std::vector<double> batch = filter.convolve(x, ws);
+  std::vector<double> out;
+  stream.push(x, out, ws);
+  ASSERT_GT(out.size(), 0u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_NEAR(out[i], batch[i], 1e-9 * kernel.size()) << "sample " << i;
+  }
+}
+
+TEST(FftFilterStream, ResetRestartsTheTimeline) {
+  std::vector<double> kernel{0.5, -0.25, 0.125};
+  FftFilter filter(kernel);
+  FftFilter::Stream stream(filter);
+  Workspace ws;
+  std::vector<double> x(512, 1.0);
+  std::vector<double> first;
+  stream.push(x, first, ws);
+  stream.reset();
+  EXPECT_EQ(stream.consumed(), 0u);
+  std::vector<double> second;
+  stream.push(x, second, ws);
+  EXPECT_EQ(first, second);
+}
+
 TEST(FftPlanCache, SizeZeroThrowsEveryTime) {
   // A throwing FftPlan constructor must leave the shared plan cache
   // unchanged: the second lookup used to find a null cache entry and
