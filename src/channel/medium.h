@@ -23,6 +23,9 @@
 
 namespace aqua::channel {
 
+/// N-endpoint full-duplex shared acoustic medium: a directed
+/// UnderwaterChannel::Stream per connected ordered pair, one ambient-noise
+/// process per microphone, sample-level mixing on one shared clock.
 class AcousticMedium {
  public:
   explicit AcousticMedium(double sample_rate_hz = 48000.0);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dsp/fir.h"
+#include "dsp/simd.h"
 
 namespace aqua::dsp {
 
@@ -23,14 +24,14 @@ namespace {
 
 // Valid-region correlation by the direct loop — below the one-shot
 // threshold the FftFilter construction (kernel copy + FFT + plan lookup)
-// inside CrossCorrelator would dominate a single call.
+// inside CrossCorrelator would dominate a single call. Each lag is one
+// contiguous window dot through the dispatched SIMD kernel.
 std::vector<double> direct_cross_correlate(std::span<const double> x,
                                            std::span<const double> ref) {
   std::vector<double> out(x.size() - ref.size() + 1);
+  const auto dot = simd::active().dot;
   for (std::size_t s = 0; s < out.size(); ++s) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < ref.size(); ++j) acc += x[s + j] * ref[j];
-    out[s] = acc;
+    out[s] = dot(x.data() + s, ref.data(), ref.size());
   }
   return out;
 }

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "dsp/simd.h"
+
 namespace aqua::dsp {
 
 namespace {
@@ -113,7 +115,7 @@ void FftPlan::transform(std::span<const cplx> in, std::span<cplx> out,
   std::fill(a.begin() + static_cast<std::ptrdiff_t>(n_), a.end(),
             cplx{0.0, 0.0});
   radix2(a, /*invert=*/false);
-  for (std::size_t k = 0; k < m_; ++k) a[k] *= chirp_fft_[k];
+  simd::active().cmul_inplace(a.data(), chirp_fft_.data(), m_);
   radix2(a, /*invert=*/true);
   const double scale = 1.0 / static_cast<double>(m_);
   for (std::size_t k = 0; k < n_; ++k) {
@@ -142,16 +144,123 @@ void FftPlan::inverse(std::span<const cplx> in, std::span<cplx> out) const {
   inverse(in, out, thread_local_workspace());
 }
 
-const FftPlan& plan_of(std::size_t n) {
-  // Fast path: a thread-local pointer map so steady-state lookups touch no
-  // shared state at all. Plans are never evicted, so the cached pointers
-  // stay valid for the process lifetime.
-  thread_local std::unordered_map<std::size_t, const FftPlan*> local;
+RfftPlan::RfftPlan(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("RfftPlan: size must be >= 1");
+  if (n % 2 == 0 && n >= 2) {
+    h_ = n / 2;
+    half_ = &plan_of(h_);
+    // Untwiddle factors e^{-j 2 pi k / n} for k <= n/2.
+    twiddle_.resize(h_ + 1);
+    for (std::size_t k = 0; k <= h_; ++k) {
+      const double a = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+      twiddle_[k] = {std::cos(a), std::sin(a)};
+    }
+  } else {
+    // Odd sizes (and n == 1): the even/odd interleave does not apply; run
+    // the full complex transform and keep only the packed bins.
+    full_ = &plan_of(n);
+  }
+}
+
+void RfftPlan::forward(std::span<const double> in, std::span<cplx> out,
+                       Workspace& ws) const {
+  if (in.size() != n_ || out.size() != spectrum_size()) {
+    throw std::invalid_argument("RfftPlan: buffer size mismatch");
+  }
+  if (full_ != nullptr) {
+    ScratchCplx tmp_s(ws, n_);
+    ScratchCplx spec_s(ws, n_);
+    std::span<cplx> tmp = tmp_s.span();
+    for (std::size_t i = 0; i < n_; ++i) tmp[i] = {in[i], 0.0};
+    full_->forward(tmp, spec_s.span(), ws);
+    std::copy_n(spec_s->begin(), out.size(), out.begin());
+    return;
+  }
+  // Pack adjacent samples into one half-size complex signal and transform.
+  ScratchCplx z_s(ws, h_);
+  ScratchCplx zf_s(ws, h_);
+  std::span<cplx> z = z_s.span();
+  for (std::size_t k = 0; k < h_; ++k) z[k] = {in[2 * k], in[2 * k + 1]};
+  std::span<cplx> zf = zf_s.span();
+  half_->forward(z, zf, ws);
+  // Untwiddle: split Z into the spectra of the even/odd sample streams
+  // (E = (Z_k + conj(Z_{h-k}))/2, O = -j (Z_k - conj(Z_{h-k}))/2) and
+  // recombine as X_k = E + W^k O with W = e^{-j 2 pi / n}.
+  out[0] = {zf[0].real() + zf[0].imag(), 0.0};
+  out[h_] = {zf[0].real() - zf[0].imag(), 0.0};
+  for (std::size_t k = 1; k < h_; ++k) {
+    const cplx zk = zf[k];
+    const cplx zc = std::conj(zf[h_ - k]);
+    const cplx e = 0.5 * (zk + zc);
+    const cplx diff = zk - zc;
+    const cplx o{0.5 * diff.imag(), -0.5 * diff.real()};  // -j/2 * diff
+    out[k] = e + twiddle_[k] * o;
+  }
+}
+
+void RfftPlan::forward(std::span<const double> in, std::span<cplx> out) const {
+  forward(in, out, thread_local_workspace());
+}
+
+void RfftPlan::inverse(std::span<const cplx> in, std::span<double> out,
+                       Workspace& ws) const {
+  if (in.size() != spectrum_size() || out.size() != n_) {
+    throw std::invalid_argument("RfftPlan: buffer size mismatch");
+  }
+  if (full_ != nullptr) {
+    ScratchCplx spec_s(ws, n_);
+    ScratchCplx time_s(ws, n_);
+    std::span<cplx> spec = spec_s.span();
+    spec[0] = in[0];
+    for (std::size_t k = 1; k <= n_ / 2; ++k) {
+      spec[k] = in[k];
+      spec[n_ - k] = std::conj(in[k]);
+    }
+    full_->inverse(spec, time_s.span(), ws);
+    for (std::size_t i = 0; i < n_; ++i) out[i] = (*time_s)[i].real();
+    return;
+  }
+  // Exact inverse of the forward untwiddle: E = (X_k + conj(X_{h-k}))/2,
+  // W^k O = (X_k - conj(X_{h-k}))/2, Z_k = E + j conj(W^k) (W^k O); then
+  // one half-size inverse transform un-interleaves the samples.
+  ScratchCplx zf_s(ws, h_);
+  ScratchCplx z_s(ws, h_);
+  std::span<cplx> zf = zf_s.span();
+  for (std::size_t k = 0; k < h_; ++k) {
+    const cplx xk = in[k];
+    const cplx xc = std::conj(in[h_ - k]);
+    const cplx e = 0.5 * (xk + xc);
+    const cplx ow = 0.5 * (xk - xc);         // W^k O
+    const cplx o = std::conj(twiddle_[k]) * ow;
+    zf[k] = {e.real() - o.imag(), e.imag() + o.real()};  // E + j O
+  }
+  std::span<cplx> z = z_s.span();
+  half_->inverse(zf, z, ws);
+  for (std::size_t k = 0; k < h_; ++k) {
+    out[2 * k] = z[k].real();
+    out[2 * k + 1] = z[k].imag();
+  }
+}
+
+void RfftPlan::inverse(std::span<const cplx> in, std::span<double> out) const {
+  inverse(in, out, thread_local_workspace());
+}
+
+namespace {
+
+// Shared two-level plan cache: a thread-local pointer map so steady-state
+// lookups touch no shared state at all, over a shared_mutex-guarded global
+// map. Plans are never evicted, so the cached pointers stay valid for the
+// process lifetime. One instantiation per plan type keeps the
+// locking-sensitive code in exactly one place.
+template <typename Plan>
+const Plan& cached_plan_of(std::size_t n) {
+  thread_local std::unordered_map<std::size_t, const Plan*> local;
   if (const auto it = local.find(n); it != local.end()) return *it->second;
 
   static std::shared_mutex mu;
-  static std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>* global =
-      new std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>();
+  static std::unordered_map<std::size_t, std::unique_ptr<Plan>>* global =
+      new std::unordered_map<std::size_t, std::unique_ptr<Plan>>();
   {
     std::shared_lock<std::shared_mutex> read(mu);
     if (const auto it = global->find(n); it != global->end()) {
@@ -162,14 +271,22 @@ const FftPlan& plan_of(std::size_t n) {
   std::unique_lock<std::shared_mutex> write(mu);
   auto it = global->find(n);
   if (it == global->end()) {
-    // Construct before inserting: if FftPlan's constructor throws (n == 0),
+    // Construct before inserting: if the plan constructor throws (n == 0),
     // the map must stay unchanged so the next lookup throws again instead
     // of finding a null entry.
-    auto plan = std::make_unique<FftPlan>(n);
+    auto plan = std::make_unique<Plan>(n);
     it = global->emplace(n, std::move(plan)).first;
   }
   local.emplace(n, it->second.get());
   return *it->second;
+}
+
+}  // namespace
+
+const FftPlan& plan_of(std::size_t n) { return cached_plan_of<FftPlan>(n); }
+
+const RfftPlan& rplan_of(std::size_t n) {
+  return cached_plan_of<RfftPlan>(n);
 }
 
 std::vector<cplx> fft(std::span<const cplx> x) {
@@ -192,17 +309,53 @@ void ifft_into(std::span<const cplx> x, std::span<cplx> out, Workspace& ws) {
   plan_of(x.size()).inverse(x, out, ws);
 }
 
+std::vector<cplx> rfft(std::span<const double> x) {
+  const RfftPlan& plan = rplan_of(x.size());
+  std::vector<cplx> out(plan.spectrum_size());
+  plan.forward(x, out);
+  return out;
+}
+
+void rfft_into(std::span<const double> x, std::span<cplx> out, Workspace& ws) {
+  rplan_of(x.size()).forward(x, out, ws);
+}
+
+std::vector<double> irfft(std::span<const cplx> spec, std::size_t n) {
+  std::vector<double> out(n);
+  rplan_of(n).inverse(spec, out);
+  return out;
+}
+
+void irfft_into(std::span<const cplx> spec, std::span<double> out,
+                Workspace& ws) {
+  rplan_of(out.size()).inverse(spec, out, ws);
+}
+
 std::vector<cplx> fft_real(std::span<const double> x) {
-  std::vector<cplx> cx(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = {x[i], 0.0};
-  return fft(cx);
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  const RfftPlan& plan = rplan_of(n);
+  plan.forward(x, std::span<cplx>(out).first(plan.spectrum_size()));
+  // Mirror the packed bins into the redundant upper half.
+  for (std::size_t k = n / 2 + 1; k < n; ++k) out[k] = std::conj(out[n - k]);
+  return out;
 }
 
 std::vector<double> ifft_real(std::span<const cplx> x) {
-  std::vector<cplx> out = ifft(x);
-  std::vector<double> re(out.size());
-  for (std::size_t i = 0; i < out.size(); ++i) re[i] = out[i].real();
-  return re;
+  const std::size_t n = x.size();
+  std::vector<double> out(n);
+  // The legacy contract takes the real part of the full inverse, which
+  // silently drops any imaginary residue on the DC/Nyquist bins (their
+  // phasors are real, so imaginary parts contribute nothing real). The
+  // packed inverse instead ASSUMES those bins are real, so force them —
+  // design_from_magnitude's linear-phase Nyquist bin is purely imaginary
+  // and relies on being dropped.
+  std::vector<cplx> half(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(
+                                        n / 2 + 1));
+  half[0] = {half[0].real(), 0.0};
+  if (n % 2 == 0 && n >= 2) half[n / 2] = {half[n / 2].real(), 0.0};
+  rplan_of(n).inverse(half, out);
+  return out;
 }
 
 }  // namespace aqua::dsp

@@ -59,10 +59,59 @@ class FftPlan {
   friend struct FftPlanTestPeer;       // white-box access for the throw test
 };
 
+/// Packed real-input FFT plan: an n-point real transform computed as one
+/// n/2-point complex transform of the even/odd-interleaved samples plus an
+/// O(n) untwiddle pass — half the transform work and half the spectrum
+/// footprint of the complex path, for the price of one twiddle table.
+///
+/// Real signals are the common case here (every waveform entering
+/// `FftFilter`, `CrossCorrelator` and the OFDM modulator is real), so the
+/// whole overlap-save engine runs on this plan. Odd sizes fall back to the
+/// full complex transform internally and keep the same API and results.
+///
+/// Like FftPlan, an RfftPlan is immutable after construction and may be
+/// shared by any number of threads.
+class RfftPlan {
+ public:
+  /// Creates a plan for `n`-point real transforms. `n` must be >= 1.
+  explicit RfftPlan(std::size_t n);
+
+  /// Real transform size this plan was built for.
+  std::size_t size() const { return n_; }
+  /// Number of packed spectrum bins: n/2 + 1 (bins 0..n/2; the upper half
+  /// of the full spectrum is their conjugate mirror).
+  std::size_t spectrum_size() const { return n_ / 2 + 1; }
+
+  /// Forward transform: out[k] = DFT_n(in)[k] for k in [0, n/2].
+  /// in.size() must be size(), out.size() must be spectrum_size().
+  void forward(std::span<const double> in, std::span<cplx> out,
+               Workspace& ws) const;
+  void forward(std::span<const double> in, std::span<cplx> out) const;
+
+  /// Inverse transform (normalized by 1/n): reconstructs the real signal
+  /// whose packed spectrum is `in`. The caller asserts `in` is the
+  /// half-spectrum of a real signal (bins 0 and n/2 real up to numerical
+  /// noise); overlap-save products of two real-signal spectra always are.
+  /// in.size() must be spectrum_size(), out.size() must be size().
+  void inverse(std::span<const cplx> in, std::span<double> out,
+               Workspace& ws) const;
+  void inverse(std::span<const cplx> in, std::span<double> out) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t h_ = 0;              ///< n/2 (even-size packed path only)
+  const FftPlan* half_ = nullptr;  ///< n/2-point plan (even n >= 2)
+  const FftPlan* full_ = nullptr;  ///< odd-n / n == 1 fallback
+  std::vector<cplx> twiddle_;      ///< e^{-j 2 pi k / n}, k in [0, n/2]
+};
+
 /// Shared per-size plan cache. The returned reference is valid for the
 /// lifetime of the process; repeated lookups from the same thread take a
 /// lock-free thread-local fast path.
 const FftPlan& plan_of(std::size_t n);
+
+/// Shared per-size packed real-FFT plan cache (same contract as plan_of).
+const RfftPlan& rplan_of(std::size_t n);
 
 /// Forward FFT of a complex signal (any length >= 1). Convenience wrapper
 /// around the shared plan cache.
@@ -76,11 +125,26 @@ std::vector<cplx> ifft(std::span<const cplx> x);
 void fft_into(std::span<const cplx> x, std::span<cplx> out, Workspace& ws);
 void ifft_into(std::span<const cplx> x, std::span<cplx> out, Workspace& ws);
 
-/// Forward FFT of a real signal; returns all N complex bins.
+/// Packed forward real FFT: the n/2 + 1 non-redundant bins of an n-point
+/// real signal, through the shared RfftPlan cache. Zero-allocation variant
+/// writes into a caller buffer of rplan_of(x.size()).spectrum_size().
+std::vector<cplx> rfft(std::span<const double> x);
+void rfft_into(std::span<const double> x, std::span<cplx> out, Workspace& ws);
+
+/// Packed inverse real FFT (normalized by 1/n): reconstructs `n` real
+/// samples from the n/2 + 1 packed bins. The allocating form takes the
+/// target length explicitly because spec.size() alone cannot distinguish
+/// even n from n + 1; the `_into` form infers it from out.size().
+std::vector<double> irfft(std::span<const cplx> spec, std::size_t n);
+void irfft_into(std::span<const cplx> spec, std::span<double> out,
+                Workspace& ws);
+
+/// Forward FFT of a real signal; returns all N complex bins (the packed
+/// transform plus its conjugate mirror).
 std::vector<cplx> fft_real(std::span<const double> x);
 
 /// Inverse FFT returning only the real part (caller asserts the spectrum is
-/// conjugate-symmetric up to numerical noise).
+/// conjugate-symmetric up to numerical noise; only bins [0, N/2] are read).
 std::vector<double> ifft_real(std::span<const cplx> x);
 
 /// Returns the smallest power of two >= n.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/simd.h"
+
 namespace aqua::dsp {
 
 namespace {
@@ -46,11 +48,11 @@ FftFilter::FftFilter(std::vector<double> kernel, std::size_t max_step)
   const std::size_t taps = kernel_.size();
   m_ = choose_block(taps, max_step);
   step_ = m_ - taps + 1;
-  plan_ = &plan_of(m_);
+  plan_ = &rplan_of(m_);
 
-  std::vector<cplx> k(m_, cplx{0.0, 0.0});
-  for (std::size_t i = 0; i < taps; ++i) k[i] = {kernel_[i], 0.0};
-  kernel_fft_.resize(m_);
+  std::vector<double> k(m_, 0.0);
+  std::copy(kernel_.begin(), kernel_.end(), k.begin());
+  kernel_fft_.resize(plan_->spectrum_size());
   plan_->forward(k, kernel_fft_);
 }
 
@@ -82,10 +84,12 @@ void FftFilter::convolve_into(std::span<const double> x, std::span<double> out,
 
   // Overlap-save over the zero-extended input: block b produces outputs
   // [b*step, b*step + step) of the full convolution from the input segment
-  // starting at b*step - (taps - 1).
-  ScratchCplx seg_s(ws, m_);
-  ScratchCplx spec_s(ws, m_);
-  std::span<cplx> seg = seg_s.span();
+  // starting at b*step - (taps - 1). Real signal, real kernel: each block
+  // is one packed forward transform, a half-spectrum product through the
+  // dispatched SIMD kernel, and one packed inverse.
+  ScratchReal seg_s(ws, m_);
+  ScratchCplx spec_s(ws, plan_->spectrum_size());
+  std::span<double> seg = seg_s.span();
   std::span<cplx> spec = spec_s.span();
   const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x.size());
   for (std::size_t base = 0; base < out_len; base += step_) {
@@ -93,16 +97,14 @@ void FftFilter::convolve_into(std::span<const double> x, std::span<double> out,
         static_cast<std::ptrdiff_t>(base) - static_cast<std::ptrdiff_t>(taps - 1);
     for (std::size_t j = 0; j < m_; ++j) {
       const std::ptrdiff_t idx = seg_start + static_cast<std::ptrdiff_t>(j);
-      seg[j] = (idx >= 0 && idx < nx)
-                   ? cplx{x[static_cast<std::size_t>(idx)], 0.0}
-                   : cplx{0.0, 0.0};
+      seg[j] = (idx >= 0 && idx < nx) ? x[static_cast<std::size_t>(idx)] : 0.0;
     }
     plan_->forward(seg, spec, ws);
-    for (std::size_t j = 0; j < m_; ++j) spec[j] *= kernel_fft_[j];
+    simd::active().cmul_inplace(spec.data(), kernel_fft_.data(), spec.size());
     plan_->inverse(spec, seg, ws);
     const std::size_t count = std::min(step_, out_len - base);
     for (std::size_t j = 0; j < count; ++j) {
-      out[base + j] = seg[taps - 1 + j].real();
+      out[base + j] = seg[taps - 1 + j];
     }
   }
 }
@@ -141,11 +143,11 @@ FftFilter::Stream::Stream(const FftFilter& filter, std::size_t max_step)
            ? filter.fft_size()
            : choose_block(taps, max_step);
   step_ = m_ - taps + 1;
-  plan_ = &plan_of(m_);
+  plan_ = &rplan_of(m_);
   if (m_ != filter.fft_size()) {
-    std::vector<cplx> k(m_, cplx{0.0, 0.0});
-    for (std::size_t i = 0; i < taps; ++i) k[i] = {filter.kernel()[i], 0.0};
-    own_kernel_fft_.resize(m_);
+    std::vector<double> k(m_, 0.0);
+    std::copy(filter.kernel().begin(), filter.kernel().end(), k.begin());
+    own_kernel_fft_.resize(plan_->spectrum_size());
     plan_->forward(k, own_kernel_fft_);
   }
   pending_.assign(taps - 1, 0.0);  // zero prehistory: causal convolution
@@ -167,9 +169,9 @@ std::size_t FftFilter::Stream::push(std::span<const double> x,
   const std::span<const cplx> kfft =
       own_kernel_fft_.empty() ? std::span<const cplx>(filter_->kernel_fft_)
                               : std::span<const cplx>(own_kernel_fft_);
-  ScratchCplx seg_s(ws, m_);
-  ScratchCplx spec_s(ws, m_);
-  std::span<cplx> seg = seg_s.span();
+  ScratchReal seg_s(ws, m_);
+  ScratchCplx spec_s(ws, plan_->spectrum_size());
+  std::span<double> seg = seg_s.span();
   std::span<cplx> spec = spec_s.span();
   std::size_t emitted = 0;
   std::size_t head = 0;
@@ -179,14 +181,13 @@ std::size_t FftFilter::Stream::push(std::span<const double> x,
   // pure function of the absolute position, which is what makes the output
   // chunking-invariant.
   while (pending_.size() - head >= m_) {
-    for (std::size_t j = 0; j < m_; ++j) {
-      seg[j] = {pending_[head + j], 0.0};
-    }
+    std::copy_n(pending_.begin() + static_cast<std::ptrdiff_t>(head), m_,
+                seg.begin());
     plan_->forward(seg, spec, ws);
-    for (std::size_t j = 0; j < m_; ++j) spec[j] *= kfft[j];
+    simd::active().cmul_inplace(spec.data(), kfft.data(), spec.size());
     plan_->inverse(spec, seg, ws);
     for (std::size_t j = 0; j < step_; ++j) {
-      out.push_back(seg[taps - 1 + j].real());
+      out.push_back(seg[taps - 1 + j]);
     }
     emitted += step_;
     head += step_;

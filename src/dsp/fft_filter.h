@@ -8,6 +8,12 @@
 // receive bandpass, the 512-tap device responses, the 8-symbol preamble
 // correlation template — pay only the per-block signal transforms.
 //
+// Both the signal and the kernel are real, so every block runs through the
+// packed real FFT (RfftPlan): each transform is one half-size complex FFT,
+// the cached kernel spectrum stores only the m/2 + 1 non-redundant bins,
+// and the per-block spectrum product runs over half the bins through the
+// runtime-dispatched SIMD kernel (dsp/simd.h).
+//
 // An FftFilter is immutable after construction and may be shared across
 // threads; all per-call scratch comes from the caller's Workspace.
 #pragma once
@@ -119,7 +125,7 @@ class FftFilter {
     const FftFilter* filter_;
     std::size_t m_ = 0;
     std::size_t step_ = 0;
-    const FftPlan* plan_ = nullptr;
+    const RfftPlan* plan_ = nullptr;
     std::vector<cplx> own_kernel_fft_;   ///< empty when sharing the parent's
     std::vector<double> pending_;        ///< [taps-1 history | unprocessed]
     std::uint64_t consumed_ = 0;
@@ -130,8 +136,8 @@ class FftFilter {
   std::vector<double> kernel_;
   std::size_t m_ = 0;     ///< FFT block size (power of two)
   std::size_t step_ = 0;  ///< valid outputs per block
-  const FftPlan* plan_ = nullptr;  ///< shared cache entry, process lifetime
-  std::vector<cplx> kernel_fft_;
+  const RfftPlan* plan_ = nullptr;  ///< shared cache entry, process lifetime
+  std::vector<cplx> kernel_fft_;    ///< packed kernel spectrum (m/2 + 1 bins)
 };
 
 }  // namespace aqua::dsp

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 #include "dsp/fft.h"
 #include "dsp/fft_filter.h"
+#include "dsp/simd.h"
 #include "dsp/workspace.h"
 
 namespace aqua::dsp {
@@ -160,53 +162,39 @@ std::vector<double> filter_same(std::span<const double> x,
 
 StreamingFir::StreamingFir(std::vector<double> taps) : taps_(std::move(taps)) {
   if (taps_.empty()) throw std::invalid_argument("StreamingFir: empty taps");
-  history_.assign(taps_.size() - 1, 0.0);
+  rtaps_.assign(taps_.rbegin(), taps_.rend());
+  buf_.assign(taps_.size() - 1, 0.0);  // zero prehistory: causal filter
 }
 
 std::vector<double> StreamingFir::process(std::span<const double> in) {
-  // Filter against the persistent history without materializing the
-  // [history | in] concatenation: outputs in the head region read the tail
-  // of `history_` directly, the rest reads `in` alone. Same summation
-  // order (j ascending) as the concatenated form, so results are
-  // bit-identical to the batch filter.
-  if (in.empty()) return {};  // also keeps std::move below off result==first
+  if (in.empty()) return {};
   const std::size_t t = taps_.size();
-  const std::size_t hist = t - 1;  // history_ always holds t-1 samples
-  std::vector<double> out(in.size(), 0.0);
-  const std::size_t head = std::min(in.size(), hist);
-  for (std::size_t i = 0; i < head; ++i) {
-    double acc = 0.0;
-    // Virtual sample v[m] for m in (-hist, in.size()): in[m] when m >= 0,
-    // else history_[hist + m]. y[i] = sum_j taps[j] * v[i - j].
-    for (std::size_t j = 0; j <= i; ++j) acc += taps_[j] * in[i - j];
-    for (std::size_t j = i + 1; j < t; ++j) {
-      acc += taps_[j] * history_[hist + i - j];
-    }
-    out[i] = acc;
+  const std::size_t hist = t - 1;  // buf_ holds t-1 samples between calls
+  // Materialize [history | block] once (capacity persists across calls):
+  // every output i is then one contiguous window dot
+  //   y[i] = sum_k rtaps[k] * buf[i + k] = sum_j taps[j] * v[i - j],
+  // a pure function of its absolute input window — which keeps the stream
+  // chunking-invariant on every dispatch target.
+  buf_.resize(hist + in.size());
+  std::copy(in.begin(), in.end(),
+            buf_.begin() + static_cast<std::ptrdiff_t>(hist));
+  std::vector<double> out(in.size());
+  const auto dot = simd::active().dot;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = dot(rtaps_.data(), buf_.data() + i, t);
   }
-  for (std::size_t i = head; i < in.size(); ++i) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < t; ++j) acc += taps_[j] * in[i - j];
-    out[i] = acc;
-  }
-  // Retain the trailing t-1 virtual samples as the next call's history.
+  // Retain the trailing t-1 samples as the next call's history (memmove:
+  // the ranges overlap when the block is shorter than the history).
   if (hist > 0) {
-    if (in.size() >= hist) {
-      std::copy(in.end() - static_cast<std::ptrdiff_t>(hist), in.end(),
-                history_.begin());
-    } else {
-      // Shift the surviving history left and append the whole block.
-      std::move(history_.begin() + static_cast<std::ptrdiff_t>(in.size()),
-                history_.end(), history_.begin());
-      std::copy(in.begin(), in.end(),
-                history_.end() - static_cast<std::ptrdiff_t>(in.size()));
-    }
+    std::memmove(buf_.data(), buf_.data() + in.size(),
+                 hist * sizeof(double));
   }
+  buf_.resize(hist);
   return out;
 }
 
 void StreamingFir::reset() {
-  std::fill(history_.begin(), history_.end(), 0.0);
+  buf_.assign(taps_.size() - 1, 0.0);
 }
 
 cplx fir_response(std::span<const double> taps, double freq_hz,

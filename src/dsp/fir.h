@@ -55,6 +55,12 @@ std::vector<double> filter_same(std::span<const double> x,
 
 /// Stateful streaming FIR filter for block-based (real-time style)
 /// processing. Feed blocks in order; the filter keeps history across calls.
+///
+/// Every output is one contiguous dot product of the reversed taps against
+/// a persistent [history | block] window buffer, computed by the
+/// runtime-dispatched SIMD kernel (dsp::simd::active().dot). Each output
+/// depends only on its own absolute input window, so the stream is
+/// bit-identical for any chunking of the same input.
 class StreamingFir {
  public:
   explicit StreamingFir(std::vector<double> taps);
@@ -69,7 +75,8 @@ class StreamingFir {
 
  private:
   std::vector<double> taps_;
-  std::vector<double> history_;  // last tap_count()-1 input samples
+  std::vector<double> rtaps_;  // taps reversed: window dot == convolution
+  std::vector<double> buf_;    // [tap_count()-1 history | current block]
 };
 
 /// Evaluates the frequency response of an FIR at `freq_hz`.

@@ -1,0 +1,150 @@
+#include "dsp/simd.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "dsp/simd_internal.h"
+
+namespace aqua::dsp::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These spell out the exact expression tree every
+// vector implementation must reproduce: std::fma where the vector units fuse,
+// 4-lane accumulation with the (l0 + l1) + (l2 + l3) reduction.
+// ---------------------------------------------------------------------------
+
+void scalar_cmul_inplace(cplx* y, const cplx* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double yr = y[i].real(), yi = y[i].imag();
+    const double xr = x[i].real(), xi = x[i].imag();
+    y[i] = {std::fma(yr, xr, -(yi * xi)), std::fma(yi, xr, yr * xi)};
+  }
+}
+
+double scalar_dot(const double* a, const double* b, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    lane[0] = std::fma(a[i], b[i], lane[0]);
+    lane[1] = std::fma(a[i + 1], b[i + 1], lane[1]);
+    lane[2] = std::fma(a[i + 2], b[i + 2], lane[2]);
+    lane[3] = std::fma(a[i + 3], b[i + 3], lane[3]);
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    lane[i & 3] = std::fma(a[i], b[i], lane[i & 3]);
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+void scalar_sdft_update(double* acc_re, double* acc_im, std::uint32_t* phase,
+                        const std::uint32_t* step, const double* tab_re,
+                        const double* tab_im, double d, std::size_t bins,
+                        std::uint32_t period) {
+  for (std::size_t k = 0; k < bins; ++k) {
+    const std::uint32_t p = phase[k];
+    acc_re[k] = std::fma(d, tab_re[p], acc_re[k]);
+    acc_im[k] = std::fma(d, tab_im[p], acc_im[k]);
+    std::uint32_t next = p + step[k];
+    if (next >= period) next -= period;
+    phase[k] = next;
+  }
+}
+
+constexpr Kernels kScalarKernels{"scalar", scalar_cmul_inplace, scalar_dot,
+                                 scalar_sdft_update};
+
+// Widest supported target among those compiled in, in preference order.
+const Kernels* detect() {
+#if defined(AQUA_SIMD_HAVE_AVX2)
+  if (cpu_supports(Isa::kAvx2)) {
+    if (const Kernels* k = avx2_kernels()) return k;
+  }
+#endif
+#if defined(AQUA_SIMD_HAVE_NEON)
+  if (cpu_supports(Isa::kNeon)) {
+    if (const Kernels* k = neon_kernels()) return k;
+  }
+#endif
+  return &kScalarKernels;
+}
+
+const Kernels* select() {
+  if (const char* want = std::getenv("AQUA_SIMD")) {
+    if (std::strcmp(want, "scalar") == 0) return &kScalarKernels;
+    Isa isa = Isa::kScalar;
+    bool known = false;
+    if (std::strcmp(want, "avx2") == 0) {
+      isa = Isa::kAvx2;
+      known = true;
+    } else if (std::strcmp(want, "neon") == 0) {
+      isa = Isa::kNeon;
+      known = true;
+    }
+    if (known) {
+      if (const Kernels* k = kernels_for(isa)) return k;
+      std::fprintf(stderr,
+                   "aqua: AQUA_SIMD=%s not available on this build/CPU; "
+                   "auto-detecting instead\n",
+                   want);
+    } else {
+      std::fprintf(stderr,
+                   "aqua: unknown AQUA_SIMD=%s (expected scalar|avx2|neon); "
+                   "auto-detecting instead\n",
+                   want);
+    }
+  }
+  return detect();
+}
+
+}  // namespace
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;  // Advanced SIMD is mandatory on AArch64.
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Kernels* kernels_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &kScalarKernels;
+    case Isa::kAvx2:
+#if defined(AQUA_SIMD_HAVE_AVX2)
+      if (cpu_supports(Isa::kAvx2)) return avx2_kernels();
+#endif
+      return nullptr;
+    case Isa::kNeon:
+#if defined(AQUA_SIMD_HAVE_NEON)
+      if (cpu_supports(Isa::kNeon)) return neon_kernels();
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+const Kernels& active() {
+  // Decided once; `static` initialization is thread-safe and the tables are
+  // immutable, so the selected pointer is safe to read from any thread.
+  static const Kernels* chosen = select();
+  return *chosen;
+}
+
+}  // namespace aqua::dsp::simd

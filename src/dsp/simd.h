@@ -1,0 +1,85 @@
+// Runtime-dispatched SIMD kernels for the three hot inner loops.
+//
+// The zero-allocation DSP core reduced every hot path to tight
+// span-over-span passes; this header names those passes as three kernels
+// and selects the widest implementation the running CPU supports once at
+// startup (AVX2+FMA on x86-64, NEON on AArch64, portable scalar anywhere):
+//
+//   * `cmul_inplace` — the overlap-save block multiply-accumulate: the
+//     pointwise spectrum product at the center of every `FftFilter` block
+//     and of every Bluestein transform.
+//   * `dot` — the FIR dot product: `StreamingFir::process`, the preamble
+//     sliding segment metric, and short-template direct correlation.
+//   * `sdft_update` — the sliding-DFT bin update: one fused
+//     multiply-accumulate per active bin per sample in
+//     `moving_dft_power`'s running recurrence.
+//
+// Every implementation of a kernel computes the SAME floating-point
+// expression tree — fixed 4-lane accumulator structure, fused
+// multiply-adds (`std::fma` in the scalar build), fixed reduction order —
+// so the kernels are bit-identical across dispatch targets, not merely
+// close. That is what lets the streaming invariants (chunking-invariant
+// scanners, thread-count-invariant sweeps) survive vectorization, and it
+// is asserted by tests/test_simd.cpp on every target buildable on the
+// host.
+//
+// Dispatch is decided once (first use) from cpuid; `AQUA_SIMD=scalar`
+// (or `avx2` / `neon`) overrides it for A/B measurement and testing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dsp/types.h"
+
+namespace aqua::dsp::simd {
+
+/// Instruction-set targets a kernel table can be built for.
+enum class Isa {
+  kScalar,  ///< portable C++ (std::fma), always available
+  kAvx2,    ///< x86-64 AVX2 + FMA
+  kNeon,    ///< AArch64 Advanced SIMD
+};
+
+/// One resolved set of kernel entry points. All entries of a table come
+/// from the same ISA; tables are immutable and process-lifetime.
+struct Kernels {
+  /// Human-readable target name ("scalar", "avx2", "neon").
+  const char* name;
+
+  /// Pointwise in-place complex product: y[i] *= x[i] for i < n.
+  /// Per element: re' = fma(yr, xr, -(yi*xi)); im' = fma(yi, xr, yr*xi).
+  void (*cmul_inplace)(cplx* y, const cplx* x, std::size_t n);
+
+  /// Fused-multiply-add dot product sum_i a[i] * b[i].
+  /// Element i accumulates into lane (i mod 4); lanes reduce as
+  /// (l0 + l1) + (l2 + l3). Identical tree on every target.
+  double (*dot)(const double* a, const double* b, std::size_t n);
+
+  /// Sliding-DFT bin update for `bins` bins: per bin k,
+  ///   acc_re[k] = fma(d, tab_re[phase[k]], acc_re[k])
+  ///   acc_im[k] = fma(d, tab_im[phase[k]], acc_im[k])
+  ///   phase[k] = phase[k] + step[k], wrapped once into [0, period).
+  /// Requires phase[k] < period, step[k] < period, period < 2^31.
+  void (*sdft_update)(double* acc_re, double* acc_im, std::uint32_t* phase,
+                      const std::uint32_t* step, const double* tab_re,
+                      const double* tab_im, double d, std::size_t bins,
+                      std::uint32_t period);
+};
+
+/// The kernel table selected for this process: the widest ISA the CPU
+/// supports among those compiled in, unless overridden by the AQUA_SIMD
+/// environment variable ("scalar", "avx2", "neon"; unknown or unsupported
+/// values fall back to auto-detection with a stderr warning). Decided on
+/// first call, then constant.
+const Kernels& active();
+
+/// Table for a specific target, or nullptr when that target is not
+/// compiled into this binary or not runnable on this CPU. kScalar is
+/// always available. Used by the equivalence tests and benches.
+const Kernels* kernels_for(Isa isa);
+
+/// True when the running CPU can execute `isa`.
+bool cpu_supports(Isa isa);
+
+}  // namespace aqua::dsp::simd

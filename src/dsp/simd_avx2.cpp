@@ -1,0 +1,100 @@
+// AVX2 + FMA kernel table. This translation unit is the only one compiled
+// with -mavx2 -mfma (see CMakeLists.txt); it is entered only after
+// cpu_supports(Isa::kAvx2) confirmed the instructions exist, so the rest
+// of the library stays runnable on any x86-64.
+//
+// Every kernel reproduces the scalar reference expression tree exactly:
+// the vector FMAs pair with std::fma in the scalar build, lane l
+// accumulates elements i with i mod 4 == l, and reductions run in the
+// fixed (l0 + l1) + (l2 + l3) order — so results are bit-identical to the
+// scalar kernels, which tests/test_simd.cpp asserts.
+#include "dsp/simd_internal.h"
+
+#if defined(AQUA_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace aqua::dsp::simd {
+
+namespace {
+
+void avx2_cmul_inplace(cplx* y, const cplx* x, std::size_t n) {
+  auto* yd = reinterpret_cast<double*>(y);
+  const auto* xd = reinterpret_cast<const double*>(x);
+  const std::size_t n2 = n & ~std::size_t{1};  // two complex per vector
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const __m256d yv = _mm256_loadu_pd(yd + 2 * i);
+    const __m256d xv = _mm256_loadu_pd(xd + 2 * i);
+    const __m256d xr = _mm256_movedup_pd(xv);          // [xr0 xr0 xr1 xr1]
+    const __m256d xi = _mm256_permute_pd(xv, 0b1111);  // [xi0 xi0 xi1 xi1]
+    const __m256d ys = _mm256_permute_pd(yv, 0b0101);  // [yi0 yr0 yi1 yr1]
+    const __m256d t = _mm256_mul_pd(ys, xi);           // [yi*xi yr*xi ...]
+    // even lanes: fma(yr, xr, -(yi*xi)); odd lanes: fma(yi, xr, yr*xi).
+    _mm256_storeu_pd(yd + 2 * i, _mm256_fmaddsub_pd(yv, xr, t));
+  }
+  if (n2 < n) {
+    const double yr = y[n2].real(), yi = y[n2].imag();
+    const double xr = x[n2].real(), xi = x[n2].imag();
+    y[n2] = {__builtin_fma(yr, xr, -(yi * xi)), __builtin_fma(yi, xr, yr * xi)};
+  }
+}
+
+double avx2_dot(const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc);
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (std::size_t i = n4; i < n; ++i) {
+    lane[i & 3] = __builtin_fma(a[i], b[i], lane[i & 3]);
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+void avx2_sdft_update(double* acc_re, double* acc_im, std::uint32_t* phase,
+                      const std::uint32_t* step, const double* tab_re,
+                      const double* tab_im, double d, std::size_t bins,
+                      std::uint32_t period) {
+  const __m256d dv = _mm256_set1_pd(d);
+  const __m128i per = _mm_set1_epi32(static_cast<int>(period));
+  const std::size_t b4 = bins & ~std::size_t{3};
+  for (std::size_t k = 0; k < b4; k += 4) {
+    const __m128i ph =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(phase + k));
+    const __m256d tre = _mm256_i32gather_pd(tab_re, ph, 8);
+    const __m256d tim = _mm256_i32gather_pd(tab_im, ph, 8);
+    _mm256_storeu_pd(acc_re + k,
+                     _mm256_fmadd_pd(dv, tre, _mm256_loadu_pd(acc_re + k)));
+    _mm256_storeu_pd(acc_im + k,
+                     _mm256_fmadd_pd(dv, tim, _mm256_loadu_pd(acc_im + k)));
+    // phase += step, wrapped once into [0, period) via an unsigned compare
+    // (max_epu32(p, period) == p  <=>  p >= period).
+    __m128i next = _mm_add_epi32(
+        ph, _mm_loadu_si128(reinterpret_cast<const __m128i*>(step + k)));
+    const __m128i ge =
+        _mm_cmpeq_epi32(_mm_max_epu32(next, per), next);
+    next = _mm_sub_epi32(next, _mm_and_si128(ge, per));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(phase + k), next);
+  }
+  for (std::size_t k = b4; k < bins; ++k) {
+    const std::uint32_t p = phase[k];
+    acc_re[k] = __builtin_fma(d, tab_re[p], acc_re[k]);
+    acc_im[k] = __builtin_fma(d, tab_im[p], acc_im[k]);
+    std::uint32_t next = p + step[k];
+    if (next >= period) next -= period;
+    phase[k] = next;
+  }
+}
+
+constexpr Kernels kAvx2Kernels{"avx2", avx2_cmul_inplace, avx2_dot,
+                               avx2_sdft_update};
+
+}  // namespace
+
+const Kernels* avx2_kernels() { return &kAvx2Kernels; }
+
+}  // namespace aqua::dsp::simd
+
+#endif  // AQUA_SIMD_HAVE_AVX2

@@ -1,0 +1,93 @@
+// AArch64 NEON kernel table. Advanced SIMD is part of the AArch64 baseline,
+// so this TU needs no special compile flags — CMake simply includes it on
+// ARM builds.
+//
+// The kernels reproduce the scalar reference expression tree exactly
+// (vfmaq_f64 pairs with std::fma; the two 128-bit accumulators hold lanes
+// {0,1} and {2,3} of the shared 4-lane structure; reductions run in the
+// fixed (l0 + l1) + (l2 + l3) order), so results are bit-identical to the
+// scalar kernels.
+#include "dsp/simd_internal.h"
+
+#if defined(AQUA_SIMD_HAVE_NEON)
+
+#include <arm_neon.h>
+
+namespace aqua::dsp::simd {
+
+namespace {
+
+void neon_cmul_inplace(cplx* y, const cplx* x, std::size_t n) {
+  auto* yd = reinterpret_cast<double*>(y);
+  const auto* xd = reinterpret_cast<const double*>(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float64x2_t yv = vld1q_f64(yd + 2 * i);       // [yr yi]
+    const float64x2_t xv = vld1q_f64(xd + 2 * i);       // [xr xi]
+    const float64x2_t ys = vextq_f64(yv, yv, 1);        // [yi yr]
+    const float64x2_t xi = vdupq_laneq_f64(xv, 1);      // [xi xi]
+    float64x2_t t = vmulq_f64(ys, xi);                  // [yi*xi yr*xi]
+    // Negate lane 0 so the fused multiply-add below lands on
+    // re = fma(yr, xr, -(yi*xi)), im = fma(yi, xr, yr*xi).
+    t = vsetq_lane_f64(-vgetq_lane_f64(t, 0), t, 0);
+    vst1q_f64(yd + 2 * i, vfmaq_laneq_f64(t, yv, xv, 0));
+  }
+}
+
+double neon_dot(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);  // lanes {0, 1}: elements 4k, 4k+1
+  float64x2_t acc23 = vdupq_n_f64(0.0);  // lanes {2, 3}: elements 4k+2, 4k+3
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    acc01 = vfmaq_f64(acc01, vld1q_f64(a + i), vld1q_f64(b + i));
+    acc23 = vfmaq_f64(acc23, vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+  }
+  double lane[4] = {vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+                    vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+  for (std::size_t i = n4; i < n; ++i) {
+    lane[i & 3] = __builtin_fma(a[i], b[i], lane[i & 3]);
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+void neon_sdft_update(double* acc_re, double* acc_im, std::uint32_t* phase,
+                      const std::uint32_t* step, const double* tab_re,
+                      const double* tab_im, double d, std::size_t bins,
+                      std::uint32_t period) {
+  const uint32x4_t per = vdupq_n_u32(period);
+  const std::size_t b4 = bins & ~std::size_t{3};
+  for (std::size_t k = 0; k < b4; k += 4) {
+    const std::uint32_t p0 = phase[k], p1 = phase[k + 1];
+    const std::uint32_t p2 = phase[k + 2], p3 = phase[k + 3];
+    // No gather on NEON: assemble the table pairs lane by lane.
+    const float64x2_t tre01 = {tab_re[p0], tab_re[p1]};
+    const float64x2_t tre23 = {tab_re[p2], tab_re[p3]};
+    const float64x2_t tim01 = {tab_im[p0], tab_im[p1]};
+    const float64x2_t tim23 = {tab_im[p2], tab_im[p3]};
+    vst1q_f64(acc_re + k, vfmaq_n_f64(vld1q_f64(acc_re + k), tre01, d));
+    vst1q_f64(acc_re + k + 2, vfmaq_n_f64(vld1q_f64(acc_re + k + 2), tre23, d));
+    vst1q_f64(acc_im + k, vfmaq_n_f64(vld1q_f64(acc_im + k), tim01, d));
+    vst1q_f64(acc_im + k + 2, vfmaq_n_f64(vld1q_f64(acc_im + k + 2), tim23, d));
+    uint32x4_t next = vaddq_u32(vld1q_u32(phase + k), vld1q_u32(step + k));
+    next = vsubq_u32(next, vandq_u32(vcgeq_u32(next, per), per));
+    vst1q_u32(phase + k, next);
+  }
+  for (std::size_t k = b4; k < bins; ++k) {
+    const std::uint32_t p = phase[k];
+    acc_re[k] = __builtin_fma(d, tab_re[p], acc_re[k]);
+    acc_im[k] = __builtin_fma(d, tab_im[p], acc_im[k]);
+    std::uint32_t next = p + step[k];
+    if (next >= period) next -= period;
+    phase[k] = next;
+  }
+}
+
+constexpr Kernels kNeonKernels{"neon", neon_cmul_inplace, neon_dot,
+                               neon_sdft_update};
+
+}  // namespace
+
+const Kernels* neon_kernels() { return &kNeonKernels; }
+
+}  // namespace aqua::dsp::simd
+
+#endif  // AQUA_SIMD_HAVE_NEON

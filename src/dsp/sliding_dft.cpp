@@ -3,15 +3,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/fft.h"
+#include "dsp/simd.h"
 #include "dsp/types.h"
 
 namespace aqua::dsp {
 
 namespace {
 
-// Re-accumulate the running sum from scratch this often (in window starts).
-// Bounds the rounding drift of the O(1) update at ~interval * eps * |x|max
-// while adding less than one flop per output sample.
+// Re-accumulate the running sums from scratch this often (in window
+// starts). Bounds the rounding drift of the O(1) update at
+// ~interval * eps * |x|max while adding less than one flop per output
+// sample.
 constexpr std::size_t kReaccumulateInterval = 4096;
 
 }  // namespace
@@ -29,6 +32,10 @@ void moving_dft_power(std::span<const double> x, std::size_t window,
   if (stride == 0) {
     throw std::invalid_argument("moving_dft_power: stride must be >= 1");
   }
+  if (window >= (std::size_t{1} << 31)) {
+    // The SIMD phase lanes are 32-bit; no caller is near this.
+    throw std::invalid_argument("moving_dft_power: window too large");
+  }
   const std::size_t count = x.size() - window + 1;
   const std::size_t rows = (count + stride - 1) / stride;
   if (out.size() != rows * num_bins) {
@@ -36,49 +43,78 @@ void moving_dft_power(std::span<const double> x, std::size_t window,
   }
   if (num_bins == 0) return;
 
-  // Shared phasor table T[m] = e^{-j 2 pi m / window}; bin b reads it at
-  // indices (b * i) mod window, which the inner loops advance with integer
-  // adds, so the phasors are exact for every sample index.
-  ScratchCplx table_s(ws, window);
-  std::span<cplx> table = table_s.span();
+  // Shared phasor table T[m] = e^{-j 2 pi m / window} in split re/im form
+  // (the SIMD update gathers from it); bin b reads indices (b * s) mod
+  // window, advanced with integer adds, so phasors are exact for every
+  // sample index.
+  ScratchReal tab_re_s(ws, window);
+  ScratchReal tab_im_s(ws, window);
+  std::span<double> tab_re = tab_re_s.span();
+  std::span<double> tab_im = tab_im_s.span();
   for (std::size_t m = 0; m < window; ++m) {
-    const double a = -kTwoPi * static_cast<double>(m) /
-                     static_cast<double>(window);
-    table[m] = {std::cos(a), std::sin(a)};
+    const double a =
+        -kTwoPi * static_cast<double>(m) / static_cast<double>(window);
+    tab_re[m] = std::cos(a);
+    tab_im[m] = std::sin(a);
   }
 
+  // Per-bin running sums S_b(s) in split form, their phasor indices
+  // (b * s) mod window, and the per-bin index increments.
+  ScratchReal acc_re_s(ws, num_bins);
+  ScratchReal acc_im_s(ws, num_bins);
+  ScratchU32 phase_s(ws, num_bins);
+  ScratchU32 step_s(ws, num_bins);
+  std::span<double> acc_re = acc_re_s.span();
+  std::span<double> acc_im = acc_im_s.span();
+  std::span<std::uint32_t> phase = phase_s.span();
+  std::span<std::uint32_t> steps = step_s.span();
   for (std::size_t k = 0; k < num_bins; ++k) {
-    const std::size_t b = first_bin + k;
-    // Direct accumulation of the window at `s`, phasor index (b*s) % window.
-    const auto accumulate = [&](std::size_t s, std::size_t phase0) {
-      cplx acc{0.0, 0.0};
-      std::size_t idx = phase0;
-      for (std::size_t i = 0; i < window; ++i) {
-        acc += x[s + i] * table[idx];
-        idx += b;
-        if (idx >= window) idx -= window;
-      }
-      return acc;
-    };
+    steps[k] = static_cast<std::uint32_t>(first_bin + k);
+  }
 
-    std::size_t phase = 0;  // (b * s) % window for the current start s
-    cplx acc = accumulate(0, 0);
-    out[k] = std::norm(acc);
-    for (std::size_t s = 1; s < count; ++s) {
-      if (s % kReaccumulateInterval == 0) {
-        // phase still corresponds to s-1 here; advance it first.
-        std::size_t p = phase + b;
-        if (p >= window) p -= window;
-        acc = accumulate(s, p);
-        phase = p;
-      } else {
-        // Remove x[s-1], append x[s-1+window]; both share phasor (b*(s-1)).
-        acc += (x[s - 1 + window] - x[s - 1]) * table[phase];
-        phase += b;
-        if (phase >= window) phase -= window;
-      }
-      if (s % stride == 0) out[(s / stride) * num_bins + k] = std::norm(acc);
+  // Seed every bin at window start `s` from ONE packed real transform of
+  // the window (bins above window/2 are the conjugate mirror), rotated by
+  // the window-start phase e^{-j 2 pi b s / window} the running sum
+  // carries. One rfft replaces num_bins direct window accumulations.
+  ScratchCplx spec_s(ws, window / 2 + 1);
+  std::span<cplx> spec = spec_s.span();
+  const auto seed = [&](std::size_t s) {
+    rfft_into(x.subspan(s, window), spec, ws);
+    for (std::size_t k = 0; k < num_bins; ++k) {
+      const std::size_t b = first_bin + k;
+      const cplx z =
+          b <= window / 2 ? spec[b] : std::conj(spec[window - b]);
+      const std::size_t p = (b * s) % window;
+      const cplx w{tab_re[p], tab_im[p]};
+      const cplx a = z * w;
+      acc_re[k] = a.real();
+      acc_im[k] = a.imag();
+      phase[k] = static_cast<std::uint32_t>(p);
     }
+  };
+  const auto write_row = [&](std::size_t s) {
+    double* row = out.data() + (s / stride) * num_bins;
+    for (std::size_t k = 0; k < num_bins; ++k) {
+      row[k] = acc_re[k] * acc_re[k] + acc_im[k] * acc_im[k];
+    }
+  };
+
+  seed(0);
+  write_row(0);
+  const auto sdft_update = simd::active().sdft_update;
+  const auto period = static_cast<std::uint32_t>(window);
+  for (std::size_t s = 1; s < count; ++s) {
+    if (s % kReaccumulateInterval == 0) {
+      seed(s);
+    } else {
+      // Remove x[s-1], append x[s-1+window]; every bin's removed and added
+      // terms share phasor (b*(s-1)) — one fused multiply-add per bin,
+      // then the phasor indices advance to (b*s).
+      const double d = x[s - 1 + window] - x[s - 1];
+      sdft_update(acc_re.data(), acc_im.data(), phase.data(), steps.data(),
+                  tab_re.data(), tab_im.data(), d, num_bins, period);
+    }
+    if (s % stride == 0) write_row(s);
   }
 }
 

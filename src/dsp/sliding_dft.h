@@ -10,8 +10,12 @@
 // S_b(s+1) = S_b(s) + (x[s+n] - x[s]) * T[(b*s) mod n]). |S_b(s)|^2 equals
 // the squared magnitude of DFT bin b of the window at s — the window-start
 // phase e^{-j 2 pi b s / n} the FFT convention drops has unit modulus.
-// The sum is re-accumulated from scratch periodically so rounding drift
-// from the running update cannot grow with the capture length.
+//
+// The per-sample update runs over all bins at once through the dispatched
+// SIMD kernel (dsp::simd::active().sdft_update), and the sums are
+// re-seeded periodically — against rounding drift growing with the
+// capture length — from ONE packed real FFT of the window (rfft_into)
+// instead of num_bins direct window accumulations.
 #pragma once
 
 #include <cstddef>

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,12 @@ class Workspace {
     buf.resize(n);
     return buf;
   }
+  /// Integer variant (SIMD index lanes, e.g. sliding-DFT phases).
+  std::vector<std::uint32_t> acquire_u32(std::size_t n) {
+    std::vector<std::uint32_t> buf = pop(u32_pool_);
+    buf.resize(n);
+    return buf;
+  }
 
   /// Returns a buffer (keeping its capacity) for the next acquire.
   void release_real(std::vector<double>&& buf) {
@@ -50,6 +57,9 @@ class Workspace {
   }
   void release_cplx(std::vector<cplx>&& buf) {
     cplx_pool_.push_back(std::move(buf));
+  }
+  void release_u32(std::vector<std::uint32_t>&& buf) {
+    u32_pool_.push_back(std::move(buf));
   }
 
   /// Pool sizes (buffers currently at rest) — used by tests.
@@ -67,6 +77,7 @@ class Workspace {
 
   std::vector<std::vector<double>> real_pool_;
   std::vector<std::vector<cplx>> cplx_pool_;
+  std::vector<std::vector<std::uint32_t>> u32_pool_;
 };
 
 /// RAII lease of a double scratch vector sized to `n`.
@@ -107,6 +118,27 @@ class ScratchCplx {
  private:
   Workspace* ws_;
   std::vector<cplx> buf_;
+};
+
+/// RAII lease of a uint32 scratch vector sized to `n` (SIMD index lanes,
+/// e.g. the sliding-DFT phase indices).
+class ScratchU32 {
+ public:
+  ScratchU32(Workspace& ws, std::size_t n)
+      : ws_(&ws), buf_(ws.acquire_u32(n)) {}
+  ~ScratchU32() {
+    if (ws_) ws_->release_u32(std::move(buf_));
+  }
+  ScratchU32(const ScratchU32&) = delete;
+  ScratchU32& operator=(const ScratchU32&) = delete;
+
+  std::vector<std::uint32_t>& operator*() { return buf_; }
+  std::vector<std::uint32_t>* operator->() { return &buf_; }
+  std::span<std::uint32_t> span() { return buf_; }
+
+ private:
+  Workspace* ws_;
+  std::vector<std::uint32_t> buf_;
 };
 
 /// One arena per thread, used by the legacy allocating wrappers so existing

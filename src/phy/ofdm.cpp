@@ -14,7 +14,14 @@ constexpr double kTargetMeanPower = 0.05;
 }  // namespace
 
 Ofdm::Ofdm(const OfdmParams& params)
-    : params_(params), plan_(&dsp::plan_of(params.symbol_samples())) {}
+    : params_(params),
+      plan_(&dsp::plan_of(params.symbol_samples())),
+      rplan_(&dsp::rplan_of(params.symbol_samples())),
+      // Strictly inside (0, n/2): the packed transform represents the DC
+      // and Nyquist bins as real, so a band touching either must take the
+      // full complex path to carry complex constellation points there.
+      band_packed_(params.first_bin() >= 1 && params.last_bin() >= 1 &&
+                   params.last_bin() - 1 < params.symbol_samples() / 2) {}
 
 double Ofdm::power_norm(std::size_t active_bin_count) const {
   if (active_bin_count == 0) return 0.0;
@@ -49,11 +56,23 @@ void Ofdm::modulate_into(std::span<const dsp::cplx> bins,
     if (std::norm(b) > 1e-20) ++active;
   }
   const double scale = power_norm(active == 0 ? 1 : active);
+  const std::size_t k0 = params_.first_bin() + bin_offset;
+  if (band_packed_) {
+    // Real waveform via the packed inverse: populate only the n/2 + 1
+    // half-spectrum; the Hermitian mirror is implicit in the transform.
+    dsp::ScratchCplx spec_s(ws, rplan_->spectrum_size());
+    std::span<dsp::cplx> spec = spec_s.span();
+    std::fill(spec.begin(), spec.end(), dsp::cplx{0.0, 0.0});
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      spec[k0 + i] = bins[i] * scale;
+    }
+    rplan_->inverse(spec, out, ws);
+    return;
+  }
   dsp::ScratchCplx spec_s(ws, n);
   dsp::ScratchCplx time_s(ws, n);
   std::span<dsp::cplx> spec = spec_s.span();
   std::fill(spec.begin(), spec.end(), dsp::cplx{0.0, 0.0});
-  const std::size_t k0 = params_.first_bin() + bin_offset;
   for (std::size_t i = 0; i < bins.size(); ++i) {
     const std::size_t k = k0 + i;
     spec[k] = bins[i] * scale;
@@ -97,6 +116,16 @@ void Ofdm::demodulate_into(std::span<const double> symbol,
   }
   if (bins.size() != params_.num_bins()) {
     throw std::invalid_argument("Ofdm::demodulate_into: wrong bins length");
+  }
+  if (band_packed_) {
+    // One packed forward transform covers every active bin.
+    dsp::ScratchCplx spec_s(ws, rplan_->spectrum_size());
+    std::span<dsp::cplx> spec = spec_s.span();
+    rplan_->forward(symbol, spec, ws);
+    for (std::size_t k = 0; k < bins.size(); ++k) {
+      bins[k] = spec[params_.first_bin() + k];
+    }
+    return;
   }
   dsp::ScratchCplx time_s(ws, n);
   dsp::ScratchCplx spec_s(ws, n);

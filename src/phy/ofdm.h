@@ -17,6 +17,12 @@ namespace aqua::phy {
 
 /// Modulator/demodulator for one OFDM numerology. Uses the shared FFT plan
 /// cache, so construction is cheap and instances are freely copyable.
+///
+/// Time-domain symbols are real, so both directions run on the packed real
+/// FFT: modulation synthesizes from the n/2 + 1 half-spectrum (the
+/// Hermitian mirror is implicit), demodulation reads the active bins out
+/// of one packed forward transform. The full complex plan is kept for the
+/// (never-default) numerologies whose active band would cross n/2.
 class Ofdm {
  public:
   explicit Ofdm(const OfdmParams& params);
@@ -60,7 +66,9 @@ class Ofdm {
 
  private:
   OfdmParams params_;
-  const dsp::FftPlan* plan_;  ///< shared cache entry, process lifetime
+  const dsp::FftPlan* plan_;    ///< shared cache entry, process lifetime
+  const dsp::RfftPlan* rplan_;  ///< packed real plan for the same size
+  bool band_packed_ = false;    ///< active band fits in the packed bins
 };
 
 }  // namespace aqua::phy

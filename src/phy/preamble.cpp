@@ -5,6 +5,7 @@
 
 #include "dsp/cazac.h"
 #include "dsp/fir.h"
+#include "dsp/simd.h"
 
 namespace aqua::phy {
 
@@ -61,21 +62,19 @@ double Preamble::sliding_metric_at(std::span<const double> signal,
                                    std::size_t start) const {
   const std::size_t n = params_.symbol_samples();
   if (start + core_samples_ > signal.size()) return 0.0;
+  // Segment correlations and the window energy are contiguous dot products
+  // — the dispatched SIMD kernel runs them (batch detect() and the
+  // streaming scanner share this function, so both paths stay identical).
+  const auto dot = dsp::simd::active().dot;
   double corr_sum = 0.0;
-  double energy_sum = 0.0;
   for (std::size_t s = 0; s + 1 < OfdmParams::kPreambleSymbols; ++s) {
     const double* a = signal.data() + start + s * n;
-    const double* b = a + n;
     const double sign = static_cast<double>(OfdmParams::kPnSigns[s] *
                                             OfdmParams::kPnSigns[s + 1]);
-    double dot = 0.0;
-    for (std::size_t i = 0; i < n; ++i) dot += a[i] * b[i];
-    corr_sum += sign * dot;
+    corr_sum += sign * dot(a, a + n, n);
   }
-  for (std::size_t i = 0; i < core_samples_; ++i) {
-    const double v = signal[start + i];
-    energy_sum += v * v;
-  }
+  const double energy_sum =
+      dot(signal.data() + start, signal.data() + start, core_samples_);
   if (energy_sum <= 1e-12) return 0.0;
   return corr_sum / energy_sum;
 }
