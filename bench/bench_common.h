@@ -8,11 +8,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <random>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/link_session.h"
@@ -104,6 +106,35 @@ inline BatchStats run_batch(const core::SessionConfig& base, int n,
                             std::uint64_t seed_base,
                             std::size_t payload_bits = 16) {
   return sim::run_packet_range(base, 0, n, seed_base, payload_bits);
+}
+
+/// Prints one session-QoE summary line: delivery ratio, message-latency
+/// percentiles (p50/p95/p99, seconds on the shared sample timeline), and
+/// transmit failures (retransmission pressure). Every value is derived
+/// from absolute sample positions, so the line is deterministic and safe
+/// for diffed stdout.
+inline void print_qoe_line(const char* label, const BatchStats& s) {
+  std::printf(
+      "%-44s delivery %5.1f%%  latency p50/p95/p99 %5.2f/%5.2f/%5.2f s"
+      "  tx-fail %llu\n",
+      label, 100.0 * s.delivery_ratio(), s.latency_percentile_s(50.0),
+      s.latency_percentile_s(95.0), s.latency_percentile_s(99.0),
+      static_cast<unsigned long long>(s.qoe.counter("tx_failed")));
+}
+
+/// Prints the aggregated per-stage DSP timing held in `stats.pipeline` to
+/// stderr (wall-clock: keep it out of deterministic stdout).
+inline void print_pipeline_timing(const char* label, const BatchStats& s) {
+  for (const auto& [name, value] : s.pipeline.counters()) {
+    // Report each "<stage>.ns" counter alongside its call count.
+    const std::string_view key(name);
+    if (key.size() < 3 || key.substr(key.size() - 3) != ".ns") continue;
+    const std::string stage(key.substr(0, key.size() - 3));
+    const std::uint64_t calls = s.pipeline.counter(stage + ".calls");
+    std::fprintf(stderr, "timing: %s %-16s %10.1f ms over %llu calls\n",
+                 label, stage.c_str(), static_cast<double>(value) / 1e6,
+                 static_cast<unsigned long long>(calls));
+  }
 }
 
 /// Prints a CDF of bitrates as (bitrate, fraction<=) pairs on one line.

@@ -75,5 +75,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(paper: adaptive PER ~1%% at all three sites; fixed schemes "
               "degrade with multipath, worst at the lake)\n");
+
+  std::printf("\n=== session QoE at 5 m (adaptive) ===\n");
+  for (std::size_t si = 0; si < sites.size(); ++si) {
+    bench::print_qoe_line(channel::site_name(sites[si]).c_str(),
+                          result_at(si, 0).stats);
+  }
   return 0;
 }

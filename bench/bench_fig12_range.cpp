@@ -52,6 +52,13 @@ int main() {
   }
   std::printf("(paper: fixed 1.5/3 kHz reach 100%% PER by 30 m; adaptive ~7%%)\n");
 
+  std::printf("\n=== session QoE vs distance (adaptive) ===\n");
+  for (std::size_t i = 0; i < adaptive.size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof label, "lake %.0f m", ranges[i]);
+    bench::print_qoe_line(label, adaptive[i]);
+  }
+
   std::printf("\n=== Fig. 12d: long-range FSK BER at the beach ===\n");
   std::printf("%8s %12s %12s %12s\n", "range(m)", "5 bps", "10 bps", "20 bps");
   const int fsk_bits = 40 + 4 * bench::packets_per_config(10);

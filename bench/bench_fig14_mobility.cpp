@@ -16,18 +16,25 @@ int main() {
   };
 
   std::printf("=== Fig. 14a,b: bitrate CDF and PER vs mobility ===\n");
+  std::vector<bench::BatchStats> per_motion;
   for (const auto& [kind, label] : kinds) {
     core::SessionConfig cfg;
     cfg.forward.site = channel::site_preset(channel::Site::kLake);
     cfg.forward.range_m = 5.0;
     cfg.forward.motion = kind;
-    const bench::BatchStats s =
+    bench::BatchStats s =
         bench::run_batch(cfg, n, 15000 + 7 * static_cast<int>(kind));
     bench::print_cdf(label, s.bitrates);
     std::printf("  median %.0f bps, PER %.1f%%\n", s.median_bitrate(),
                 100.0 * s.per());
+    per_motion.push_back(std::move(s));
   }
   std::printf("(paper: medians 640/433/336 bps; PER 1.2%% -> 7.6%%)\n");
+
+  std::printf("\n=== session QoE vs mobility ===\n");
+  for (std::size_t i = 0; i < per_motion.size(); ++i) {
+    bench::print_qoe_line(kinds[i].second, per_motion[i]);
+  }
 
   std::printf("\n=== Fig. 14c: uncoded BER with vs without differential coding ===\n");
   std::printf("%-18s %16s %16s\n", "motion", "differential", "no differential");

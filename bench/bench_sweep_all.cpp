@@ -13,9 +13,12 @@
 // APPENDS one `{machine, commit, …numbers}` entry to the `series` array
 // (creating or migrating the file as needed), so BENCH_sweep.json grows
 // into the per-PR perf trajectory — regressions show up as one diff line
-// in review. The commit id comes from $AQUA_COMMIT or $GITHUB_SHA. Timing
-// goes to the JSON file and stderr only, so stdout stays bit-identical
-// across runs and thread counts.
+// in review. The commit id comes from $AQUA_BENCH_COMMIT, `git describe`,
+// or $GITHUB_SHA; the machine label from $AQUA_BENCH_MACHINE or
+// "<arch>, N cores". Timing goes to the JSON file and stderr only, so
+// stdout stays bit-identical across runs and thread counts. Session QoE
+// (delivery ratio, latency percentiles, tx failures) is timeline-derived
+// and therefore deterministic: it appears in both stdout and the JSON.
 #include <sys/utsname.h>
 
 #include <chrono>
@@ -36,13 +39,18 @@ namespace {
 void print_results(const char* title,
                    const std::vector<sim::ScenarioResult>& results) {
   std::printf("=== %s ===\n", title);
-  std::printf("%-44s %6s %6s %8s %9s %10s %8s\n", "scenario", "sent", "deliv",
-              "PER", "codedBER", "median-bps", "detect");
+  std::printf("%-44s %6s %6s %8s %9s %10s %8s %16s %4s\n", "scenario", "sent",
+              "deliv", "PER", "codedBER", "median-bps", "detect",
+              "lat p50/p95/p99", "rtx");
   for (const sim::ScenarioResult& r : results) {
-    std::printf("%-44s %6d %6d %7.1f%% %9.4f %10.1f %7.0f%%\n",
-                sim::scenario_label(r.scenario).c_str(), r.stats.sent,
-                r.stats.delivered, 100.0 * r.stats.per(), r.stats.coded_ber(),
-                r.stats.median_bitrate(), 100.0 * r.stats.detection_rate());
+    std::printf(
+        "%-44s %6d %6d %7.1f%% %9.4f %10.1f %7.0f%% %4.2f/%4.2f/%4.2fs %4llu\n",
+        sim::scenario_label(r.scenario).c_str(), r.stats.sent,
+        r.stats.delivered, 100.0 * r.stats.per(), r.stats.coded_ber(),
+        r.stats.median_bitrate(), 100.0 * r.stats.detection_rate(),
+        r.stats.latency_percentile_s(50.0), r.stats.latency_percentile_s(95.0),
+        r.stats.latency_percentile_s(99.0),
+        static_cast<unsigned long long>(r.stats.qoe.counter("tx_failed")));
   }
   std::printf("\n");
 }
@@ -53,26 +61,45 @@ struct GridTiming {
   long long packets = 0;
   std::uint64_t samples = 0;
   double wall_s = 0.0;
+  // Grid-level QoE aggregate (deterministic) + DSP stage timing
+  // (wall-clock), both merged across the grid's scenarios.
+  sim::BatchStats agg;
 };
 
 double rate(double count, double seconds) {
   return seconds > 0.0 ? count / seconds : 0.0;
 }
 
-// "<node> <machine>, N cores" — enough to tell runners apart in the series.
+// "<arch>, N cores" — stable across reboots and container hostnames (the
+// nodename is a random hex string in most CI/container runs, and an empty
+// one used to collapse the whole label to "unknown"). $AQUA_BENCH_MACHINE
+// overrides for named lab machines.
 std::string machine_label() {
+  if (const char* m = std::getenv("AQUA_BENCH_MACHINE")) return m;
   struct utsname u {};
-  std::string label = uname(&u) == 0
-                          ? std::string(u.nodename) + " " + u.machine
-                          : std::string("unknown");
+  std::string label =
+      (uname(&u) == 0 && u.machine[0] != '\0') ? u.machine : "unknown";
   label += ", ";
   label += std::to_string(std::thread::hardware_concurrency());
   label += " cores";
   return label;
 }
 
+// $AQUA_BENCH_COMMIT wins (CI stamps the PR head there), then the actual
+// `git describe` of the working tree, then $GITHUB_SHA.
 std::string commit_label() {
-  if (const char* c = std::getenv("AQUA_COMMIT")) return c;
+  if (const char* c = std::getenv("AQUA_BENCH_COMMIT")) return c;
+  if (FILE* p = popen("git describe --always --tags --dirty 2>/dev/null",
+                      "r")) {
+    char buf[128] = {};
+    const std::size_t n = fread(buf, 1, sizeof buf - 1, p);
+    const bool ok = pclose(p) == 0 && n > 0;
+    std::string desc(buf, n);
+    while (!desc.empty() && (desc.back() == '\n' || desc.back() == '\r')) {
+      desc.pop_back();
+    }
+    if (ok && !desc.empty()) return desc;
+  }
   if (const char* c = std::getenv("GITHUB_SHA")) return c;
   return "unknown";
 }
@@ -100,13 +127,38 @@ std::string entry_json(int packets_per_scenario, int threads,
     std::snprintf(buf, sizeof buf,
                   "        {\"name\": \"%s\", \"scenarios\": %zu, "
                   "\"packets\": %lld, \"samples\": %llu, \"wall_s\": %.3f, "
-                  "\"packets_per_s\": %.2f, \"samples_per_s\": %.0f}%s\n",
+                  "\"packets_per_s\": %.2f, \"samples_per_s\": %.0f,\n"
+                  "         \"delivery_ratio\": %.4f, "
+                  "\"latency_p50_s\": %.4f, \"latency_p95_s\": %.4f, "
+                  "\"latency_p99_s\": %.4f, \"tx_failed\": %llu,\n",
                   g.name.c_str(), g.scenarios, g.packets,
                   static_cast<unsigned long long>(g.samples), g.wall_s,
                   rate(static_cast<double>(g.packets), g.wall_s),
                   rate(static_cast<double>(g.samples), g.wall_s),
-                  i + 1 < grids.size() ? "," : "");
+                  g.agg.delivery_ratio(), g.agg.latency_percentile_s(50.0),
+                  g.agg.latency_percentile_s(95.0),
+                  g.agg.latency_percentile_s(99.0),
+                  static_cast<unsigned long long>(
+                      g.agg.qoe.counter("tx_failed")));
     os << buf;
+    // Per-stage DSP wall time: every "<stage>.ns" counter with its calls.
+    os << "         \"dsp_stages\": {";
+    bool first = true;
+    for (const auto& [key, ns] : g.agg.pipeline.counters()) {
+      if (key.size() < 3 || key.compare(key.size() - 3, 3, ".ns") != 0) {
+        continue;
+      }
+      const std::string stage = key.substr(0, key.size() - 3);
+      std::snprintf(buf, sizeof buf,
+                    "%s\"%s\": {\"wall_ms\": %.1f, \"calls\": %llu}",
+                    first ? "" : ", ", stage.c_str(),
+                    static_cast<double>(ns) / 1e6,
+                    static_cast<unsigned long long>(
+                        g.agg.pipeline.counter(stage + ".calls")));
+      os << buf;
+      first = false;
+    }
+    os << "}}" << (i + 1 < grids.size() ? "," : "") << "\n";
   }
   os << "      ],\n";
   std::snprintf(buf, sizeof buf,
@@ -232,6 +284,7 @@ int main(int argc, char** argv) {
     for (const sim::ScenarioResult& r : results) {
       t.packets += r.stats.sent;
       t.samples += r.stats.samples;
+      t.agg.merge(r.stats);
     }
     timings.push_back(std::move(t));
   };
@@ -295,11 +348,19 @@ int main(int argc, char** argv) {
              /*seed_base=*/17000);
   }
 
+  // Grid-level QoE summary (deterministic, so it may live on stdout).
+  std::printf("=== session QoE per grid ===\n");
+  for (const GridTiming& t : timings) {
+    bench::print_qoe_line(t.name.c_str(), t.agg);
+  }
+  std::printf("\n");
+
   // Timing summary on stderr only: stdout must stay bit-identical across
   // runs and thread counts (the CI determinism check diffs it).
   double total_wall = 0.0;
   long long total_packets = 0;
   std::uint64_t total_samples = 0;
+  sim::BatchStats pipeline_total;
   for (const GridTiming& t : timings) {
     std::fprintf(stderr, "timing: %-46s %7.2fs  %8.2f pkt/s  %12.0f samp/s\n",
                  t.name.c_str(), t.wall_s,
@@ -308,7 +369,9 @@ int main(int argc, char** argv) {
     total_wall += t.wall_s;
     total_packets += t.packets;
     total_samples += t.samples;
+    pipeline_total.pipeline.merge(t.agg.pipeline);
   }
+  bench::print_pipeline_timing("TOTAL", pipeline_total);
   std::fprintf(stderr, "timing: %-46s %7.2fs  %8.2f pkt/s  %12.0f samp/s\n",
                "TOTAL", total_wall,
                rate(static_cast<double>(total_packets), total_wall),

@@ -6,13 +6,22 @@
 // selection, and the selected bitrate follows the changing channel.
 // Mirrors the paper's use case of divers using hand-signal messages
 // instead of visual signals in low-visibility water.
+//
+// Also demonstrates the obs layer end to end: the whole conversation is
+// captured into a replayable .aqt trace (set AQUA_TRACE=conv.aqt), per-
+// message latency is measured on the shared sample timeline, and a QoE
+// summary (latency percentiles, delivery ratio, DSP stage timing) is
+// printed from an obs::Registry at the end.
 #include <cstdio>
+#include <cstdlib>
 #include <span>
 #include <vector>
 
 #include "channel/medium.h"
 #include "core/messages.h"
 #include "core/modem.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -22,6 +31,10 @@ struct ExchangeReport {
   bool feedback = false;
   bool delivered = false;
   bool acked = false;
+  bool tx_failed = false;
+  /// Medium clock at kPacketDecoded minus the clock at send(): message
+  /// latency in samples on the shared timeline.
+  std::uint64_t latency_samples = 0;
   aqua::phy::BandSelection band;
   std::vector<std::uint8_t> payload;
 };
@@ -31,6 +44,7 @@ ExchangeReport run_exchange(aqua::channel::AcousticMedium& medium,
                             aqua::dsp::Workspace& ws) {
   using aqua::core::ModemEvent;
   ExchangeReport report;
+  const std::uint64_t send_clock = medium.clock();
   const std::size_t block = 480;
   std::vector<double> tx_a(block), tx_b(block);
   const std::vector<std::span<const double>> tx{tx_a, tx_b};
@@ -44,6 +58,7 @@ ExchangeReport run_exchange(aqua::channel::AcousticMedium& medium,
       if (e.type == ModemEvent::Type::kPacketDecoded) {
         report.delivered = true;
         report.payload = e.payload_bits;
+        report.latency_samples = e.stream_pos - send_clock;
       }
     }
     for (const ModemEvent& e : alice.push(rx[0])) {
@@ -55,7 +70,10 @@ ExchangeReport run_exchange(aqua::channel::AcousticMedium& medium,
         report.acked = e.ack_received;
         alice_done = true;
       }
-      if (e.type == ModemEvent::Type::kTxFailed) alice_done = true;
+      if (e.type == ModemEvent::Type::kTxFailed) {
+        report.tx_failed = true;
+        alice_done = true;
+      }
     }
     if (alice_done && bob.rx_state() == aqua::core::Modem::RxState::kSearching) {
       break;
@@ -86,6 +104,20 @@ int main() {
   core::Modem bob(mc);
   dsp::Workspace ws;
 
+  // Observability: capture the whole conversation as a replayable trace
+  // (opt-in via AQUA_TRACE=<path>; verify with `aqua_replay <path>`), and
+  // collect session QoE + DSP stage timing in a metrics registry.
+  obs::TraceCapture capture;
+  if (const char* trace_path = std::getenv("AQUA_TRACE")) {
+    capture.meta("name", "diver_messaging conversation");
+    alice.set_trace_sink(&capture, 0);
+    bob.set_trace_sink(&capture, 1);
+    std::printf("(capturing trace to %s)\n\n", trace_path);
+  }
+  obs::Registry metrics;
+  alice.set_metrics(&metrics);
+  bob.set_metrics(&metrics);
+
   core::MessageCodebook book;
   // A realistic dive conversation, two signals per packet.
   const std::pair<std::uint8_t, std::uint8_t> conversation[] = {
@@ -96,11 +128,16 @@ int main() {
       {205, 1},   // "Too far away" / "OK!"
   };
 
-  int delivered = 0, sent = 0;
+  int delivered = 0, sent = 0, tx_failures = 0;
   for (const auto& [first, second] : conversation) {
     alice.send(core::MessageCodebook::pack(first, second), /*dest=*/32);
     const ExchangeReport r = run_exchange(medium, alice, bob, ws);
     ++sent;
+    if (r.tx_failed) ++tx_failures;
+    if (r.delivered) {
+      metrics.record("latency_s", static_cast<double>(r.latency_samples) /
+                                      fwd.sample_rate_hz);
+    }
     std::printf("[%d] \"%s\" + \"%s\"\n", sent, book.by_id(first).text.c_str(),
                 book.by_id(second).text.c_str());
     if (!r.feedback) {
@@ -117,5 +154,32 @@ int main() {
   }
   std::printf("\ndelivered %d/%d packets while drifting (%.0f%% PER)\n",
               delivered, sent, 100.0 * (sent - delivered) / sent);
+
+  // Session QoE from the shared timeline (deterministic) + pipeline
+  // timing from the stage timers (wall-clock).
+  if (const obs::Histogram* lat = metrics.histogram("latency_s")) {
+    std::printf(
+        "QoE: delivery %.0f%%, message latency p50 %.2f s (min %.2f, "
+        "max %.2f), tx failures %d\n",
+        100.0 * delivered / sent, lat->percentile(50.0), lat->min(),
+        lat->max(), tx_failures);
+  }
+  std::printf("DSP wall time per stage:\n");
+  for (const auto& [key, ns] : metrics.counters()) {
+    if (key.size() < 3 || key.compare(key.size() - 3, 3, ".ns") != 0) {
+      continue;
+    }
+    const std::string stage = key.substr(0, key.size() - 3);
+    std::printf("  %-16s %8.1f ms over %llu calls\n", stage.c_str(),
+                static_cast<double>(ns) / 1e6,
+                static_cast<unsigned long long>(
+                    metrics.counter(stage + ".calls")));
+  }
+
+  if (const char* trace_path = std::getenv("AQUA_TRACE")) {
+    capture.save(trace_path);
+    std::printf("\nwrote %s — verify with: aqua_replay %s\n", trace_path,
+                trace_path);
+  }
   return 0;
 }

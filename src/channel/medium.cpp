@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/sink.h"
+
 namespace aqua::channel {
 
 namespace {
@@ -67,6 +69,11 @@ void AcousticMedium::step(const std::vector<std::span<const double>>& tx,
     p->stream.push(tx[static_cast<std::size_t>(p->from)], path_tmp_, ws);
     std::vector<double>& dst = rx[static_cast<std::size_t>(p->to)];
     for (std::size_t i = 0; i < n; ++i) dst[i] += path_tmp_[i];
+  }
+  if (sink_) {
+    for (std::size_t i = 0; i < eps; ++i) {
+      sink_->on_medium_rx(static_cast<int>(i), clock_, rx[i]);
+    }
   }
   clock_ += n;
 }

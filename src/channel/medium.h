@@ -21,6 +21,10 @@
 #include "channel/noise.h"
 #include "dsp/workspace.h"
 
+namespace aqua::obs {
+class TraceSink;
+}  // namespace aqua::obs
+
 namespace aqua::channel {
 
 /// N-endpoint full-duplex shared acoustic medium: a directed
@@ -56,6 +60,11 @@ class AcousticMedium {
 
   double sample_rate_hz() const { return fs_; }
 
+  /// Attaches a capture sink; each step() then reports every endpoint's
+  /// mixed microphone block (on_medium_rx) at its medium-clock position —
+  /// what was actually "in the water". nullptr detaches.
+  void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
+
  private:
   struct PathEntry {
     int from;
@@ -70,6 +79,7 @@ class AcousticMedium {
   std::vector<std::unique_ptr<PathEntry>> paths_;
   std::uint64_t clock_ = 0;
   std::vector<double> path_tmp_;
+  obs::TraceSink* sink_ = nullptr;  ///< borrowed capture hook; may be null
 };
 
 /// Wires the standard two-endpoint duplex link onto `medium`: endpoint A

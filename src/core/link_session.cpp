@@ -149,6 +149,23 @@ PacketTrace LinkSession::send_packet_oracle(
   return trace;
 }
 
+void LinkSession::set_trace_sink(obs::TraceSink* sink) {
+  sink_ = sink;
+  if (medium_) {
+    medium_->set_trace_sink(sink_);
+    alice_->set_trace_sink(sink_, 0);
+    bob_->set_trace_sink(sink_, 1);
+  }
+}
+
+void LinkSession::set_metrics(obs::Registry* metrics) {
+  metrics_ = metrics;
+  if (medium_) {
+    alice_->set_metrics(metrics_);
+    bob_->set_metrics(metrics_);
+  }
+}
+
 void LinkSession::ensure_duplex() {
   if (medium_) return;
   medium_ =
@@ -172,6 +189,15 @@ void LinkSession::ensure_duplex() {
     alice_ = std::make_unique<Modem>(alice_cfg);
     bob_ = std::make_unique<Modem>(bob_cfg);
   }
+  if (sink_) {
+    medium_->set_trace_sink(sink_);
+    alice_->set_trace_sink(sink_, 0);
+    bob_->set_trace_sink(sink_, 1);
+  }
+  if (metrics_) {
+    alice_->set_metrics(metrics_);
+    bob_->set_metrics(metrics_);
+  }
 }
 
 PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
@@ -183,6 +209,10 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
   alice_->set_payload_bits(info_bits.size());
   bob_->set_payload_bits(info_bits.size());
 
+  // QoE latency anchor: both endpoints and the medium share one sample
+  // timeline, so (Bob's decode position - the clock at send) is an exact,
+  // deterministic message latency.
+  const std::uint64_t send_clock = medium_->clock();
   alice_->send(info_bits, config_.bob_id);
 
   const std::size_t block = std::max<std::size_t>(config_.medium_block_samples, 1);
@@ -217,6 +247,7 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
           alice_done = true;
           break;
         case ModemEvent::Type::kTxFailed:
+          trace.tx_failures++;
           alice_done = true;
           break;
         default:
@@ -239,6 +270,8 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
         case ModemEvent::Type::kPacketFailed:
           if (e.type == ModemEvent::Type::kPacketDecoded) {
             trace.data_found = true;
+            trace.latency_samples = e.stream_pos - send_clock;
+            trace.latency_valid = true;
             trace.decoded_bits = std::move(e.payload_bits);
             trace.coded_bits = e.coded_hard.size();
             coding::ConvolutionalCodec codec(coding::CodeRate::kRate2_3);

@@ -75,6 +75,15 @@ struct PacketTrace {
   std::size_t coded_bit_errors = 0; ///< pre-Viterbi (uncoded) errors
   double preamble_metric = 0.0;
   std::vector<std::uint8_t> decoded_bits;  ///< Bob's decoded payload
+  /// Session-QoE message latency on the shared sample timeline: Bob's
+  /// decode position minus the medium clock at the send() call. Sample
+  /// counts, so deterministic; divide by the sample rate for seconds.
+  /// Valid only when `latency_valid` (the packet decoded).
+  std::uint64_t latency_samples = 0;
+  bool latency_valid = false;
+  /// Transmit-machine kTxFailed events during the exchange (feedback never
+  /// arrived) — the sweep's retransmission-pressure counter.
+  std::size_t tx_failures = 0;
   /// Microphone samples pushed through the receive DSP chains for this
   /// packet (both endpoints on the streaming path; the four spliced
   /// captures on the oracle path) — the benches' samples/s metric.
@@ -112,6 +121,14 @@ class LinkSession {
   channel::UnderwaterChannel& forward_channel() { return forward_; }
   channel::UnderwaterChannel& backward_channel() { return backward_; }
 
+  /// Attaches a capture sink to the streaming pipeline: Alice records as
+  /// endpoint 0, Bob as endpoint 1, and the medium reports both mixed mic
+  /// streams. Attach before the first send_packet() for a replayable
+  /// trace; nullptr detaches. The sink must outlive the session.
+  void set_trace_sink(obs::TraceSink* sink);
+  /// Attaches a metrics registry for the endpoints' DSP stage timers.
+  void set_metrics(obs::Registry* metrics);
+
  private:
   dsp::Workspace& scratch() const {
     return ws_ ? *ws_ : dsp::thread_local_workspace();
@@ -120,6 +137,8 @@ class LinkSession {
 
   SessionConfig config_;
   dsp::Workspace* ws_ = nullptr;  ///< borrowed; nullptr = thread-local
+  obs::TraceSink* sink_ = nullptr;    ///< borrowed; forwarded on build
+  obs::Registry* metrics_ = nullptr;  ///< borrowed; forwarded on build
   channel::UnderwaterChannel forward_;
   channel::UnderwaterChannel backward_;
   phy::Preamble preamble_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.h"
+#include "obs/sink.h"
 #include "phy/chanest.h"
 
 namespace aqua::core {
@@ -49,6 +51,18 @@ bool Modem::tx_idle() const {
          tx_pending() == 0;
 }
 
+void Modem::set_payload_bits(std::size_t bits) {
+  if (bits == config_.payload_bits) return;
+  config_.payload_bits = bits;
+  if (sink_) sink_->on_payload_bits(sink_endpoint_, bits);
+}
+
+void Modem::set_trace_sink(obs::TraceSink* sink, int endpoint_id) {
+  sink_ = sink;
+  sink_endpoint_ = endpoint_id;
+  if (sink_) sink_->on_endpoint(sink_endpoint_, config_);
+}
+
 std::span<const double> Modem::raw(std::uint64_t from, std::size_t len) const {
   return std::span<const double>(buffer_).subspan(
       static_cast<std::size_t>(from - buffer_base_), len);
@@ -80,6 +94,9 @@ void Modem::pull_tx(std::span<double> speaker) {
             0.0);
   tx_head_ += take;
   tx_pos_ += speaker.size();
+  // Pulls are part of the replay op log even when the queue is silent: the
+  // tx clock advance above shifts every later enqueue_tx_at anchor.
+  if (sink_) sink_->on_pull(sink_endpoint_, speaker);
   if (tx_head_ > compact_threshold()) {
     tx_queue_.erase(tx_queue_.begin(),
                     tx_queue_.begin() + static_cast<std::ptrdiff_t>(tx_head_));
@@ -95,6 +112,7 @@ std::vector<double> Modem::pull_tx(std::size_t n) {
 
 void Modem::send(std::span<const std::uint8_t> info_bits,
                  std::uint8_t dest_id) {
+  if (sink_) sink_->on_send(sink_endpoint_, rx_pos_, info_bits, dest_id);
   Outgoing msg;
   msg.bits.assign(info_bits.begin(), info_bits.end());
   msg.dest_id = dest_id;
@@ -159,14 +177,20 @@ bool Modem::rx_step(std::vector<ModemEvent>& events) {
     detected.preamble_metric = det.sliding_metric;
     events.push_back(std::move(detected));
 
-    const auto id = feedback_.decode_tone(
-        raw(pre_end, kIdWaitSymbols * sym_total), /*step=*/8,
-        /*min_peak_fraction=*/0.3, scratch());
+    std::optional<phy::ToneDecode> id;
+    {
+      obs::StageTimer t(metrics_, "dsp.tone");
+      id = feedback_.decode_tone(raw(pre_end, kIdWaitSymbols * sym_total),
+                                 /*step=*/8, /*min_peak_fraction=*/0.3,
+                                 scratch());
+    }
     if (!id || id->bin != config_.my_id) return true;
 
+    obs::StageTimer chanest_timer(metrics_, "dsp.chanest");
     const phy::ChannelEstimate est =
         phy::estimate_channel(ofdm_, raw(det.start_index, preamble_.core_samples()),
                               preamble_.cazac_bins(), scratch());
+    chanest_timer.stop();
     band_ = config_.fixed_band
                 ? *config_.fixed_band
                 : phy::select_band(est.snr_db, config_.params.snr_threshold_db,
@@ -210,8 +234,10 @@ bool Modem::rx_step(std::vector<ModemEvent>& events) {
       static_cast<std::size_t>(data_deadline_ - data_origin_);
   phy::DecodeOptions opts = config_.decode;
   opts.search_window = window > region ? window - region : 0;
+  obs::StageTimer decode_timer(metrics_, "dsp.data_decode");
   const phy::DataDecodeResult res = modem_.decode(
       raw(data_origin_, window), band_, config_.payload_bits, opts, scratch());
+  decode_timer.stop();
 
   ModemEvent ev;
   ev.stream_pos = data_deadline_;
@@ -241,9 +267,13 @@ bool Modem::tx_step(std::vector<ModemEvent>& events) {
   if (tx_state_ == TxState::kWaitFeedback) {
     if (rx_pos_ < fb_deadline_) return false;
     const std::size_t window = config_.feedback_window;
-    const auto dec = feedback_.decode_band(
-        raw(fb_deadline_ - window, window), /*step=*/8,
-        /*min_peak_fraction=*/0.3, scratch());
+    std::optional<phy::FeedbackDecode> dec;
+    {
+      obs::StageTimer t(metrics_, "dsp.feedback");
+      dec = feedback_.decode_band(raw(fb_deadline_ - window, window),
+                                  /*step=*/8, /*min_peak_fraction=*/0.3,
+                                  scratch());
+    }
     if (!dec) {
       ModemEvent ev;
       ev.type = ModemEvent::Type::kTxFailed;
@@ -279,6 +309,7 @@ bool Modem::tx_step(std::vector<ModemEvent>& events) {
         static_cast<std::size_t>(ack_deadline_ - data_end_);
     std::optional<phy::ToneDecode> got;
     if (window > 0) {
+      obs::StageTimer t(metrics_, "dsp.tone");
       got = feedback_.decode_tone(raw(data_end_, window), /*step=*/8,
                                   /*min_peak_fraction=*/0.3, scratch());
     }
@@ -321,11 +352,15 @@ void Modem::trim_buffer() {
 }
 
 std::vector<ModemEvent> Modem::push(std::span<const double> mic) {
+  if (sink_) sink_->on_push(sink_endpoint_, rx_pos_, mic);
   buffer_.insert(buffer_.end(), mic.begin(), mic.end());
   rx_pos_ += mic.size();
 
   det_tmp_.clear();
-  scanner_.scan(mic, det_tmp_, scratch());
+  {
+    obs::StageTimer t(metrics_, "dsp.scan");
+    scanner_.scan(mic, det_tmp_, scratch());
+  }
   for (const phy::PreambleDetection& d : det_tmp_) detections_.push_back(d);
 
   std::vector<ModemEvent> events;
@@ -338,6 +373,9 @@ std::vector<ModemEvent> Modem::push(std::span<const double> mic) {
     if (tx_step(events)) progressed = true;
   }
   trim_buffer();
+  if (sink_) {
+    for (const ModemEvent& e : events) sink_->on_event(sink_endpoint_, e);
+  }
   return events;
 }
 

@@ -44,6 +44,11 @@
 #include "phy/feedback.h"
 #include "phy/preamble.h"
 
+namespace aqua::obs {
+class Registry;
+class TraceSink;
+}  // namespace aqua::obs
+
 namespace aqua::core {
 
 /// What the modem tells the application.
@@ -154,7 +159,18 @@ class Modem {
   /// Adjusts the fixed app packet size (drives the receive-side data
   /// deadline). Takes effect for packets whose preamble has not been
   /// processed yet.
-  void set_payload_bits(std::size_t bits) { config_.payload_bits = bits; }
+  void set_payload_bits(std::size_t bits);
+
+  /// Attaches a capture sink (obs/sink.h); nullptr detaches. `endpoint_id`
+  /// tags this modem's records in the shared trace. Attach before the first
+  /// push/pull or the capture will not replay from the stream origin; the
+  /// sink must outlive the modem (or be detached first). Costs one branch
+  /// per push/pull/send when detached.
+  void set_trace_sink(obs::TraceSink* sink, int endpoint_id = 0);
+  /// Attaches a per-worker metrics registry for DSP stage timers
+  /// ("dsp.<stage>.ns" / ".calls"); nullptr (the default) disables timing.
+  void set_metrics(obs::Registry* metrics) { metrics_ = metrics; }
+  obs::Registry* metrics() const { return metrics_; }
 
  private:
   struct Outgoing {
@@ -179,6 +195,9 @@ class Modem {
 
   ModemConfig config_;
   dsp::Workspace* ws_ = nullptr;  ///< borrowed; nullptr = thread-local
+  obs::TraceSink* sink_ = nullptr;   ///< borrowed capture hook; may be null
+  int sink_endpoint_ = 0;            ///< this modem's id within the trace
+  obs::Registry* metrics_ = nullptr; ///< borrowed stage-timer registry
   phy::Preamble preamble_;
   phy::PreambleScanner scanner_;
   phy::FeedbackCodec feedback_;

@@ -1,0 +1,87 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqua::obs {
+
+void Histogram::merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+double Histogram::sum() const {
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double Histogram::mean() const {
+  return samples_.empty() ? 0.0
+                          : sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  return samples_.empty()
+             ? 0.0
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  return samples_.empty()
+             ? 0.0
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest value with at least p% of samples at or
+  // below it. rank in [1, n].
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(clamped / 100.0 * n));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+void Registry::add(std::string_view name, std::uint64_t v) {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), v);
+  } else {
+    it->second += v;
+  }
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::record(std::string_view name, double v) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.record(v);
+}
+
+const Histogram* Registry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, v] : other.counters_) add(name, v);
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{}).first;
+    }
+    it->second.merge(h);
+  }
+}
+
+}  // namespace aqua::obs

@@ -1,0 +1,72 @@
+// Capture hook interface for the observability layer.
+//
+// This header is the one piece of `src/obs` that sits BELOW the layers it
+// observes: `core::Modem`, `core::LinkSession` and `channel::AcousticMedium`
+// hold a `TraceSink*` (nullptr by default) and invoke these hooks behind a
+// single branch, so a disabled sink costs one predictable-not-taken test per
+// push/pull/send. Everything the sink receives is already anchored to the
+// absolute sample timeline, which is what makes a capture replayable: the
+// hooks form an append-only operation log (endpoint config, every push with
+// its absolute start, every pull, every send) plus the event stream the
+// operations produced.
+//
+// The header deliberately includes nothing from core/ or channel/ — only
+// forward declarations — so the observed layers can include it without a
+// dependency cycle. Concrete sinks (obs/trace.h TraceCapture) live above
+// core and include the real types.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace aqua::core {
+struct ModemConfig;
+struct ModemEvent;
+}  // namespace aqua::core
+
+namespace aqua::obs {
+
+/// Abstract capture sink. All hooks are invoked from the thread driving the
+/// observed object; a sink instance must not be shared across concurrently
+/// clocked pipelines (mirror of the Workspace single-thread rule).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A modem joined the capture: `endpoint` is the caller-chosen id that
+  /// tags every subsequent hook, `config` its full construction config
+  /// (recorded so replay can rebuild an identical endpoint).
+  virtual void on_endpoint(int endpoint, const core::ModemConfig& config) = 0;
+
+  /// Modem::push — `start` is the absolute microphone position of mic[0].
+  virtual void on_push(int endpoint, std::uint64_t start,
+                       std::span<const double> mic) = 0;
+
+  /// Modem::pull_tx — the speaker block just emitted. Advances the
+  /// endpoint's transmit clock; sample storage is the sink's choice.
+  virtual void on_pull(int endpoint, std::span<const double> speaker) = 0;
+
+  /// Modem::send — `rx_pos` is the absolute microphone position at the
+  /// call (sends interleave with pushes; the log order reproduces it).
+  virtual void on_send(int endpoint, std::uint64_t rx_pos,
+                       std::span<const std::uint8_t> info_bits,
+                       std::uint8_t dest_id) = 0;
+
+  /// Modem::set_payload_bits — invoked only when the value changes.
+  virtual void on_payload_bits(int endpoint, std::uint64_t bits) = 0;
+
+  /// One protocol event, in emission order, after the push that caused it.
+  virtual void on_event(int endpoint, const core::ModemEvent& event) = 0;
+
+  /// AcousticMedium::step — endpoint's mixed microphone block starting at
+  /// absolute medium-clock position `start`. Inspection data (what was in
+  /// the water), not part of the replay op log.
+  virtual void on_medium_rx(int endpoint, std::uint64_t start,
+                            std::span<const double> rx) = 0;
+
+  /// Free-form scenario metadata (config labels, seeds, commit, ...).
+  virtual void on_meta(std::span<const char> key,
+                       std::span<const char> value) = 0;
+};
+
+}  // namespace aqua::obs

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace aqua::sim {
 
 SweepRunner::SweepRunner(const RunnerOptions& options) {
@@ -14,6 +16,7 @@ SweepRunner::SweepRunner(const RunnerOptions& options) {
                  : static_cast<int>(std::thread::hardware_concurrency());
   if (threads_ < 1) threads_ = 1;
   chunk_packets_ = std::max(1, options.chunk_packets);
+  capture_ = options.capture;
 }
 
 void SweepRunner::parallel_for(
@@ -111,9 +114,28 @@ std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& grid,
       chunks.size(),
       [&](std::size_t i, std::mt19937_64&, dsp::Workspace& ws) {
         const Chunk& c = chunks[i];
+        const std::uint64_t chunk_seed = seed_base + c.scenario * 7919;
+        // A requested capture matches exactly one chunk; the sink lives
+        // entirely on this worker for that one item.
+        const bool capturing = capture_ && capture_->scenario == c.scenario &&
+                               capture_->packet >= c.begin &&
+                               capture_->packet < c.end;
+        if (!capturing) {
+          partial[i] = run_packet_range(configs[c.scenario], c.begin, c.end,
+                                        chunk_seed, payload_bits, &ws);
+          return;
+        }
+        obs::TraceCapture capture;
+        capture.meta("scenario", scenario_label(grid[c.scenario]));
+        capture.meta("seed_base", std::to_string(chunk_seed));
+        capture.meta("packet", std::to_string(capture_->packet));
+        capture.meta("payload_bits", std::to_string(payload_bits));
+        PacketHooks hooks;
+        hooks.sink = &capture;
+        hooks.sink_packet = capture_->packet;
         partial[i] = run_packet_range(configs[c.scenario], c.begin, c.end,
-                                      seed_base + c.scenario * 7919,
-                                      payload_bits, &ws);
+                                      chunk_seed, payload_bits, &ws, hooks);
+        capture.save(capture_->path);
       },
       seed_base);
 

@@ -18,7 +18,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "dsp/workspace.h"
@@ -26,12 +28,25 @@
 
 namespace aqua::sim {
 
+/// Capture one packet of one run() grid point into a .aqt trace (obs/).
+/// A packet lives in exactly one work-item chunk, so the capture sink is
+/// created and used entirely inside that chunk's worker callback — no
+/// cross-thread sharing, and enabling a capture never perturbs the sweep's
+/// deterministic statistics.
+struct SweepCapture {
+  std::string path;          ///< output .aqt file
+  std::size_t scenario = 0;  ///< index into the expanded grid
+  int packet = 0;            ///< packet index within the scenario batch
+};
+
 /// Worker-pool configuration.
 struct RunnerOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   int threads = 0;
   /// Packets per work item when chunking a scenario batch.
   int chunk_packets = 4;
+  /// Optional single-packet trace capture during run().
+  std::optional<SweepCapture> capture = std::nullopt;
 };
 
 /// Aggregate result for one grid point.
@@ -78,6 +93,7 @@ class SweepRunner {
  private:
   int threads_ = 1;
   int chunk_packets_ = 4;
+  std::optional<SweepCapture> capture_;
 };
 
 }  // namespace aqua::sim

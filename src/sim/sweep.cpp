@@ -17,6 +17,8 @@ void BatchStats::merge(const BatchStats& other) {
   coded_errors += other.coded_errors;
   coded_bits += other.coded_bits;
   samples += other.samples;
+  qoe.merge(other.qoe);
+  pipeline.merge(other.pipeline);
 }
 
 double BatchStats::median_bitrate() const {
@@ -96,7 +98,8 @@ core::SessionConfig session_config(const Scenario& s) {
 
 BatchStats run_packet_range(const core::SessionConfig& base, int begin,
                             int end, std::uint64_t seed_base,
-                            std::size_t payload_bits, dsp::Workspace* ws) {
+                            std::size_t payload_bits, dsp::Workspace* ws,
+                            const PacketHooks& hooks) {
   BatchStats stats;
   for (int i = begin; i < end; ++i) {
     core::SessionConfig cfg = base;
@@ -109,6 +112,10 @@ BatchStats run_packet_range(const core::SessionConfig& base, int begin,
     } else {
       session.emplace(cfg);
     }
+    if (hooks.sink && i == hooks.sink_packet) {
+      session->set_trace_sink(hooks.sink);
+    }
+    session->set_metrics(&stats.pipeline);
     // Payload derived from the packet index alone (splitmix-style stir) so
     // chunk boundaries cannot change what packet i carries.
     std::mt19937_64 rng(seed_base * 77 + 5 +
@@ -127,6 +134,12 @@ BatchStats run_packet_range(const core::SessionConfig& base, int begin,
     stats.coded_errors += t.coded_bit_errors;
     stats.coded_bits += t.coded_bits;
     stats.samples += t.samples_processed;
+    if (t.latency_valid) {
+      stats.qoe.record("latency_s",
+                       static_cast<double>(t.latency_samples) /
+                           base.forward.sample_rate_hz);
+    }
+    if (t.tx_failures > 0) stats.qoe.add("tx_failed", t.tx_failures);
   }
   return stats;
 }

@@ -20,6 +20,7 @@
 #include "channel/mobility.h"
 #include "core/link_session.h"
 #include "dsp/workspace.h"
+#include "obs/registry.h"
 #include "phy/bandselect.h"
 
 namespace aqua::sim {
@@ -38,8 +39,21 @@ struct BatchStats {
   /// Receiver-side samples pushed through the DSP chain (throughput
   /// accounting for the perf baseline).
   std::uint64_t samples = 0;
+  /// Session QoE: histogram "latency_s" (absolute-timeline message latency
+  /// of every delivered packet, seconds) and counter "tx_failed"
+  /// (transmit-machine failures = retransmission pressure). Same merge
+  /// discipline as the scalar fields, so percentiles are bit-identical for
+  /// any thread count.
+  obs::Registry qoe;
+  /// Per-stage DSP pipeline timing: counters "<stage>.ns" / "<stage>.calls"
+  /// from the endpoints' obs::StageTimers. Wall-clock, so values vary run
+  /// to run — report it in perf JSON or on stderr only, never in the
+  /// deterministic stdout tables. (Counter merges are sums, so aggregation
+  /// is still thread-count independent in structure.)
+  obs::Registry pipeline;
 
-  /// Accumulates `other` after this one (order matters for `bitrates`).
+  /// Accumulates `other` after this one (order matters for `bitrates` and
+  /// the `qoe` histograms).
   void merge(const BatchStats& other);
 
   double per() const {
@@ -53,6 +67,15 @@ struct BatchStats {
   double median_bitrate() const;
   double detection_rate() const {
     return sent > 0 ? static_cast<double>(preamble_detected) / sent : 0.0;
+  }
+  double delivery_ratio() const {
+    return sent > 0 ? static_cast<double>(delivered) / sent : 0.0;
+  }
+  /// Message-latency percentile in seconds over delivered packets (0.0
+  /// when nothing was delivered).
+  double latency_percentile_s(double p) const {
+    const obs::Histogram* h = qoe.histogram("latency_s");
+    return h ? h->percentile(p) : 0.0;
   }
 };
 
@@ -107,9 +130,18 @@ core::SessionConfig session_config(const Scenario& s);
 /// bit-identical to one serial pass. When `ws` is non-null every session in
 /// the range leases its DSP scratch from it (the sweep workers pass their
 /// per-thread arenas); scratch reuse never changes results.
+/// Optional per-packet instrumentation for run_packet_range. The sink
+/// attaches to exactly one packet's session (a fresh session per packet
+/// means one trace per packet), so a capture never spans chunk boundaries.
+struct PacketHooks {
+  obs::TraceSink* sink = nullptr;  ///< capture sink, or nullptr
+  int sink_packet = -1;            ///< packet index the sink attaches to
+};
+
 BatchStats run_packet_range(const core::SessionConfig& base, int begin,
                             int end, std::uint64_t seed_base,
                             std::size_t payload_bits = 16,
-                            dsp::Workspace* ws = nullptr);
+                            dsp::Workspace* ws = nullptr,
+                            const PacketHooks& hooks = {});
 
 }  // namespace aqua::sim
