@@ -111,13 +111,13 @@ std::vector<double> paths_to_impulse_response_ref(
       static_cast<std::size_t>(max_rel * sample_rate_hz) + frac_taps + 1;
   std::vector<double> h(len, 0.0);
   for (const Path& p : paths) {
-    const double pos = (p.delay_s - t0) * sample_rate_hz +
-                       static_cast<double>(half);
-    const std::ptrdiff_t center = static_cast<std::ptrdiff_t>(std::llround(pos));
+    const double tap_center = (p.delay_s - t0) * sample_rate_hz +
+                              static_cast<double>(half);
+    const std::ptrdiff_t center = static_cast<std::ptrdiff_t>(std::llround(tap_center));
     for (std::ptrdiff_t i = center - static_cast<std::ptrdiff_t>(half);
          i <= center + static_cast<std::ptrdiff_t>(half); ++i) {
       if (i < 0 || i >= static_cast<std::ptrdiff_t>(h.size())) continue;
-      const double u = static_cast<double>(i) - pos;
+      const double u = static_cast<double>(i) - tap_center;
       // Windowed sinc (Hann over the kernel extent).
       const double x = u;
       const double sinc =

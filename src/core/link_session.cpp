@@ -168,8 +168,9 @@ void LinkSession::set_metrics(obs::Registry* metrics) {
 
 void LinkSession::ensure_duplex() {
   if (medium_) return;
-  medium_ =
-      std::make_unique<channel::AcousticMedium>(config_.forward.sample_rate_hz);
+  // lint: alloc-ok(session construction, before any streaming)
+  medium_ = std::make_unique<channel::AcousticMedium>(
+      config_.forward.sample_rate_hz);
   channel::add_duplex_link(*medium_, config_.forward);
 
   ModemConfig mc;
@@ -183,11 +184,11 @@ void LinkSession::ensure_duplex() {
   ModemConfig bob_cfg = mc;
   bob_cfg.my_id = config_.bob_id;
   if (ws_) {
-    alice_ = std::make_unique<Modem>(alice_cfg, *ws_);
-    bob_ = std::make_unique<Modem>(bob_cfg, *ws_);
+    alice_ = std::make_unique<Modem>(alice_cfg, *ws_);  // lint: alloc-ok(session construction, before any streaming)
+    bob_ = std::make_unique<Modem>(bob_cfg, *ws_);  // lint: alloc-ok(session construction, before any streaming)
   } else {
-    alice_ = std::make_unique<Modem>(alice_cfg);
-    bob_ = std::make_unique<Modem>(bob_cfg);
+    alice_ = std::make_unique<Modem>(alice_cfg);  // lint: alloc-ok(session construction, before any streaming)
+    bob_ = std::make_unique<Modem>(bob_cfg);  // lint: alloc-ok(session construction, before any streaming)
   }
   if (sink_) {
     medium_->set_trace_sink(sink_);
@@ -270,6 +271,7 @@ PacketTrace LinkSession::send_packet(std::span<const std::uint8_t> info_bits) {
         case ModemEvent::Type::kPacketFailed:
           if (e.type == ModemEvent::Type::kPacketDecoded) {
             trace.data_found = true;
+            // lint: pos-sub-ok(decode events trail the send clock on the shared medium timeline)
             trace.latency_samples = e.stream_pos - send_clock;
             trace.latency_valid = true;
             trace.decoded_bits = std::move(e.payload_bits);

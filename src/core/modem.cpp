@@ -1,6 +1,7 @@
 #include "core/modem.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "obs/registry.h"
 #include "obs/sink.h"
@@ -64,6 +65,7 @@ void Modem::set_trace_sink(obs::TraceSink* sink, int endpoint_id) {
 }
 
 std::span<const double> Modem::raw(std::uint64_t from, std::size_t len) const {
+  assert(from >= buffer_base_);
   return std::span<const double>(buffer_).subspan(
       static_cast<std::size_t>(from - buffer_base_), len);
 }

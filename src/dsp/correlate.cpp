@@ -154,6 +154,7 @@ void CrossCorrelator::normalized_into(std::span<const double> x,
 
 std::vector<double> CrossCorrelator::normalized(std::span<const double> x,
                                                 Workspace& ws) const {
+  // lint: alloc-ok(allocating convenience wrapper; hot paths use normalized_into)
   std::vector<double> out(output_length(x.size()));
   normalized_into(x, out, ws);
   return out;

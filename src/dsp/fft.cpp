@@ -260,6 +260,7 @@ const Plan& cached_plan_of(std::size_t n) {
 
   static std::shared_mutex mu;
   static std::unordered_map<std::size_t, std::unique_ptr<Plan>>* global =
+      // lint: alloc-ok(intentionally leaked process-lifetime cache; sidesteps static-destruction order races with worker threads)
       new std::unordered_map<std::size_t, std::unique_ptr<Plan>>();
   {
     std::shared_lock<std::shared_mutex> read(mu);
@@ -274,6 +275,7 @@ const Plan& cached_plan_of(std::size_t n) {
     // Construct before inserting: if the plan constructor throws (n == 0),
     // the map must stay unchanged so the next lookup throws again instead
     // of finding a null entry.
+    // lint: alloc-ok(plan built once per FFT size under the write lock)
     auto plan = std::make_unique<Plan>(n);
     it = global->emplace(n, std::move(plan)).first;
   }

@@ -111,6 +111,7 @@ void FftFilter::convolve_into(std::span<const double> x, std::span<double> out,
 
 std::vector<double> FftFilter::convolve(std::span<const double> x,
                                         Workspace& ws) const {
+  // lint: alloc-ok(allocating convenience wrapper; hot paths use convolve_into)
   std::vector<double> out(output_length(x.size()));
   if (!out.empty()) convolve_into(x, out, ws);
   return out;
@@ -131,6 +132,7 @@ void FftFilter::filter_same_into(std::span<const double> x,
 
 std::vector<double> FftFilter::filter_same(std::span<const double> x,
                                            Workspace& ws) const {
+  // lint: alloc-ok(allocating convenience wrapper; hot paths use filter_same_into)
   std::vector<double> out(x.size());
   filter_same_into(x, out, ws);
   return out;
@@ -163,6 +165,7 @@ std::size_t FftFilter::Stream::push(std::span<const double> x,
                                     std::vector<double>& out, Workspace& ws) {
   const std::size_t taps = filter_->kernel_size();
   consumed_ += x.size();
+  // lint: alloc-ok(stream ring append; erase() retains capacity, so growth stops after warm-up)
   pending_.insert(pending_.end(), x.begin(), x.end());
   if (pending_.size() < m_) return 0;
 
@@ -187,7 +190,7 @@ std::size_t FftFilter::Stream::push(std::span<const double> x,
     simd::active().cmul_inplace(spec.data(), kfft.data(), spec.size());
     plan_->inverse(spec, seg, ws);
     for (std::size_t j = 0; j < step_; ++j) {
-      out.push_back(seg[taps - 1 + j]);
+      out.push_back(seg[taps - 1 + j]);  // lint: alloc-ok(caller-owned output; capacity amortizes across pushes)
     }
     emitted += step_;
     head += step_;

@@ -73,6 +73,7 @@ const Kernels* detect() {
 }
 
 const Kernels* select() {
+  // lint: det-ok(ISA override read once at startup; every kernel is bit-identical)
   if (const char* want = std::getenv("AQUA_SIMD")) {
     if (std::strcmp(want, "scalar") == 0) return &kScalarKernels;
     Isa isa = Isa::kScalar;

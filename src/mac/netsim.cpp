@@ -31,9 +31,9 @@ MacSimResult run_mac_simulation(const MacSimConfig& config) {
   std::vector<Node> nodes(static_cast<std::size_t>(n));
   // Transmitters sit in a line 5-10 m from the receiver; distances between
   // transmitters govern when they hear each other.
-  std::vector<double> pos(static_cast<std::size_t>(n));
+  std::vector<double> node_x(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    pos[static_cast<std::size_t>(i)] =
+    node_x[static_cast<std::size_t>(i)] =
         config.range_m * static_cast<double>(i + 1) / static_cast<double>(n);
   }
 
@@ -51,8 +51,9 @@ MacSimResult run_mac_simulation(const MacSimConfig& config) {
   auto channel_busy_at = [&](int listener, double now) {
     for (const Tx& tx : active) {
       if (tx.node == listener) continue;
-      const double dist = std::abs(pos[static_cast<std::size_t>(tx.node)] -
-                                   pos[static_cast<std::size_t>(listener)]);
+      const double dist =
+          std::abs(node_x[static_cast<std::size_t>(tx.node)] -
+                   node_x[static_cast<std::size_t>(listener)]);
       const double delay = dist / config.sound_speed_mps;
       if (now >= tx.start + delay && now <= tx.end + delay) return true;
     }

@@ -60,7 +60,9 @@ class Cursor {
   Cursor(std::span<const std::uint8_t> bytes, std::size_t base_offset)
       : bytes_(bytes), base_(base_offset) {}
 
-  std::size_t remaining() const { return bytes_.size() - pos_; }
+  std::size_t remaining() const {
+    return bytes_.size() - pos_;  // lint: pos-sub-ok(need() bounds every read, so pos_ <= bytes_.size())
+  }
   std::size_t consumed() const { return pos_; }
 
   [[noreturn]] void fail(const std::string& what) const {
@@ -477,6 +479,7 @@ Trace parse_trace(std::span<const std::uint8_t> bytes) {
       throw std::runtime_error(
           "aqt: truncated record at byte " + std::to_string(pos) +
           " (payload claims " + std::to_string(payload_size) +
+          // lint: pos-sub-ok(truncation branch: the enclosing if established pos <= bytes.size())
           " bytes, file has " + std::to_string(bytes.size() - pos) + ")");
     }
     if (kind_raw < static_cast<std::uint8_t>(TraceRecord::Kind::kMeta) ||

@@ -42,8 +42,8 @@ ChannelEstimate estimate_channel(const Ofdm& ofdm,
   const double scale = ofdm.power_norm(p.num_bins());
 
   ChannelEstimate est;
-  est.h.resize(p.num_bins());
-  est.snr_db.resize(p.num_bins());
+  est.h.resize(p.num_bins());       // lint: alloc-ok(sizes the returned per-packet estimate)
+  est.snr_db.resize(p.num_bins());  // lint: alloc-ok(sizes the returned per-packet estimate)
   for (std::size_t k = 0; k < p.num_bins(); ++k) {
     // MMSE (here: least-squares over the 8 observations, which is the MMSE
     // solution for uniform priors): H = x^H y / (x^H x).

@@ -42,16 +42,17 @@ std::size_t DataModem::data_symbol_count(std::size_t info_bits,
 }
 
 std::vector<double> DataModem::modulate_rows(
-    std::span<const std::uint8_t> abs_bits, const BandSelection& band) const {
+    std::span<const std::uint8_t> abs_bits, const BandSelection& band,
+    dsp::Workspace& ws) const {
   const std::size_t width = band.width();
   if (abs_bits.size() % width != 0) {
     throw std::invalid_argument("modulate_rows: ragged rows");
   }
-  dsp::Workspace& ws = dsp::thread_local_workspace();
   const std::size_t rows = abs_bits.size() / width;
   const std::size_t n = params_.symbol_samples();
   const std::size_t cp = params_.cp_samples();
   const std::size_t sym_total = n + cp;
+  // lint: alloc-ok(owns the returned waveform; encode is the cold transmit side)
   std::vector<double> waveform(rows * sym_total);
   dsp::ScratchCplx bins_s(ws, width);
   std::span<dsp::cplx> bins = bins_s.span();
@@ -106,7 +107,7 @@ std::vector<double> DataModem::encode_coded(
     abs_bits.insert(abs_bits.end(), train.begin(), train.end());
     abs_bits.insert(abs_bits.end(), interleaved.begin(), interleaved.end());
   }
-  return modulate_rows(abs_bits, band);
+  return modulate_rows(abs_bits, band, dsp::thread_local_workspace());
 }
 
 const DataModem::TrainingTemplate& DataModem::training_template(
@@ -122,8 +123,10 @@ const DataModem::TrainingTemplate& DataModem::training_template(
   }
   // Build outside the lock (modulation is the expensive part); a racing
   // builder for the same band loses and its copy is discarded.
-  std::vector<double> wave = modulate_rows(training_bits(band.width()), band);
+  std::vector<double> wave = modulate_rows(training_bits(band.width()), band,
+                                           dsp::thread_local_workspace());
   dsp::CrossCorrelator corr(wave);
+  // lint: alloc-ok(per-band template cache entry, built once)
   auto entry = std::make_unique<const TrainingTemplate>(
       TrainingTemplate{std::move(wave), std::move(corr)});
   std::lock_guard<std::mutex> lock(cache_mu_);
@@ -285,14 +288,17 @@ DataDecodeResult DataModem::decode_impl(std::span<const double> signal,
     }
   }
 
-  // Soft demodulation.
-  std::vector<double> soft;
+  // Soft demodulation. The coding APIs return owning vectors; this is the
+  // per-packet tail (a handful of kB once per decoded packet), not the
+  // per-sample streaming path.
+  std::vector<double> soft;  // lint: alloc-ok(per-packet soft buffer; coding APIs return owning vectors)
   if (options.use_differential) {
     soft = coding::differential_decode_soft(y, width);
   } else {
     // Coherent: channel reference from the training row.
+    // lint: alloc-ok(small per-packet training pattern)
     const std::vector<std::uint8_t> train = training_bits(width);
-    soft.resize(rows * width);
+    soft.resize(rows * width);  // lint: alloc-ok(per-packet soft buffer)
     for (std::size_t k = 0; k < width; ++k) {
       const dsp::cplx h = y[k] * (train[k] ? -1.0 : 1.0);
       for (std::size_t r = 1; r <= rows; ++r) {
@@ -303,15 +309,17 @@ DataDecodeResult DataModem::decode_impl(std::span<const double> signal,
 
   // Deinterleave and trim the padding.
   coding::SubcarrierInterleaver il(width);
+  // lint: alloc-ok(per-packet LLR buffer; the deinterleaver returns an owning vector)
   std::vector<double> llr = il.deinterleave(soft);
-  llr.resize(coded_bits);
-  result.coded_llr = llr;
-  result.coded_hard.resize(coded_bits);
+  llr.resize(coded_bits);  // lint: alloc-ok(shrink only; never reallocates)
+  result.coded_llr = std::move(llr);
+  const std::vector<double>& coded_llr = result.coded_llr;
+  result.coded_hard.resize(coded_bits);  // lint: alloc-ok(sizes the returned per-packet result)
   for (std::size_t i = 0; i < coded_bits; ++i) {
-    result.coded_hard[i] = llr[i] >= 0.0 ? 0 : 1;
+    result.coded_hard[i] = coded_llr[i] >= 0.0 ? 0 : 1;
   }
   if (run_viterbi) {
-    result.info_bits = codec_.decode(llr, info_bits);
+    result.info_bits = codec_.decode(coded_llr, info_bits);
   }
   return result;
 }

@@ -93,6 +93,8 @@ class DataModem {
                           const BandSelection& band, std::size_t info_bits,
                           const DecodeOptions& options,
                           dsp::Workspace& ws) const;
+  /// Legacy convenience overload: decodes with the calling thread's
+  /// arena. Streaming/hot callers must use the Workspace& overload.
   DataDecodeResult decode(std::span<const double> signal,
                           const BandSelection& band, std::size_t info_bits,
                           const DecodeOptions& options = {}) const;
@@ -103,6 +105,8 @@ class DataModem {
                                 std::size_t coded_bits,
                                 const DecodeOptions& options,
                                 dsp::Workspace& ws) const;
+  /// Legacy convenience overload: decodes with the calling thread's
+  /// arena. Streaming/hot callers must use the Workspace& overload.
   DataDecodeResult decode_coded(std::span<const double> signal,
                                 const BandSelection& band,
                                 std::size_t coded_bits,
@@ -123,7 +127,8 @@ class DataModem {
 
   const TrainingTemplate& training_template(const BandSelection& band) const;
   std::vector<double> modulate_rows(std::span<const std::uint8_t> abs_bits,
-                                    const BandSelection& band) const;
+                                    const BandSelection& band,
+                                    dsp::Workspace& ws) const;
   DataDecodeResult decode_impl(std::span<const double> signal,
                                const BandSelection& band,
                                std::size_t coded_bits, bool run_viterbi,

@@ -56,6 +56,8 @@ class FeedbackCodec {
                                             std::size_t step,
                                             double min_peak_fraction,
                                             dsp::Workspace& ws) const;
+  /// Legacy convenience overload: decodes with the calling thread's arena.
+  /// Streaming/hot callers must use the Workspace& overload.
   std::optional<FeedbackDecode> decode_band(std::span<const double> signal,
                                             std::size_t step = 16,
                                             double min_peak_fraction = 0.3) const;
@@ -65,6 +67,8 @@ class FeedbackCodec {
                                         std::size_t step,
                                         double min_peak_fraction,
                                         dsp::Workspace& ws) const;
+  /// Legacy convenience overload: decodes with the calling thread's arena.
+  /// Streaming/hot callers must use the Workspace& overload.
   std::optional<ToneDecode> decode_tone(std::span<const double> signal,
                                         std::size_t step = 16,
                                         double min_peak_fraction = 0.3) const;

@@ -53,6 +53,7 @@ std::vector<double> Preamble::core_template() const {
 
 const dsp::CrossCorrelator& Preamble::core_corr() const {
   std::call_once(core_corr_once_, [this] {
+    // lint: alloc-ok(template correlator built once under call_once)
     core_corr_ = std::make_unique<const dsp::CrossCorrelator>(core_template());
   });
   return *core_corr_;
@@ -107,6 +108,7 @@ std::optional<PreambleDetection> Preamble::detect(
 
   // Candidate peaks: the best correlation in each half-symbol chunk.
   struct Candidate { double value; std::size_t index; };
+  // lint: alloc-ok(bounded candidate list; batch detect is the cold acquisition path)
   std::vector<Candidate> candidates;
   const std::size_t chunk = std::max<std::size_t>(n / 2, 1);
   for (std::size_t base = 0; base < coarse.size(); base += chunk) {
@@ -116,14 +118,14 @@ std::optional<PreambleDetection> Preamble::detect(
       if (coarse[i] > coarse[best]) best = i;
     }
     if (coarse[best] > kCoarseThreshold) {
-      candidates.push_back({coarse[best], best});
+      candidates.push_back({coarse[best], best});  // lint: alloc-ok(one entry per half-symbol chunk, 16 kept)
     }
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
               return a.value > b.value;
             });
-  if (candidates.size() > 16) candidates.resize(16);
+  if (candidates.size() > 16) candidates.resize(16);  // lint: alloc-ok(shrink to the 16 best; never grows)
 
   // Stage 2: sliding segment correlation around each candidate, step 8,
   // then a +/-step fine pass at step 1.
@@ -239,6 +241,7 @@ void PreambleScanner::scan(std::span<const double> chunk,
     newf = newf.subspan(d);
     conv_drop_ -= d;
   }
+  // lint: alloc-ok(ring append; trim_rings() bounds the size, so capacity is reused after warm-up)
   filt_.insert(filt_.end(), newf.begin(), newf.end());
 
   // Correlate each filtered sample against the core template exactly once.
@@ -252,6 +255,7 @@ void PreambleScanner::scan(std::span<const double> chunk,
     newc = newc.subspan(d);
     corr_drop_ -= d;
   }
+  // lint: alloc-ok(ring append; trim_rings() bounds the size, so capacity is reused after warm-up)
   corr_vals_.insert(corr_vals_.end(), newc.begin(), newc.end());
 
   advance(out);
@@ -272,14 +276,18 @@ void PreambleScanner::advance(std::vector<PreambleDetection>& out) {
       for (std::size_t j = 0; j < core_; ++j) acc += f[j] * f[j];
       energy_acc_ = acc;
     } else {
-      const double head = filt_[static_cast<std::size_t>(i - 1 - filt_base_)];
-      const double tail =
-          filt_[static_cast<std::size_t>(i + core_ - 1 - filt_base_)];
+      // Ring offset of lag i-1; trim_rings() never trims past the oldest
+      // lag the incremental update still touches.
+      const std::size_t off =
+          static_cast<std::size_t>(i - 1 - filt_base_);  // lint: pos-sub-ok(trim_rings keeps filt_base_ <= next_lag_ - 1; i >= 1 in this branch)
+      const double head = filt_[off];
+      const double tail = filt_[off + core_];
       energy_acc_ += tail * tail - head * head;
     }
     const double e = std::max(energy_acc_, 0.0);
     const double denom = std::sqrt(ref_energy_ * e);
-    const double c = corr_vals_[static_cast<std::size_t>(i - corr_base_)];
+    const double c = corr_vals_[static_cast<std::size_t>(
+        i - corr_base_)];  // lint: pos-sub-ok(trim_rings keeps corr_base_ <= next_lag_, and i == next_lag_)
     coarse_.push_back(denom > 1e-12 ? c / denom : 0.0);
     ++next_lag_;
   }
@@ -312,13 +320,17 @@ void PreambleScanner::process_window(std::uint64_t lo, std::uint64_t hi,
   // Best coarse value in the window (first maximum wins, like the batch
   // candidate pass).
   std::uint64_t c = lo;
+  // Ring offset of the window base; windows are decided in order, so
+  // trim_rings() still retains every lag in [lo, hi).
+  const std::size_t off =
+      static_cast<std::size_t>(lo - coarse_base_);  // lint: pos-sub-ok(trim_rings keeps coarse_base_ <= next_window_ * window_ == lo)
   for (std::uint64_t i = lo + 1; i < hi; ++i) {
-    if (coarse_[static_cast<std::size_t>(i - coarse_base_)] >
-        coarse_[static_cast<std::size_t>(c - coarse_base_)]) {
+    if (coarse_[off + static_cast<std::size_t>(i - lo)] >
+        coarse_[off + static_cast<std::size_t>(c - lo)]) {
       c = i;
     }
   }
-  const double coarse_peak = coarse_[static_cast<std::size_t>(c - coarse_base_)];
+  const double coarse_peak = coarse_[off + static_cast<std::size_t>(c - lo)];
   if (coarse_peak <= Preamble::kCoarseThreshold) return;
 
   // Confirmation: sliding segment correlation around the candidate, step 8,

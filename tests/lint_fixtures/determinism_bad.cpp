@@ -1,0 +1,33 @@
+// lint-as: src/phy/fixture.cpp
+// Every statement here injects host state into supposedly reproducible
+// results.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+double host_entropy() {
+  std::random_device rd;
+  std::srand(rd());
+  return static_cast<double>(std::rand());
+}
+
+long wall_clock_inputs() {
+  const auto tick = std::chrono::steady_clock::now();
+  (void)tick;
+  const std::time_t stamp = std::time(nullptr);
+  const char* env = std::getenv("AQUA_FIXTURE");
+  (void)env;
+  return static_cast<long>(stamp);
+}
+
+double unordered_accumulation(
+    const std::unordered_map<std::string, double>& per_node) {
+  double total = 0.0;
+  for (const auto& [node, value] : per_node) {
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,20 @@
+// lint-as: src/phy/fixture.cpp
+// Deterministic randomness: every stream is seeded from scenario state, and
+// ordered containers keep floating-point accumulation reproducible.
+#include <cstdint>
+#include <map>
+#include <random>
+
+double seeded_noise(std::uint64_t scenario_seed, std::uint64_t item) {
+  std::mt19937_64 rng(scenario_seed * 0x9e3779b97f4a7c15ull + item);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(rng);
+}
+
+double ordered_sum(const std::map<int, double>& per_node) {
+  double total = 0.0;
+  for (const auto& [node, value] : per_node) {
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,6 @@
+// lint-as: src/dsp/fixture.cpp
+// Dsp reaching up into phy and core inverts the layer DAG.
+#include "phy/ofdm.h"
+#include "core/modem.h"
+
+void fixture_bad() {}

@@ -1,0 +1,8 @@
+// lint-as: src/phy/fixture.cpp
+// Phy may depend on dsp, coding and the obs interfaces.
+#include "dsp/fft.h"
+#include "coding/crc.h"
+#include "obs/sink.h"
+#include "phy/ofdm.h"
+
+void fixture_ok() {}

@@ -1,0 +1,21 @@
+// lint-as: src/phy/fixture.cpp
+// No comparison, assert or clamp mentions these operands anywhere near the
+// subtraction: classic size_t wraparound when the position trails the base.
+#include <cstddef>
+
+struct Ring {
+  std::size_t filt_base_ = 0;
+  std::size_t consumed() const;
+};
+
+std::size_t unguarded_plain(std::size_t abs_index, std::size_t filt_base_) {
+  return abs_index - filt_base_;
+}
+
+std::size_t unguarded_member(std::size_t i, const Ring& r) {
+  return i - r.filt_base_;
+}
+
+std::size_t unguarded_call(const Ring& r, std::size_t read_pos) {
+  return r.consumed() - read_pos;
+}

@@ -1,0 +1,25 @@
+// lint-as: src/phy/fixture.cpp
+// Sample-position subtractions are fine when a nearby comparison rules out
+// wraparound first.
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+std::size_t guarded_branch(std::size_t abs_index, std::size_t filt_base_) {
+  if (abs_index < filt_base_) return 0;
+  return abs_index - filt_base_;
+}
+
+std::size_t guarded_ternary(std::size_t rx_pos_, std::size_t window) {
+  return rx_pos_ > window ? rx_pos_ - window : 0;
+}
+
+std::size_t guarded_assert(std::size_t from, std::size_t buffer_base_) {
+  assert(from >= buffer_base_);
+  return from - buffer_base_;
+}
+
+std::size_t guarded_min(std::size_t cursor_pos, std::size_t limit) {
+  const std::size_t clamped = std::min(cursor_pos, limit);
+  return limit - clamped + cursor_pos - clamped;
+}

@@ -1,0 +1,18 @@
+// lint-as: src/dsp/fixture.cpp
+// Suppressions without a reason are rejected (and do not suppress); a
+// suppression that matches no finding is reported as stale.
+#include <cstddef>
+
+int* reason_missing() {
+  // lint: alloc-ok
+  return new int(3);
+}
+
+int* reason_empty() {
+  return new int(4);  // lint: alloc-ok()
+}
+
+int stale_annotation(int x) {
+  // lint: pos-sub-ok(nothing here subtracts positions)
+  return x + 1;
+}

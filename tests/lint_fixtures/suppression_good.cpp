@@ -1,0 +1,14 @@
+// lint-as: src/dsp/fixture.cpp
+// A suppression with a reason silences exactly one finding; trailing and
+// preceding own-line forms both work.
+#include <cstddef>
+
+int* build_cache() {
+  // lint: alloc-ok(one-time process-lifetime cache, built before streaming)
+  int* cache = new int[16];
+  return cache;
+}
+
+std::size_t ring_offset(std::size_t i, std::size_t filt_base_) {
+  return i - filt_base_;  // lint: pos-sub-ok(fixture: caller established i >= base)
+}

@@ -1,0 +1,141 @@
+// aqua_lint rule-engine tests: the fixture corpus under tests/lint_fixtures/
+// (one passing and one failing file per rule family), suppression grammar
+// enforcement, and the gate that the live src/ tree lints clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace {
+
+using aqua::lint::Finding;
+using aqua::lint::lint_file;
+using aqua::lint::lint_paths;
+using aqua::lint::lint_source;
+
+std::string fixture(const std::string& name) {
+  return std::string(AQUA_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string describe(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+int count_rule(const std::vector<Finding>& findings, std::string_view rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+void expect_clean(const std::string& name) {
+  const std::vector<Finding> findings = lint_file(fixture(name));
+  EXPECT_TRUE(findings.empty())
+      << name << " should lint clean but reported:\n"
+      << describe(findings);
+}
+
+// Every finding in a failing fixture must come from the rule under test —
+// a fixture that trips a second rule family is a fixture bug.
+void expect_only(const std::string& name, std::string_view rule,
+                 int min_count) {
+  const std::vector<Finding> findings = lint_file(fixture(name));
+  EXPECT_GE(count_rule(findings, rule), min_count)
+      << name << " reported:\n"
+      << describe(findings);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, rule) << describe(findings);
+  }
+}
+
+TEST(LintLayering, CleanEdgesPass) { expect_clean("layering_good.cpp"); }
+
+TEST(LintLayering, InvertedEdgesFail) {
+  expect_only("layering_bad.cpp", "layering", 2);
+}
+
+TEST(LintHotAlloc, WorkspaceLeasesPass) {
+  expect_clean("hot_alloc_good.cpp");
+}
+
+TEST(LintHotAlloc, SteadyStateAllocationFails) {
+  const std::vector<Finding> findings =
+      lint_file(fixture("hot_alloc_bad.cpp"));
+  // new + make_unique anywhere; thread_local_workspace, container
+  // construction, resize and push_back inside the Workspace&-taking body.
+  EXPECT_GE(count_rule(findings, "hot-alloc"), 6) << describe(findings);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "hot-alloc") << describe(findings);
+  }
+}
+
+TEST(LintPosSub, GuardedSubtractionsPass) {
+  expect_clean("pos_sub_good.cpp");
+}
+
+TEST(LintPosSub, UnguardedSubtractionsFail) {
+  expect_only("pos_sub_bad.cpp", "pos-sub", 3);
+}
+
+TEST(LintDeterminism, SeededStreamsPass) {
+  expect_clean("determinism_good.cpp");
+}
+
+TEST(LintDeterminism, HostEntropyFails) {
+  const std::vector<Finding> findings =
+      lint_file(fixture("determinism_bad.cpp"));
+  // random_device, srand, rand, steady_clock::now, time, getenv, and the
+  // unordered-iteration accumulation.
+  EXPECT_GE(count_rule(findings, "determinism"), 7) << describe(findings);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "determinism") << describe(findings);
+  }
+}
+
+TEST(LintSuppression, ReasonedSuppressionsSilenceFindings) {
+  expect_clean("suppression_good.cpp");
+}
+
+TEST(LintSuppression, MissingReasonAndStaleAnnotationsFail) {
+  const std::vector<Finding> findings =
+      lint_file(fixture("suppression_bad.cpp"));
+  // Two reason-less suppressions plus one stale one...
+  EXPECT_EQ(count_rule(findings, "suppression"), 3) << describe(findings);
+  // ...and the reason-less ones must NOT have suppressed their findings.
+  EXPECT_EQ(count_rule(findings, "hot-alloc"), 2) << describe(findings);
+}
+
+TEST(LintSuppression, SanctionedClockFileSkipsBannedCalls) {
+  const std::vector<Finding> findings = lint_source(
+      "registry.h", "src/obs/registry.h",
+      "inline double wall_seconds() {\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(LintSuppression, LayerOverrideComesFromLintAsComment) {
+  // The same source lints differently depending on the declared layer.
+  const std::vector<Finding> from_dsp =
+      lint_source("f.cpp", "src/dsp/f.cpp", "#include \"core/modem.h\"\n");
+  EXPECT_EQ(count_rule(from_dsp, "layering"), 1) << describe(from_dsp);
+  const std::vector<Finding> from_sim =
+      lint_source("f.cpp", "src/sim/f.cpp", "#include \"core/modem.h\"\n");
+  EXPECT_TRUE(from_sim.empty()) << describe(from_sim);
+}
+
+// The acceptance gate: the live tree must carry no findings, and every
+// suppression in it must be attached to a real finding with a reason.
+TEST(LintSrcTree, LiveSourcesLintClean) {
+  const std::vector<Finding> findings = lint_paths({AQUA_SRC_DIR});
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+}  // namespace

@@ -1,0 +1,53 @@
+// aqua_lint: repo-invariant static analysis over src/.
+//
+// Usage:
+//   aqua_lint [--list-rules] <path>...
+//
+// Walks each path (directories recurse over .h/.hpp/.cpp/.cc), runs the
+// rule families documented in lint/rules.h, and prints findings as
+//
+//   file:line: rule-id: message
+//
+// Exit status: 0 when clean, 1 when findings exist, 2 on usage error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      std::fputs(aqua::lint::rules_help().c_str(), stdout);
+      return 0;
+    }
+    if (arg == "-h" || arg == "--help") {
+      std::fputs("usage: aqua_lint [--list-rules] <path>...\n", stdout);
+      return 0;
+    }
+    if (arg.starts_with("-")) {
+      std::fprintf(stderr, "aqua_lint: unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+    paths.emplace_back(arg);
+  }
+  if (paths.empty()) {
+    std::fputs("usage: aqua_lint [--list-rules] <path>...\n", stderr);
+    return 2;
+  }
+
+  const std::vector<aqua::lint::Finding> findings =
+      aqua::lint::lint_paths(paths);
+  for (const aqua::lint::Finding& f : findings) {
+    std::fprintf(stdout, "%s:%d: %s: %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stdout, "aqua_lint: %zu finding%s\n", findings.size(),
+                 findings.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,207 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace aqua::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators the rules care about distinguishing (so that
+// `-` is never confused with `->`, `--` or `-=`, and `::` stays one token).
+// Longest match first within each leading character.
+constexpr std::string_view kOps[] = {
+    "->*", "<<=", ">>=", "...", "::", "->", "--", "-=", "++", "+=", "<<",
+    ">>",  "<=",  ">=",  "==",  "!=", "&&", "||", "*=", "/=", "%=", "&=",
+    "|=",  "^=",
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  // Index of the first character of the current line, to compute own_line
+  // for comments.
+  std::size_t line_start = 0;
+
+  const auto only_ws_before = [&](std::size_t pos) {
+    for (std::size_t j = line_start; j < pos; ++j) {
+      if (src[j] != ' ' && src[j] != '\t') return false;
+    }
+    return true;
+  };
+
+  const auto newline = [&](std::size_t pos) {
+    ++line;
+    line_start = pos + 1;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline(i);
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const bool own = only_ws_before(i);
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back({src.substr(i + 2, j - i - 2), start_line, own});
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const bool own = only_ws_before(i);
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') newline(j);
+        ++j;
+      }
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      out.comments.push_back(
+          {src.substr(i + 2, j - i - 2), start_line, own});
+      i = end;
+      continue;
+    }
+
+    // Preprocessor directive: `#` with only whitespace before it on the
+    // line. Swallow backslash continuations; stop before a trailing
+    // comment so suppression comments on #include lines still lex.
+    if (c == '#' && only_ws_before(i)) {
+      const int start_line = line;
+      std::size_t j = i;
+      while (j < n) {
+        if (src[j] == '\n') {
+          if (j > i && src[j - 1] == '\\') {
+            newline(j);
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (src[j] == '/' && j + 1 < n &&
+            (src[j + 1] == '/' || src[j + 1] == '*')) {
+          break;
+        }
+        ++j;
+      }
+      out.tokens.push_back({Tok::kPreproc, src.substr(i, j - i), start_line});
+      i = j;
+      continue;
+    }
+
+    // Identifier (possibly a raw-string prefix).
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      std::string_view word = src.substr(i, j - i);
+      // Raw string literal: R"delim( ... )delim" with optional encoding
+      // prefix (u8R, uR, UR, LR).
+      if (j < n && src[j] == '"' &&
+          (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+           word == "LR")) {
+        const int start_line = line;
+        std::size_t k = j + 1;
+        std::string_view delim;
+        std::size_t d = k;
+        while (d < n && src[d] != '(' && src[d] != '\n') ++d;
+        if (d < n && src[d] == '(') {
+          delim = src.substr(k, d - k);
+          std::size_t p = d + 1;
+          for (; p < n; ++p) {
+            if (src[p] == '\n') newline(p);
+            if (src[p] == ')' && p + 1 + delim.size() <= n &&
+                src.substr(p + 1, delim.size()) == delim &&
+                p + 1 + delim.size() < n && src[p + 1 + delim.size()] == '"') {
+              p += 2 + delim.size();
+              break;
+            }
+          }
+          out.tokens.push_back(
+              {Tok::kString, src.substr(i, std::min(p, n) - i), start_line});
+          i = std::min(p, n);
+          continue;
+        }
+      }
+      out.tokens.push_back({Tok::kIdent, word, line});
+      i = j;
+      continue;
+    }
+
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({Tok::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c) {
+        if (src[j] == '\\' && j + 1 < n) {
+          ++j;
+        } else if (src[j] == '\n') {
+          break;  // unterminated; stop at end of line
+        }
+        ++j;
+      }
+      const std::size_t end = (j < n && src[j] == c) ? j + 1 : j;
+      out.tokens.push_back({c == '"' ? Tok::kString : Tok::kChar,
+                            src.substr(i, end - i), start_line});
+      i = end;
+      continue;
+    }
+
+    // Punctuation: longest operator match, else a single character.
+    std::string_view matched;
+    for (std::string_view op : kOps) {
+      if (src.substr(i, op.size()) == op) {
+        matched = op;
+        break;
+      }
+    }
+    if (matched.empty()) matched = src.substr(i, 1);
+    out.tokens.push_back({Tok::kPunct, matched, line});
+    i += matched.size();
+  }
+  return out;
+}
+
+}  // namespace aqua::lint

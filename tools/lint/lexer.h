@@ -1,0 +1,47 @@
+// Minimal C++ tokenizer for aqua_lint.
+//
+// This is not a compiler front end: it splits a translation unit into
+// identifiers, numbers, literals, punctuation and preprocessor directives,
+// which is exactly enough for the repo-invariant checks in rules.h (include
+// edges, allocation constructs, identifier-pattern subtractions, banned
+// calls). Comments are lexed separately so the rule layer can parse
+// `// lint: <rule>-ok(reason)` suppressions.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace aqua::lint {
+
+enum class Tok {
+  kIdent,    ///< identifiers and keywords (including `new`)
+  kNumber,   ///< numeric literals
+  kString,   ///< string literals, including raw strings
+  kChar,     ///< character literals
+  kPunct,    ///< operators/punctuation; multi-char operators are one token
+  kPreproc,  ///< a whole preprocessor directive (continuations folded in)
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  ///< view into the lexed source
+  int line;               ///< 1-based line of the token's first character
+};
+
+struct Comment {
+  std::string_view text;  ///< comment body without the // or /* */ markers
+  int line;               ///< 1-based line the comment starts on
+  bool own_line;          ///< nothing but whitespace precedes it on its line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `src`. Never throws on malformed input: unterminated literals
+/// are truncated at end of file, and unknown bytes become single-character
+/// punctuation tokens.
+LexResult lex(std::string_view src);
+
+}  // namespace aqua::lint

@@ -1,0 +1,954 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "lint/lexer.h"
+
+namespace aqua::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layer model (docs/ARCHITECTURE.md "Layer map"). A file may include its own
+// layer and any layer in its allowed set. src/obs splits at file granularity:
+// the dependency-free interfaces (sink.h, registry.h/.cpp) sit below dsp,
+// the trace/replay implementations sit above core.
+// ---------------------------------------------------------------------------
+enum Layer : unsigned {
+  kObsIface = 0,
+  kDsp,
+  kCoding,
+  kPhy,
+  kChannel,
+  kCore,
+  kObsImpl,
+  kMac,
+  kSim,
+  kLayerCount,
+  kUnknownLayer,
+};
+
+constexpr const char* kLayerNames[kLayerCount] = {
+    "obs interfaces", "dsp", "coding", "phy", "channel",
+    "core",           "obs", "mac",    "sim",
+};
+
+constexpr unsigned bit(Layer l) { return 1u << l; }
+
+// allowed_deps[from] = bitmask of layers `from` may include (self-layer is
+// always allowed and not listed).
+constexpr unsigned kAllowedDeps[kLayerCount] = {
+    /*obs ifaces*/ 0,
+    /*dsp*/ bit(kObsIface),
+    /*coding*/ bit(kDsp) | bit(kObsIface),
+    /*phy*/ bit(kDsp) | bit(kCoding) | bit(kObsIface),
+    /*channel*/ bit(kDsp) | bit(kObsIface),
+    /*core*/ bit(kDsp) | bit(kCoding) | bit(kPhy) | bit(kChannel) |
+        bit(kObsIface),
+    /*obs impl*/ bit(kCore) | bit(kDsp) | bit(kCoding) | bit(kPhy) |
+        bit(kChannel) | bit(kObsIface),
+    /*mac*/ bit(kObsImpl) | bit(kCore) | bit(kDsp) | bit(kCoding) |
+        bit(kPhy) | bit(kChannel) | bit(kObsIface),
+    /*sim*/ bit(kObsImpl) | bit(kCore) | bit(kDsp) | bit(kCoding) |
+        bit(kPhy) | bit(kChannel) | bit(kObsIface) | bit(kMac),
+};
+
+Layer layer_of(std::string_view rel) {
+  if (!rel.starts_with("src/")) return kUnknownLayer;
+  rel.remove_prefix(4);
+  const std::size_t slash = rel.find('/');
+  if (slash == std::string_view::npos) return kUnknownLayer;
+  const std::string_view dir = rel.substr(0, slash);
+  const std::string_view file = rel.substr(slash + 1);
+  if (dir == "dsp") return kDsp;
+  if (dir == "coding") return kCoding;
+  if (dir == "phy") return kPhy;
+  if (dir == "channel") return kChannel;
+  if (dir == "core") return kCore;
+  if (dir == "mac") return kMac;
+  if (dir == "sim") return kSim;
+  if (dir == "obs") {
+    if (file == "sink.h" || file == "registry.h" || file == "registry.cpp") {
+      return kObsIface;
+    }
+    return kObsImpl;
+  }
+  return kUnknownLayer;
+}
+
+bool may_include(Layer from, Layer to) {
+  if (from == kUnknownLayer || to == kUnknownLayer) return true;
+  if (from == to) return true;
+  return (kAllowedDeps[from] & bit(to)) != 0;
+}
+
+std::string allowed_list(Layer from) {
+  std::string out;
+  for (unsigned l = 0; l < kLayerCount; ++l) {
+    if (kAllowedDeps[from] & (1u << l)) {
+      if (!out.empty()) out += ", ";
+      out += kLayerNames[l];
+    }
+  }
+  return out.empty() ? "nothing outside its own layer" : out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// lint: <id>-ok(reason)`. A suppression covers its own
+// line, plus the next line when the comment stands alone on its line.
+// ---------------------------------------------------------------------------
+struct Suppression {
+  int line = 0;
+  bool own_line = false;
+  std::string rule;    // rule id the suppression applies to
+  std::string reason;
+  bool used = false;
+};
+
+constexpr std::pair<std::string_view, std::string_view> kSuppressionIds[] = {
+    {"alloc-ok", "hot-alloc"},
+    {"pos-sub-ok", "pos-sub"},
+    {"det-ok", "determinism"},
+    {"layer-ok", "layering"},
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file lint context.
+// ---------------------------------------------------------------------------
+struct Ctx {
+  std::string file;
+  Layer layer = kUnknownLayer;
+  std::string rel;
+  std::string stripped;                 // source with comments blanked
+  std::vector<std::string_view> lines;  // 0-based views into `stripped`
+  LexResult lx;
+  std::vector<Suppression> sups;
+  std::vector<Finding> out;
+
+  bool suppressed(std::string_view rule, int line) {
+    for (Suppression& s : sups) {
+      if (s.rule != rule) continue;
+      if (s.line == line || (s.own_line && s.line + 1 == line)) {
+        s.used = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void report(int line, std::string_view rule, std::string message) {
+    if (suppressed(rule, line)) return;
+    out.push_back({file, line, std::string(rule), std::move(message)});
+  }
+
+  std::string_view line_text(int line) const {
+    if (line < 1 || line > static_cast<int>(lines.size())) return {};
+    return lines[static_cast<std::size_t>(line - 1)];
+  }
+};
+
+// Blanks comment bodies (line and block) with spaces, preserving the line
+// structure, so the pos-sub guard scan never matches text inside comments —
+// otherwise a suppression reason like "(caller keeps pos <= size)" would
+// double as a guard and mark itself unused.
+std::string strip_comments(std::string_view src) {
+  std::string out(src);
+  enum { kCode, kLine, kBlock, kStr, kChr } st = kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    switch (st) {
+      case kCode:
+        if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+          st = kLine;
+          out[i] = ' ';
+        } else if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
+          st = kBlock;
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = kStr;
+        } else if (c == '\'') {
+          st = kChr;
+        }
+        break;
+      case kLine:
+        if (c == '\n') {
+          st = kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case kBlock:
+        if (c == '*' && i + 1 < out.size() && out[i + 1] == '/') {
+          st = kCode;
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case kStr:
+      case kChr:
+        if (c == '\\' && i + 1 < out.size()) {
+          ++i;
+        } else if (c == (st == kStr ? '"' : '\'') || c == '\n') {
+          st = kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void split_lines(std::string_view src, std::vector<std::string_view>& lines) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= src.size(); ++i) {
+    if (i == src.size() || src[i] == '\n') {
+      lines.push_back(src.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+}
+
+void parse_suppressions(Ctx& ctx) {
+  for (const Comment& c : ctx.lx.comments) {
+    const std::size_t at = c.text.find("lint:");
+    if (at == std::string_view::npos) continue;
+    std::string_view rest = trim(c.text.substr(at + 5));
+    std::string_view rule;
+    for (const auto& [id, mapped] : kSuppressionIds) {
+      if (rest.starts_with(id)) {
+        rule = mapped;
+        rest.remove_prefix(id.size());
+        break;
+      }
+    }
+    if (rule.empty()) {
+      ctx.report(c.line, "suppression",
+                 "unknown suppression id; expected one of alloc-ok, "
+                 "pos-sub-ok, det-ok, layer-ok");
+      continue;
+    }
+    rest = trim(rest);
+    if (!rest.starts_with("(") || rest.find(')') == std::string_view::npos) {
+      ctx.report(c.line, "suppression",
+                 "suppression for '" + std::string(rule) +
+                     "' must carry a reason: use the form "
+                     "<id>-ok(<reason>)");
+      continue;
+    }
+    const std::string_view reason =
+        trim(rest.substr(1, rest.rfind(')') - 1));
+    if (reason.empty()) {
+      ctx.report(c.line, "suppression",
+                 "suppression reason must not be empty; write what makes "
+                 "this site safe");
+      continue;
+    }
+    ctx.sups.push_back(
+        {c.line, c.own_line, std::string(rule), std::string(reason)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token utilities.
+// ---------------------------------------------------------------------------
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == Tok::kPunct && t.text == p;
+}
+
+bool is_ident(const Token& t, std::string_view w) {
+  return t.kind == Tok::kIdent && t.text == w;
+}
+
+// For every opener token index, the index of its matching closer (and the
+// reverse). Parens, braces and brackets share one stack; mismatches (macro
+// tricks) leave entries unmatched, which the rules treat as "unknown".
+struct Matches {
+  std::vector<std::size_t> close_of;  // opener index -> closer index (or npos)
+  std::vector<std::size_t> open_of;   // closer index -> opener index (or npos)
+};
+
+Matches match_pairs(const std::vector<Token>& toks) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  Matches m;
+  m.close_of.assign(toks.size(), npos);
+  m.open_of.assign(toks.size(), npos);
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    const std::string_view t = toks[i].text;
+    if (t == "(" || t == "{" || t == "[") {
+      stack.push_back(i);
+    } else if (t == ")" || t == "}" || t == "]") {
+      const char want = t == ")" ? '(' : (t == "}" ? '{' : '[');
+      // Pop until the matching opener kind (tolerates unbalanced input).
+      while (!stack.empty() && toks[stack.back()].text[0] != want) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        m.close_of[stack.back()] = i;
+        m.open_of[i] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+  return m;
+}
+
+// Walks a `<`...`>` template argument list starting at the `<` token index;
+// returns the index one past the closing `>`, treating ">>" as two closes.
+// Returns `start` unchanged if this does not look like template arguments.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t start) {
+  if (start >= toks.size() || !is_punct(toks[start], "<")) return start;
+  int depth = 0;
+  for (std::size_t i = start; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (toks[i].text == "<") ++depth;
+    if (toks[i].text == ">") {
+      if (--depth == 0) return i + 1;
+    }
+    if (toks[i].text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+    if (toks[i].text == ";" || toks[i].text == "{") return start;  // not args
+  }
+  return start;
+}
+
+// ---------------------------------------------------------------------------
+// Scope analysis for hot-alloc: mark every token inside a "hot" function
+// body — a function (not constructor/destructor) whose parameter list
+// contains `Workspace&`. Hotness is inherited by nested blocks and lambdas.
+// ---------------------------------------------------------------------------
+const std::unordered_set<std::string_view> kControlKeywords = {
+    "if", "for", "while", "switch", "catch", "noexcept", "return",
+    "sizeof", "alignof", "decltype", "static_assert",
+};
+
+bool params_take_workspace(const std::vector<Token>& toks, std::size_t open,
+                           std::size_t close) {
+  for (std::size_t i = open + 1; i + 1 < close; ++i) {
+    if (is_ident(toks[i], "Workspace") && is_punct(toks[i + 1], "&")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<char> hot_mask(const std::vector<Token>& toks,
+                           const Matches& m) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<char> mask(toks.size(), 0);
+  struct Scope {
+    std::size_t close;
+    bool hot;
+    bool is_class;
+    std::string_view class_name;
+  };
+  std::vector<Scope> scopes;
+
+  // Name of the most recent `class`/`struct` head awaiting its `{`.
+  std::string_view pending_class;
+
+  const auto innermost_class = [&]() -> std::string_view {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->is_class) return it->class_name;
+    }
+    return {};
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    while (!scopes.empty() && i > scopes.back().close) scopes.pop_back();
+    const bool parent_hot = !scopes.empty() && scopes.back().hot;
+    if (parent_hot) mask[i] = 1;
+
+    const Token& t = toks[i];
+    if (t.kind == Tok::kIdent && (t.text == "class" || t.text == "struct") &&
+        i + 1 < toks.size() && toks[i + 1].kind == Tok::kIdent) {
+      pending_class = toks[i + 1].text;
+      continue;
+    }
+    if (is_punct(t, ";")) {
+      pending_class = {};
+      continue;
+    }
+    if (!is_punct(t, "{")) continue;
+
+    const std::size_t close = m.close_of[i];
+    if (close == npos) continue;
+
+    bool hot = parent_hot;
+    bool is_class = false;
+    std::string_view class_name;
+    if (!pending_class.empty()) {
+      is_class = true;
+      class_name = pending_class;
+      pending_class = {};
+    } else if (!parent_hot) {
+      // Find the parameter list: walk back over trailing qualifiers
+      // (const/noexcept/override/final/mutable and trailing return types).
+      std::size_t j = i;
+      while (j > 0) {
+        const Token& p = toks[j - 1];
+        if (p.kind == Tok::kIdent || is_punct(p, "::") || is_punct(p, "<") ||
+            is_punct(p, ">") || is_punct(p, "&") || is_punct(p, "*") ||
+            is_punct(p, "->")) {
+          --j;
+          continue;
+        }
+        break;
+      }
+      if (j > 0 && is_punct(toks[j - 1], ")") &&
+          m.open_of[j - 1] != npos) {
+        const std::size_t open = m.open_of[j - 1];
+        // Function-ish. Exclude control-flow statements, constructors and
+        // destructors; everything else with Workspace& params is hot.
+        std::string_view name;
+        bool ctor_or_dtor = false;
+        if (open > 0 && toks[open - 1].kind == Tok::kIdent) {
+          name = toks[open - 1].text;
+          if (kControlKeywords.contains(name)) {
+            name = {};
+          } else {
+            if (open > 1 && is_punct(toks[open - 2], "~")) {
+              ctor_or_dtor = true;
+            } else if (open > 2 && is_punct(toks[open - 2], "::") &&
+                       toks[open - 3].kind == Tok::kIdent &&
+                       toks[open - 3].text == name) {
+              ctor_or_dtor = true;  // out-of-line A::A(...)
+            } else if (innermost_class() == name) {
+              ctor_or_dtor = true;  // in-class A(...)
+            }
+            if (!ctor_or_dtor &&
+                params_take_workspace(toks, open, j - 1)) {
+              hot = true;
+            }
+          }
+        } else if (open > 0 && is_punct(toks[open - 1], "]")) {
+          // Lambda parameter list; a lambda taking Workspace& is hot.
+          if (params_take_workspace(toks, open, j - 1)) hot = true;
+        }
+      }
+    }
+    scopes.push_back({close, hot, is_class, class_name});
+    if (hot) mask[i] = 1;
+  }
+  return mask;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layering.
+// ---------------------------------------------------------------------------
+void check_layering(Ctx& ctx) {
+  if (ctx.layer == kUnknownLayer) return;
+  for (const Token& t : ctx.lx.tokens) {
+    if (t.kind != Tok::kPreproc) continue;
+    const std::size_t inc = t.text.find("include");
+    if (inc == std::string_view::npos) continue;
+    const std::size_t q1 = t.text.find('"', inc);
+    if (q1 == std::string_view::npos) continue;
+    const std::size_t q2 = t.text.find('"', q1 + 1);
+    if (q2 == std::string_view::npos) continue;
+    const std::string inc_path(t.text.substr(q1 + 1, q2 - q1 - 1));
+    const Layer target = layer_of("src/" + inc_path);
+    if (target == kUnknownLayer) continue;
+    if (!may_include(ctx.layer, target)) {
+      ctx.report(t.line, "layering",
+                 std::string(kLayerNames[ctx.layer]) + " may not include \"" +
+                     inc_path + "\" (" + kLayerNames[target] +
+                     "); this layer may depend on: " + allowed_list(ctx.layer));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hot-alloc.
+// ---------------------------------------------------------------------------
+const std::unordered_set<std::string_view> kOwningContainers = {
+    "vector", "string",        "deque",         "list",
+    "map",    "set",           "multimap",      "multiset",
+    "unordered_map",           "unordered_set", "unordered_multimap",
+    "unordered_multiset",      "basic_string",
+};
+
+const std::unordered_set<std::string_view> kGrowingMembers = {
+    "resize",  "reserve",       "push_back", "emplace_back", "push_front",
+    "emplace_front", "insert",  "emplace",   "assign",       "append",
+};
+
+void check_hot_alloc(Ctx& ctx, const std::vector<char>& hot,
+                     const Matches&) {
+  if (ctx.layer != kDsp && ctx.layer != kPhy && ctx.layer != kCore) return;
+  const std::vector<Token>& toks = ctx.lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent && t.kind != Tok::kPunct) continue;
+
+    // Anywhere in dsp/phy/core: raw heap allocation.
+    if (is_ident(t, "new")) {
+      ctx.report(t.line, "hot-alloc",
+                 "`new` in a hot-path layer; use Workspace leases (or "
+                 "suppress with // lint: alloc-ok(reason) for setup-time "
+                 "allocation)");
+      continue;
+    }
+    if (t.kind == Tok::kIdent &&
+        (t.text == "make_unique" || t.text == "make_shared") &&
+        i + 1 < toks.size() &&
+        (is_punct(toks[i + 1], "<") || is_punct(toks[i + 1], "("))) {
+      ctx.report(t.line, "hot-alloc",
+                 std::string(t.text) +
+                     " in a hot-path layer; construction-time caches need "
+                     "// lint: alloc-ok(reason)");
+      continue;
+    }
+
+    if (!hot[i]) continue;
+
+    // Inside a Workspace&-taking function: the arena is already in hand.
+    if (is_ident(t, "thread_local_workspace") && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(")) {
+      ctx.report(t.line, "hot-alloc",
+                 "thread_local_workspace() inside a function that already "
+                 "takes a Workspace&; pass the caller's arena through");
+      continue;
+    }
+
+    // Owning-container construction.
+    if (t.kind == Tok::kIdent && kOwningContainers.contains(t.text)) {
+      std::size_t after = i + 1;
+      if (after < toks.size() && is_punct(toks[after], "<")) {
+        const std::size_t skipped = skip_template_args(toks, after);
+        if (skipped == after) continue;  // comparison, not template args
+        after = skipped;
+      } else if (t.text != "string") {
+        continue;  // bare container name without args: type context only
+      }
+      if (after >= toks.size()) continue;
+      const Token& nx = toks[after];
+      const bool decl = nx.kind == Tok::kIdent &&
+                        !kControlKeywords.contains(nx.text);
+      const bool temp = is_punct(nx, "(") || is_punct(nx, "{");
+      if (decl || temp) {
+        ctx.report(t.line, "hot-alloc",
+                   "owning container " + std::string(t.text) +
+                       " constructed in steady-state code; lease scratch "
+                       "from the Workspace instead");
+      }
+      continue;
+    }
+
+    // Growing-member calls: `.resize(...)`, `->push_back(...)`, ...
+    if ((is_punct(t, ".") || is_punct(t, "->")) && i + 2 < toks.size() &&
+        toks[i + 1].kind == Tok::kIdent &&
+        kGrowingMembers.contains(toks[i + 1].text) &&
+        is_punct(toks[i + 2], "(")) {
+      ctx.report(toks[i + 1].line, "hot-alloc",
+                 "container ." + std::string(toks[i + 1].text) +
+                     "() in steady-state code; size Workspace leases up "
+                     "front (or justify with // lint: alloc-ok(reason))");
+      ++i;
+      continue;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: pos-sub.
+// ---------------------------------------------------------------------------
+bool pos_identifier(std::string_view name) {
+  if (name.empty()) return false;
+  if (name.back() == '_') name.remove_suffix(1);
+  return name == "pos" || name == "base" || name.ends_with("_pos") ||
+         name.ends_with("_base") || name.starts_with("abs_");
+}
+
+bool word_at(std::string_view line, std::size_t pos, std::string_view word) {
+  if (line.compare(pos, word.size(), word) != 0) return false;
+  const auto is_word = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (pos > 0 && is_word(line[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < line.size() && is_word(line[end])) return false;
+  return true;
+}
+
+// True if `line` contains `name` adjacent to a comparison operator, or a
+// guard-ish construct (assert / std::min / std::max / std::clamp) together
+// with `name`.
+bool line_guards(std::string_view line, std::string_view name) {
+  bool has_name = false;
+  for (std::size_t at = line.find(name); at != std::string_view::npos;
+       at = line.find(name, at + 1)) {
+    if (!word_at(line, at, name)) continue;
+    has_name = true;
+    // Comparison operator after the name?
+    std::size_t a = at + name.size();
+    while (a < line.size() && (line[a] == ' ' || line[a] == ')')) ++a;
+    if (a < line.size() &&
+        (line[a] == '<' || line[a] == '>' ||
+         ((line[a] == '=' || line[a] == '!') && a + 1 < line.size() &&
+          line[a + 1] == '='))) {
+      // `x <` could open template args; a following space or operand is
+      // close enough for a lint heuristic.
+      return true;
+    }
+    // Comparison operator before the name?
+    std::size_t b = at;
+    while (b > 0 && line[b - 1] == ' ') --b;
+    if (b > 0 && (line[b - 1] == '<' || line[b - 1] == '>')) return true;
+    if (b > 1 && line[b - 1] == '=' &&
+        (line[b - 2] == '<' || line[b - 2] == '>' || line[b - 2] == '=' ||
+         line[b - 2] == '!')) {
+      return true;
+    }
+  }
+  if (!has_name) return false;
+  return line.find("assert") != std::string_view::npos ||
+         line.find("min(") != std::string_view::npos ||
+         line.find("max(") != std::string_view::npos ||
+         line.find("clamp(") != std::string_view::npos;
+}
+
+constexpr int kGuardWindowLines = 8;
+
+void check_pos_sub(Ctx& ctx, const Matches& m) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  const std::vector<Token>& toks = ctx.lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_punct(toks[i], "-")) continue;
+    if (i == 0 || i + 1 >= toks.size()) continue;
+
+    // Unary minus: no left operand.
+    const Token& prev = toks[i - 1];
+    if (prev.kind == Tok::kPunct && prev.text != ")" && prev.text != "]") {
+      continue;
+    }
+    if (prev.kind == Tok::kIdent &&
+        (prev.text == "return" || prev.text == "case")) {
+      continue;
+    }
+
+    // Left operand name: the identifier adjacent to the minus — the last
+    // member of an `a.b->c` chain, or the callee of `f(...) - x`.
+    std::string_view left;
+    if (prev.kind == Tok::kIdent) {
+      left = prev.text;
+    } else if ((prev.text == ")" || prev.text == "]") &&
+               m.open_of[i - 1] != npos) {
+      const std::size_t open = m.open_of[i - 1];
+      if (open > 0 && toks[open - 1].kind == Tok::kIdent) {
+        left = toks[open - 1].text;
+      }
+    }
+
+    // Right operand name: chase `a.b->c` / `x::y` chains to the last
+    // identifier.
+    std::string_view right;
+    {
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].kind == Tok::kIdent) {
+        right = toks[j].text;
+        while (j + 2 < toks.size() &&
+               (is_punct(toks[j + 1], ".") || is_punct(toks[j + 1], "->") ||
+                is_punct(toks[j + 1], "::")) &&
+               toks[j + 2].kind == Tok::kIdent) {
+          j += 2;
+          right = toks[j].text;
+        }
+      }
+    }
+
+    const bool left_pos = pos_identifier(left);
+    const bool right_pos = pos_identifier(right);
+    if (!left_pos && !right_pos) continue;
+
+    // Guard scan: a comparison / min / max / assert mentioning either
+    // operand within the preceding window (or on the line itself).
+    const int line = toks[i].line;
+    bool guarded = false;
+    for (int l = std::max(1, line - kGuardWindowLines);
+         l <= line && !guarded; ++l) {
+      const std::string_view text = ctx.line_text(l);
+      if (!left.empty() && line_guards(text, left)) guarded = true;
+      if (!right.empty() && line_guards(text, right)) guarded = true;
+    }
+    if (guarded) continue;
+
+    const std::string_view which = left_pos ? left : right;
+    ctx.report(line, "pos-sub",
+               "unguarded subtraction on sample-position identifier '" +
+                   std::string(which) +
+                   "' (size_t wraps below zero); guard with a comparison/"
+                   "std::min/std::max/assert in the preceding " +
+                   std::to_string(kGuardWindowLines) +
+                   " lines or suppress with // lint: pos-sub-ok(reason)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: determinism.
+// ---------------------------------------------------------------------------
+void check_determinism(Ctx& ctx, const Matches& m) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  const std::vector<Token>& toks = ctx.lx.tokens;
+  // src/obs/registry.h is the sanctioned wall-clock probe (StageTimer);
+  // its values reach stderr/JSON only, never deterministic stdout.
+  const bool sanctioned = ctx.rel == "src/obs/registry.h";
+
+  // Owning unordered containers declared in this file, by variable name.
+  std::unordered_set<std::string_view> unordered_vars;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    if (toks[i].text != "unordered_map" && toks[i].text != "unordered_set" &&
+        toks[i].text != "unordered_multimap" &&
+        toks[i].text != "unordered_multiset") {
+      continue;
+    }
+    std::size_t after = skip_template_args(toks, i + 1);
+    if (after == i + 1) continue;
+    while (after < toks.size() &&
+           (is_punct(toks[after], "&") || is_punct(toks[after], "*"))) {
+      ++after;
+    }
+    if (after < toks.size() && toks[after].kind == Tok::kIdent) {
+      unordered_vars.insert(toks[after].text);
+    }
+  }
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    const bool call = i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+
+    if (!sanctioned) {
+      if ((t.text == "rand" || t.text == "srand") && call) {
+        ctx.report(t.line, "determinism",
+                   "rand()/srand() is nondeterministic global state; use a "
+                   "seeded std::mt19937 derived from the scenario/item seed");
+      } else if (t.text == "random_device") {
+        ctx.report(t.line, "determinism",
+                   "std::random_device draws entropy from the host; derive "
+                   "seeds from the scenario/item index instead");
+      } else if (t.text == "getenv" && call) {
+        ctx.report(t.line, "determinism",
+                   "getenv() makes results depend on the environment; "
+                   "sanctioned uses need // lint: det-ok(reason)");
+      } else if (t.text == "time" && call) {
+        ctx.report(t.line, "determinism",
+                   "time() is wall-clock input; deterministic code must not "
+                   "read it");
+      } else if (t.text.ends_with("_clock") && i + 2 < toks.size() &&
+                 is_punct(toks[i + 1], "::") && is_ident(toks[i + 2], "now")) {
+        ctx.report(t.line, "determinism",
+                   std::string(t.text) +
+                       "::now() outside the sanctioned wall-clock files; "
+                       "timing belongs in obs::StageTimer (stderr/JSON only)");
+      }
+    }
+
+    // Ranged-for over an unordered container with += accumulation in the
+    // body: iteration order is unspecified, so floating-point sums differ
+    // across runs/implementations.
+    if (t.text == "for" && call) {
+      const std::size_t open = i + 1;
+      const std::size_t close = m.close_of[open];
+      if (close == npos) continue;
+      std::size_t colon = npos;
+      for (std::size_t j = open + 1; j < close; ++j) {
+        if (is_punct(toks[j], ":")) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == npos) continue;
+      bool over_unordered = false;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind == Tok::kIdent &&
+            (unordered_vars.contains(toks[j].text) ||
+             toks[j].text.starts_with("unordered_"))) {
+          over_unordered = true;
+          break;
+        }
+      }
+      if (!over_unordered) continue;
+      // Body: `{ ... }` or a single statement up to `;`.
+      std::size_t body_begin = close + 1;
+      std::size_t body_end = body_begin;
+      if (body_begin < toks.size() && is_punct(toks[body_begin], "{")) {
+        body_end = m.close_of[body_begin];
+        if (body_end == npos) continue;
+      } else {
+        while (body_end < toks.size() && !is_punct(toks[body_end], ";")) {
+          ++body_end;
+        }
+      }
+      for (std::size_t j = body_begin; j < body_end; ++j) {
+        if (is_punct(toks[j], "+=")) {
+          ctx.report(toks[j].line, "determinism",
+                     "accumulation over unordered-container iteration: the "
+                     "order is unspecified, so floating-point sums are not "
+                     "reproducible; iterate a sorted copy or restructure");
+          break;
+        }
+      }
+    }
+  }
+}
+
+void check_unused_suppressions(Ctx& ctx) {
+  for (const Suppression& s : ctx.sups) {
+    if (s.used) continue;
+    ctx.out.push_back(
+        {ctx.file, s.line, "suppression",
+         "unused suppression for rule '" + s.rule +
+             "': no finding here — remove it so annotations stay honest"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver helpers.
+// ---------------------------------------------------------------------------
+std::string derive_rel_path(const std::string& path) {
+  // Use the last "src/" component so build trees and absolute paths both
+  // resolve to repo-relative form.
+  const std::size_t at = path.rfind("src/");
+  if (at != std::string::npos &&
+      (at == 0 || path[at - 1] == '/')) {
+    return path.substr(at);
+  }
+  return path;
+}
+
+// First-lines `lint-as: <path>` override (fixture corpus support).
+std::string lint_as_override(const LexResult& lx) {
+  for (const Comment& c : lx.comments) {
+    if (c.line > 5) break;
+    const std::size_t at = c.text.find("lint-as:");
+    if (at == std::string_view::npos) continue;
+    return std::string(trim(c.text.substr(at + 8)));
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(const std::string& display_path,
+                                 const std::string& rel_path,
+                                 std::string_view source) {
+  Ctx ctx;
+  ctx.file = display_path;
+  ctx.rel = rel_path;
+  ctx.layer = layer_of(rel_path);
+  ctx.stripped = strip_comments(source);
+  split_lines(ctx.stripped, ctx.lines);
+  ctx.lx = lex(source);
+
+  parse_suppressions(ctx);
+  const Matches m = match_pairs(ctx.lx.tokens);
+  const std::vector<char> hot = hot_mask(ctx.lx.tokens, m);
+  check_layering(ctx);
+  check_hot_alloc(ctx, hot, m);
+  check_pos_sub(ctx, m);
+  check_determinism(ctx, m);
+  check_unused_suppressions(ctx);
+  return std::move(ctx.out);
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io", "cannot open file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string source = buf.str();
+  const LexResult lx = lex(source);
+  std::string rel = lint_as_override(lx);
+  if (rel.empty()) rel = derive_rel_path(path);
+  return lint_source(path, rel, source);
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::vector<Finding> out;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc") {
+          files.push_back(it->path().generic_string());
+        }
+      }
+      if (ec) out.push_back({p, 0, "io", "walk failed: " + ec.message()});
+    } else if (fs::exists(p, ec)) {
+      files.push_back(p);
+    } else {
+      out.push_back({p, 0, "io", "no such file or directory"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    std::vector<Finding> fnd = lint_file(f);
+    out.insert(out.end(), std::make_move_iterator(fnd.begin()),
+               std::make_move_iterator(fnd.end()));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+std::string rules_help() {
+  return
+      "aqua_lint rule families (suppression id in brackets):\n"
+      "  layering     [layer-ok]    #include \"...\" edges must follow the\n"
+      "                             ARCHITECTURE.md layer DAG (obs interfaces\n"
+      "                             < dsp < coding/phy/channel < core < obs\n"
+      "                             impl < mac < sim)\n"
+      "  hot-alloc    [alloc-ok]    new/make_unique/make_shared anywhere in\n"
+      "                             dsp/phy/core; owning-container growth and\n"
+      "                             thread_local_workspace() inside functions\n"
+      "                             taking a dsp::Workspace&\n"
+      "  pos-sub      [pos-sub-ok]  unguarded size_t subtraction on sample-\n"
+      "                             position identifiers (*_pos, *_base,\n"
+      "                             abs_*)\n"
+      "  determinism  [det-ok]      rand/srand, random_device, *_clock::now,\n"
+      "                             time(), getenv() outside sanctioned\n"
+      "                             files; unordered-container iteration\n"
+      "                             feeding += accumulation\n"
+      "  suppression  (always on)   suppressions must carry a reason and\n"
+      "                             must match a finding\n"
+      "Suppress one finding: trailing or preceding own-line comment\n"
+      "  // lint: alloc-ok(<why this site is safe>)\n";
+}
+
+}  // namespace aqua::lint

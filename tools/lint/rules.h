@@ -1,0 +1,67 @@
+// aqua_lint rule engine: four repo-invariant rule families over the token
+// stream produced by lint/lexer.h.
+//
+//   layering     #include "..." edges must follow the ARCHITECTURE.md layer
+//                DAG (obs interfaces < dsp < coding/phy/channel < core <
+//                obs impl < mac < sim).
+//   hot-alloc    heap-allocating constructs in dsp/phy/core: `new` and
+//                make_unique/make_shared anywhere; owning-container
+//                construction / resize / push_back — and redundant
+//                thread_local_workspace() calls — inside steady-state
+//                functions (any function taking a dsp::Workspace&).
+//   pos-sub      unguarded size_t subtraction on sample-position
+//                identifiers (*_pos, *_base, abs_*): the PR 4 wraparound
+//                bug class. A comparison / std::min / std::max / assert
+//                mentioning an operand within the preceding 8 lines counts
+//                as a guard.
+//   determinism  rand/srand, std::random_device, *_clock::now, time(),
+//                getenv() outside the sanctioned wall-clock file
+//                (src/obs/registry.h), and ranged-for over an unordered
+//                container whose body accumulates with +=.
+//
+// Findings print as `file:line: rule-id: message`. Suppress a finding with
+// a trailing or immediately preceding own-line comment:
+//
+//   // lint: alloc-ok(<reason>)     suppresses hot-alloc
+//   // lint: pos-sub-ok(<reason>)   suppresses pos-sub
+//   // lint: det-ok(<reason>)       suppresses determinism
+//   // lint: layer-ok(<reason>)     suppresses layering
+//
+// The reason is mandatory; a suppression without one — or one that matches
+// no finding — is itself reported (rule id `suppression`).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqua::lint {
+
+struct Finding {
+  std::string file;   ///< path as given / discovered (printed)
+  int line = 0;       ///< 1-based
+  std::string rule;   ///< rule id, e.g. "hot-alloc"
+  std::string message;
+};
+
+/// Lints one in-memory translation unit. `rel_path` (repo-relative, e.g.
+/// "src/phy/foo.cpp") selects the layer and file sanctions; `display_path`
+/// is what findings print.
+std::vector<Finding> lint_source(const std::string& display_path,
+                                 const std::string& rel_path,
+                                 std::string_view source);
+
+/// Lints a file on disk. The repo-relative path is derived from the last
+/// "src/" component of `path`; a `// lint-as: src/...` comment in the
+/// file's first lines overrides it (used by the fixture corpus).
+std::vector<Finding> lint_file(const std::string& path);
+
+/// Recursively lints every .h/.cpp under each path (plain files are linted
+/// directly). Returns findings sorted by (file, line). Unreadable paths
+/// become findings with rule "io".
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths);
+
+/// Human-readable rule table for --list-rules.
+std::string rules_help();
+
+}  // namespace aqua::lint
