@@ -173,6 +173,34 @@ std::string entry_json(int packets_per_scenario, int threads,
   return os.str();
 }
 
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Total samples_per_s of the LAST series entry recorded for `machine`, or
+// 0.0 when the series holds none (first run on this machine, or a fresh
+// file). String-level scan, matching how write_json treats the file.
+double last_total_samples_per_s(const std::string& series,
+                                const std::string& machine) {
+  const std::string key = "\"machine\": \"" + machine + "\"";
+  double last = 0.0;
+  for (std::size_t pos = series.find(key); pos != std::string::npos;
+       pos = series.find(key, pos + key.size())) {
+    const std::size_t total = series.find("\"total\": {", pos);
+    if (total == std::string::npos) break;
+    const std::size_t rate_key = series.find("\"samples_per_s\": ", total);
+    if (rate_key == std::string::npos) break;
+    last = std::strtod(
+        series.c_str() + rate_key + sizeof("\"samples_per_s\": ") - 1,
+        nullptr);
+  }
+  return last;
+}
+
 // Appends this run to the series file. A missing or empty file starts a
 // fresh series; an existing file must already be in the series format —
 // anything unrecognized is left untouched (with a warning) rather than
@@ -378,8 +406,39 @@ int main(int argc, char** argv) {
                rate(static_cast<double>(total_samples), total_wall));
 
   if (const char* path = bench::json_path(argc, argv)) {
+    // Hard regression gate: compare this run's total samples/s against the
+    // LAST same-machine entry already in the series (recorded before this
+    // run appends). A drop beyond the tolerance fails the process, so CI
+    // turns red instead of quietly recording the regression.
+    // $AQUA_BENCH_TOLERANCE overrides the allowed fractional drop (default
+    // 0.15); values >= 1 effectively disable the gate for noisy hosts.
+    const double baseline =
+        last_total_samples_per_s(read_file(path), machine_label());
     write_json(path, n, runner.threads(), timings);
     std::fprintf(stderr, "timing: wrote %s\n", path);
+
+    double tolerance = 0.15;
+    if (const char* t = std::getenv("AQUA_BENCH_TOLERANCE")) {
+      char* end = nullptr;
+      const double v = std::strtod(t, &end);
+      if (end != t && v >= 0.0) tolerance = v;
+    }
+    const double current = rate(static_cast<double>(total_samples), total_wall);
+    if (baseline > 0.0 && current < baseline * (1.0 - tolerance)) {
+      std::fprintf(stderr,
+                   "FAIL: total throughput %.0f samples/s is %.1f%% below "
+                   "the previous %.0f samples/s on this machine "
+                   "(tolerance %.0f%%; override with AQUA_BENCH_TOLERANCE)\n",
+                   current, 100.0 * (1.0 - current / baseline), baseline,
+                   100.0 * tolerance);
+      return 1;
+    }
+    if (baseline > 0.0) {
+      std::fprintf(stderr,
+                   "timing: gate ok: %.0f samples/s vs previous %.0f "
+                   "(tolerance %.0f%%)\n",
+                   current, baseline, 100.0 * tolerance);
+    }
   }
   return 0;
 }

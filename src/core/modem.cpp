@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <type_traits>
 
+#include "dsp/types.h"
 #include "obs/registry.h"
 #include "obs/sink.h"
 #include "phy/chanest.h"
@@ -68,6 +70,18 @@ std::span<const double> Modem::raw(std::uint64_t from, std::size_t len) const {
   assert(from >= buffer_base_);
   return std::span<const double>(buffer_).subspan(
       static_cast<std::size_t>(from - buffer_base_), len);
+}
+
+std::span<const RxSample> Modem::raw_rx(std::uint64_t from,
+                                        std::size_t len) const {
+  const std::span<const double> w = raw(from, len);
+#if defined(AQUA_RX_DOUBLE)
+  return w;  // identity: the A/B build reads the ring directly
+#else
+  rx_window_.resize(len);
+  dsp::narrow_samples(w, rx_window_);
+  return rx_window_;
+#endif
 }
 
 void Modem::enqueue_tx(std::span<const double> wave) {
@@ -182,7 +196,7 @@ bool Modem::rx_step(std::vector<ModemEvent>& events) {
     std::optional<phy::ToneDecode> id;
     {
       obs::StageTimer t(metrics_, "dsp.tone");
-      id = feedback_.decode_tone(raw(pre_end, kIdWaitSymbols * sym_total),
+      id = feedback_.decode_tone(raw_rx(pre_end, kIdWaitSymbols * sym_total),
                                  /*step=*/8, /*min_peak_fraction=*/0.3,
                                  scratch());
     }
@@ -272,7 +286,7 @@ bool Modem::tx_step(std::vector<ModemEvent>& events) {
     std::optional<phy::FeedbackDecode> dec;
     {
       obs::StageTimer t(metrics_, "dsp.feedback");
-      dec = feedback_.decode_band(raw(fb_deadline_ - window, window),
+      dec = feedback_.decode_band(raw_rx(fb_deadline_ - window, window),
                                   /*step=*/8, /*min_peak_fraction=*/0.3,
                                   scratch());
     }
@@ -312,7 +326,7 @@ bool Modem::tx_step(std::vector<ModemEvent>& events) {
     std::optional<phy::ToneDecode> got;
     if (window > 0) {
       obs::StageTimer t(metrics_, "dsp.tone");
-      got = feedback_.decode_tone(raw(data_end_, window), /*step=*/8,
+      got = feedback_.decode_tone(raw_rx(data_end_, window), /*step=*/8,
                                   /*min_peak_fraction=*/0.3, scratch());
     }
     ModemEvent done;
@@ -361,7 +375,15 @@ std::vector<ModemEvent> Modem::push(std::span<const double> mic) {
   det_tmp_.clear();
   {
     obs::StageTimer t(metrics_, "dsp.scan");
-    scanner_.scan(mic, det_tmp_, scratch());
+    // The ONE narrowing of the mic stream: every front-end stage downstream
+    // of here (bandpass, correlation, confirmation) runs in RxSample.
+    rx_chunk_.resize(mic.size());
+#if defined(AQUA_RX_DOUBLE)
+    std::copy(mic.begin(), mic.end(), rx_chunk_.begin());
+#else
+    dsp::narrow_samples(mic, rx_chunk_);
+#endif
+    scanner_.scan(rx_chunk_, det_tmp_, scratch());
   }
   for (const phy::PreambleDetection& d : det_tmp_) detections_.push_back(d);
 

@@ -51,6 +51,19 @@ class TraceSink;
 
 namespace aqua::core {
 
+/// Sample type of the receive front end (mic bandpass, preamble scanning,
+/// ID/feedback/ACK tone scans). Microphone samples are narrowed to this
+/// type exactly once at the push() boundary; the estimation machinery
+/// (channel estimate, data decode) always reads the raw double ring, so
+/// payload BER does not depend on the front-end precision. Define
+/// AQUA_RX_DOUBLE (cmake -DAQUA_RX_DOUBLE=ON) to run the historical
+/// all-double front end for A/B comparison.
+#if defined(AQUA_RX_DOUBLE)
+using RxSample = double;
+#else
+using RxSample = float;
+#endif
+
 /// What the modem tells the application.
 struct ModemEvent {
   enum class Type {
@@ -182,6 +195,11 @@ class Modem {
     return ws_ ? *ws_ : dsp::thread_local_workspace();
   }
   std::span<const double> raw(std::uint64_t from, std::size_t len) const;
+  /// Same window as raw(), narrowed into the front-end sample type (the
+  /// sanctioned mic-boundary conversion; identity when RxSample is double).
+  /// The returned span aliases a member scratch vector — consume it before
+  /// the next raw_rx() call.
+  std::span<const RxSample> raw_rx(std::uint64_t from, std::size_t len) const;
   void enqueue_tx(std::span<const double> wave);
   /// Queues `wave` to start exactly tx_latency after `decision_pos` on the
   /// shared clock (zero-padding the queue up to it); returns the absolute
@@ -199,7 +217,7 @@ class Modem {
   int sink_endpoint_ = 0;            ///< this modem's id within the trace
   obs::Registry* metrics_ = nullptr; ///< borrowed stage-timer registry
   phy::Preamble preamble_;
-  phy::PreambleScanner scanner_;
+  phy::BasicPreambleScanner<RxSample> scanner_;
   phy::FeedbackCodec feedback_;
   phy::DataModem modem_;
   phy::Ofdm ofdm_;
@@ -208,6 +226,8 @@ class Modem {
   std::vector<double> buffer_;
   std::uint64_t buffer_base_ = 0;
   std::uint64_t rx_pos_ = 0;
+  std::vector<RxSample> rx_chunk_;  ///< mic chunk narrowed for the scanner
+  mutable std::vector<RxSample> rx_window_;  ///< raw_rx() narrowing scratch
   std::vector<phy::PreambleDetection> det_tmp_;
   std::deque<phy::PreambleDetection> detections_;
 

@@ -56,7 +56,7 @@ std::vector<double> normalized_cross_correlate(std::span<const double> x,
   if (x.size() * ref.size() <= kOneShotDirectConvOpsThreshold) {
     std::vector<double> out = direct_cross_correlate(x, ref);
     std::vector<double> win_energy(out.size());
-    sliding_energy_into(x, ref.size(), win_energy);
+    sliding_energy_into<double>(x, ref.size(), win_energy);
     const double ref_energy = energy(ref);
     for (std::size_t i = 0; i < out.size(); ++i) {
       const double denom = std::sqrt(ref_energy * win_energy[i]);
@@ -74,41 +74,55 @@ std::size_t argmax(std::span<const double> x) {
       std::distance(x.begin(), std::max_element(x.begin(), x.end())));
 }
 
-void sliding_energy_into(std::span<const double> x, std::size_t win,
-                         std::span<double> out) {
+template <typename T>
+void sliding_energy_into(std::span<const T> x, std::size_t win,
+                         std::span<T> out) {
   if (win == 0 || x.size() < win) {
     throw std::invalid_argument("sliding_energy: window exceeds signal");
   }
   if (out.size() != x.size() - win + 1) {
     throw std::invalid_argument("sliding_energy: output size mismatch");
   }
+  // The accumulator stays double for every sample type: a float recurrence
+  // over a loud-then-quiet capture cancels to pure rounding noise.
   const auto direct = [&](std::size_t i) {
     double acc = 0.0;
-    for (std::size_t j = 0; j < win; ++j) acc += x[i + j] * x[i + j];
+    for (std::size_t j = 0; j < win; ++j) {
+      const double v = static_cast<double>(x[i + j]);
+      acc += v * v;
+    }
     return acc;
   };
   double acc = direct(0);
-  out[0] = acc;
+  out[0] = static_cast<T>(acc);
   for (std::size_t i = 1; i < out.size(); ++i) {
     if (i % kEnergyReaccumulate == 0) {
       acc = direct(i);
     } else {
-      acc += x[i + win - 1] * x[i + win - 1] - x[i - 1] * x[i - 1];
+      const double incoming = static_cast<double>(x[i + win - 1]);
+      const double outgoing = static_cast<double>(x[i - 1]);
+      acc += incoming * incoming - outgoing * outgoing;
     }
-    out[i] = std::max(acc, 0.0);
+    out[i] = static_cast<T>(std::max(acc, 0.0));
   }
 }
+
+template void sliding_energy_into<double>(std::span<const double>, std::size_t,
+                                          std::span<double>);
+template void sliding_energy_into<float>(std::span<const float>, std::size_t,
+                                         std::span<float>);
 
 std::vector<double> sliding_energy(std::span<const double> x, std::size_t win) {
   if (win == 0 || x.size() < win) return {};
   std::vector<double> out(x.size() - win + 1);
-  sliding_energy_into(x, win, out);
+  sliding_energy_into<double>(x, win, out);
   return out;
 }
 
 namespace {
 
-std::vector<double> reversed_template(std::vector<double> ref) {
+template <typename T>
+std::vector<T> reversed_template(std::vector<T> ref) {
   if (ref.empty()) {
     throw std::invalid_argument("CrossCorrelator: empty template");
   }
@@ -118,46 +132,54 @@ std::vector<double> reversed_template(std::vector<double> ref) {
 
 }  // namespace
 
-CrossCorrelator::CrossCorrelator(std::vector<double> ref)
+template <typename T>
+BasicCrossCorrelator<T>::BasicCrossCorrelator(std::vector<T> ref)
     : ref_size_(ref.size()),
-      ref_energy_(energy(ref)),
+      ref_energy_(energy(std::span<const T>(ref))),
       conv_(reversed_template(std::move(ref))) {}
 
-void CrossCorrelator::correlate_into(std::span<const double> x,
-                                     std::span<double> out,
-                                     Workspace& ws) const {
+template <typename T>
+void BasicCrossCorrelator<T>::correlate_into(std::span<const T> x,
+                                             std::span<T> out,
+                                             Workspace& ws) const {
   if (out.size() != output_length(x.size())) {
     throw std::invalid_argument("CrossCorrelator: output size mismatch");
   }
   if (out.empty()) return;
   // Correlation == convolution with the time-reversed template; the valid
   // region of the full convolution starts at ref_size - 1.
-  ScratchReal full_s(ws, x.size() + ref_size_ - 1);
+  Scratch<T> full_s(ws, x.size() + ref_size_ - 1);
   conv_.convolve_into(x, full_s.span(), ws);
   std::copy_n(full_s->begin() + static_cast<std::ptrdiff_t>(ref_size_ - 1),
               out.size(), out.begin());
 }
 
-void CrossCorrelator::normalized_into(std::span<const double> x,
-                                      std::span<double> out,
-                                      Workspace& ws) const {
+template <typename T>
+void BasicCrossCorrelator<T>::normalized_into(std::span<const T> x,
+                                              std::span<T> out,
+                                              Workspace& ws) const {
   correlate_into(x, out, ws);
   if (out.empty()) return;
-  ScratchReal energy_s(ws, out.size());
-  sliding_energy_into(x, ref_size_, energy_s.span());
-  const std::vector<double>& win_energy = *energy_s;
+  Scratch<T> energy_s(ws, out.size());
+  sliding_energy_into<T>(x, ref_size_, energy_s.span());
+  const std::vector<T>& win_energy = *energy_s;
   for (std::size_t i = 0; i < out.size(); ++i) {
-    const double denom = std::sqrt(ref_energy_ * win_energy[i]);
-    out[i] = denom > 1e-12 ? out[i] / denom : 0.0;
+    const double denom =
+        std::sqrt(ref_energy_ * static_cast<double>(win_energy[i]));
+    out[i] = denom > 1e-12 ? static_cast<T>(out[i] / denom) : T(0.0);
   }
 }
 
-std::vector<double> CrossCorrelator::normalized(std::span<const double> x,
-                                                Workspace& ws) const {
+template <typename T>
+std::vector<T> BasicCrossCorrelator<T>::normalized(std::span<const T> x,
+                                                   Workspace& ws) const {
   // lint: alloc-ok(allocating convenience wrapper; hot paths use normalized_into)
-  std::vector<double> out(output_length(x.size()));
+  std::vector<T> out(output_length(x.size()));
   normalized_into(x, out, ws);
   return out;
 }
+
+template class BasicCrossCorrelator<double>;
+template class BasicCrossCorrelator<float>;
 
 }  // namespace aqua::dsp

@@ -28,19 +28,30 @@ std::size_t argmax(std::span<const double> x);
 /// Moving sum of `x*x` over windows of `win` samples:
 /// out[i] = sum_{j<win} x[i+j]^2 (running-sum based, O(n), periodically
 /// re-accumulated so rounding drift cannot survive a loud-then-quiet
-/// capture). out.size() must be x.size() - win + 1.
-void sliding_energy_into(std::span<const double> x, std::size_t win,
-                         std::span<double> out);
+/// capture). out.size() must be x.size() - win + 1. The accumulator is
+/// always double — for float signals the recurrence would otherwise lose
+/// the quiet-window bits it exists to protect.
+template <typename T>
+void sliding_energy_into(std::span<const T> x, std::size_t win,
+                         std::span<T> out);
 std::vector<double> sliding_energy(std::span<const double> x, std::size_t win);
+
+extern template void sliding_energy_into<double>(std::span<const double>,
+                                                 std::size_t,
+                                                 std::span<double>);
+extern template void sliding_energy_into<float>(std::span<const float>,
+                                                std::size_t, std::span<float>);
 
 /// Template-cached sliding correlator: the time-reversed template and its
 /// overlap-save spectrum are built once, so every detect() call pays only
 /// the per-block signal transforms. Immutable after construction;
-/// shareable across threads.
-class CrossCorrelator {
+/// shareable across threads. `CrossCorrelator` is the double instantiation;
+/// the float one drives the single-precision receive front end.
+template <typename T>
+class BasicCrossCorrelator {
  public:
   /// `ref` must be non-empty.
-  explicit CrossCorrelator(std::vector<double> ref);
+  explicit BasicCrossCorrelator(std::vector<T> ref);
 
   std::size_t ref_size() const { return ref_size_; }
   double ref_energy() const { return ref_energy_; }
@@ -53,20 +64,24 @@ class CrossCorrelator {
 
   /// Raw sliding dot products: out[i] = sum_j x[i+j] * ref[j].
   /// out.size() must be output_length(x.size()).
-  void correlate_into(std::span<const double> x, std::span<double> out,
+  void correlate_into(std::span<const T> x, std::span<T> out,
                       Workspace& ws) const;
 
   /// Energy-normalized correlation (same contract as
   /// normalized_cross_correlate).
-  void normalized_into(std::span<const double> x, std::span<double> out,
+  void normalized_into(std::span<const T> x, std::span<T> out,
                        Workspace& ws) const;
-  std::vector<double> normalized(std::span<const double> x,
-                                 Workspace& ws) const;
+  std::vector<T> normalized(std::span<const T> x, Workspace& ws) const;
 
  private:
   std::size_t ref_size_ = 0;
-  double ref_energy_ = 0.0;
-  FftFilter conv_;  ///< kernel = time-reversed template
+  double ref_energy_ = 0.0;  ///< template energy, accumulated in double
+  BasicFftFilter<T> conv_;   ///< kernel = time-reversed template
 };
+
+using CrossCorrelator = BasicCrossCorrelator<double>;
+
+extern template class BasicCrossCorrelator<double>;
+extern template class BasicCrossCorrelator<float>;
 
 }  // namespace aqua::dsp

@@ -15,6 +15,15 @@ namespace {
 
 bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
+// Rounds a double-precision table value once into the plan's precision.
+// Twiddles/chirps are always generated in double so the float plan's tables
+// are the correctly-rounded narrowing of the double plan's (setup-time,
+// explicit — not part of the sanctioned mic-boundary narrowing).
+template <typename T>
+std::complex<T> round_to(const cplx& v) {
+  return {static_cast<T>(v.real()), static_cast<T>(v.imag())};
+}
+
 }  // namespace
 
 std::size_t next_pow2(std::size_t n) {
@@ -23,7 +32,8 @@ std::size_t next_pow2(std::size_t n) {
   return p;
 }
 
-FftPlan::FftPlan(std::size_t n) : n_(n) {
+template <typename T>
+BasicFftPlan<T>::BasicFftPlan(std::size_t n) : n_(n) {
   if (n == 0) throw std::invalid_argument("FftPlan: size must be >= 1");
   pow2_ = is_pow2(n);
   m_ = pow2_ ? n : next_pow2(2 * n - 1);
@@ -39,11 +49,21 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
     }
     bitrev_[i] = r;
   }
-  // Forward twiddles w_m^k = e^{-j 2 pi k / m} for k < m/2.
-  twiddle_.resize(m_ / 2 + 1);
+  // Forward twiddles w_m^k = e^{-j 2 pi k / m} for k <= m/2, generated in
+  // double, then flattened per stage so the butterfly kernel reads each
+  // stage's factors contiguously: the stage with half-block h owns entries
+  // [h-1, 2h-1) holding w_m^{k * (m/2h)} for k < h.
+  std::vector<cplx> tw(m_ / 2 + 1);
   for (std::size_t k = 0; k <= m_ / 2; ++k) {
     const double a = -kTwoPi * static_cast<double>(k) / static_cast<double>(m_);
-    twiddle_[k] = {std::cos(a), std::sin(a)};
+    tw[k] = {std::cos(a), std::sin(a)};
+  }
+  stage_tw_.resize(m_ - 1);
+  for (std::size_t half = 1; half < m_; half <<= 1) {
+    const std::size_t stride = m_ / (2 * half);
+    for (std::size_t k = 0; k < half; ++k) {
+      stage_tw_[half - 1 + k] = round_to<T>(tw[k * stride]);
+    }
   }
 
   if (!pow2_) {
@@ -53,10 +73,10 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
     for (std::size_t k = 0; k < n_; ++k) {
       const std::size_t k2 = (k * k) % (2 * n_);
       const double a = -kPi * static_cast<double>(k2) / static_cast<double>(n_);
-      chirp_[k] = {std::cos(a), std::sin(a)};
+      chirp_[k] = round_to<T>({std::cos(a), std::sin(a)});
     }
     // b[k] = conj(chirp[k]) arranged circularly, then FFT'd once.
-    std::vector<cplx> b(m_, cplx{0.0, 0.0});
+    std::vector<C> b(m_, C{});
     b[0] = std::conj(chirp_[0]);
     for (std::size_t k = 1; k < n_; ++k) {
       b[k] = std::conj(chirp_[k]);
@@ -67,7 +87,8 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
   }
 }
 
-void FftPlan::radix2(std::span<cplx> data, bool invert) const {
+template <typename T>
+void BasicFftPlan<T>::radix2(std::span<C> data, bool invert) const {
   const std::size_t m = data.size();
   // Must fail loudly in release builds too: transforming with a mismatched
   // plan would silently produce garbage spectra.
@@ -78,23 +99,23 @@ void FftPlan::radix2(std::span<cplx> data, bool invert) const {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
-  for (std::size_t len = 2; len <= m; len <<= 1) {
-    const std::size_t stride = m_ / len;
-    for (std::size_t start = 0; start < m; start += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        cplx w = twiddle_[k * stride];
-        if (invert) w = std::conj(w);
-        const cplx u = data[start + k];
-        const cplx v = data[start + k + len / 2] * w;
-        data[start + k] = u + v;
-        data[start + k + len / 2] = u - v;
-      }
+  // Butterfly stages through the SIMD dispatch: each stage's twiddles are
+  // contiguous in stage_tw_, so the kernel runs one dense half-block pass
+  // per (stage, block) pair. The kernel's unfused multiply tree reproduces
+  // the historical std::complex product bit for bit.
+  const simd::Kernels& kern = simd::active();
+  for (std::size_t half = 1; half < m; half <<= 1) {
+    const C* w = stage_tw_.data() + (half - 1);
+    for (std::size_t start = 0; start < m; start += 2 * half) {
+      simd::butterfly(kern, data.data() + start, data.data() + start + half,
+                      w, half, invert);
     }
   }
 }
 
-void FftPlan::transform(std::span<const cplx> in, std::span<cplx> out,
-                        bool invert, Workspace& ws) const {
+template <typename T>
+void BasicFftPlan<T>::transform(std::span<const C> in, std::span<C> out,
+                                bool invert, Workspace& ws) const {
   if (in.size() != n_ || out.size() != n_) {
     throw std::invalid_argument("FftPlan: buffer size mismatch");
   }
@@ -106,111 +127,120 @@ void FftPlan::transform(std::span<const cplx> in, std::span<cplx> out,
   }
   // Bluestein: X[k] = conj-chirp convolution. For the inverse transform we
   // conjugate input and output of the forward machinery.
-  ScratchCplx a_s(ws, m_);
-  std::span<cplx> a = a_s.span();
+  Scratch<C> a_s(ws, m_);
+  std::span<C> a = a_s.span();
   for (std::size_t k = 0; k < n_; ++k) {
-    const cplx x = invert ? std::conj(in[k]) : in[k];
+    const C x = invert ? std::conj(in[k]) : in[k];
     a[k] = x * chirp_[k];
   }
-  std::fill(a.begin() + static_cast<std::ptrdiff_t>(n_), a.end(),
-            cplx{0.0, 0.0});
+  std::fill(a.begin() + static_cast<std::ptrdiff_t>(n_), a.end(), C{});
   radix2(a, /*invert=*/false);
-  simd::active().cmul_inplace(a.data(), chirp_fft_.data(), m_);
+  simd::cmul_inplace(simd::active(), a.data(), chirp_fft_.data(), m_);
   radix2(a, /*invert=*/true);
-  const double scale = 1.0 / static_cast<double>(m_);
+  const T scale = T(1.0) / static_cast<T>(m_);
   for (std::size_t k = 0; k < n_; ++k) {
-    cplx y = a[k] * scale * chirp_[k];
+    C y = a[k] * scale * chirp_[k];
     out[k] = invert ? std::conj(y) : y;
   }
 }
 
-void FftPlan::forward(std::span<const cplx> in, std::span<cplx> out,
-                      Workspace& ws) const {
+template <typename T>
+void BasicFftPlan<T>::forward(std::span<const C> in, std::span<C> out,
+                              Workspace& ws) const {
   transform(in, out, /*invert=*/false, ws);
 }
 
-void FftPlan::forward(std::span<const cplx> in, std::span<cplx> out) const {
+template <typename T>
+void BasicFftPlan<T>::forward(std::span<const C> in, std::span<C> out) const {
   forward(in, out, thread_local_workspace());
 }
 
-void FftPlan::inverse(std::span<const cplx> in, std::span<cplx> out,
-                      Workspace& ws) const {
+template <typename T>
+void BasicFftPlan<T>::inverse(std::span<const C> in, std::span<C> out,
+                              Workspace& ws) const {
   transform(in, out, /*invert=*/true, ws);
-  const double scale = 1.0 / static_cast<double>(n_);
-  for (cplx& v : out) v *= scale;
+  const T scale = T(1.0) / static_cast<T>(n_);
+  for (C& v : out) v *= scale;
 }
 
-void FftPlan::inverse(std::span<const cplx> in, std::span<cplx> out) const {
+template <typename T>
+void BasicFftPlan<T>::inverse(std::span<const C> in, std::span<C> out) const {
   inverse(in, out, thread_local_workspace());
 }
 
-RfftPlan::RfftPlan(std::size_t n) : n_(n) {
+template <typename T>
+BasicRfftPlan<T>::BasicRfftPlan(std::size_t n) : n_(n) {
   if (n == 0) throw std::invalid_argument("RfftPlan: size must be >= 1");
   if (n % 2 == 0 && n >= 2) {
     h_ = n / 2;
-    half_ = &plan_of(h_);
+    half_ = &plan_of<T>(h_);
     // Untwiddle factors e^{-j 2 pi k / n} for k <= n/2.
     twiddle_.resize(h_ + 1);
     for (std::size_t k = 0; k <= h_; ++k) {
-      const double a = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
-      twiddle_[k] = {std::cos(a), std::sin(a)};
+      const double a =
+          -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+      twiddle_[k] = round_to<T>({std::cos(a), std::sin(a)});
     }
   } else {
     // Odd sizes (and n == 1): the even/odd interleave does not apply; run
     // the full complex transform and keep only the packed bins.
-    full_ = &plan_of(n);
+    full_ = &plan_of<T>(n);
   }
 }
 
-void RfftPlan::forward(std::span<const double> in, std::span<cplx> out,
-                       Workspace& ws) const {
+template <typename T>
+void BasicRfftPlan<T>::forward(std::span<const T> in, std::span<C> out,
+                               Workspace& ws) const {
   if (in.size() != n_ || out.size() != spectrum_size()) {
     throw std::invalid_argument("RfftPlan: buffer size mismatch");
   }
   if (full_ != nullptr) {
-    ScratchCplx tmp_s(ws, n_);
-    ScratchCplx spec_s(ws, n_);
-    std::span<cplx> tmp = tmp_s.span();
-    for (std::size_t i = 0; i < n_; ++i) tmp[i] = {in[i], 0.0};
+    Scratch<C> tmp_s(ws, n_);
+    Scratch<C> spec_s(ws, n_);
+    std::span<C> tmp = tmp_s.span();
+    for (std::size_t i = 0; i < n_; ++i) tmp[i] = {in[i], T(0.0)};
     full_->forward(tmp, spec_s.span(), ws);
     std::copy_n(spec_s->begin(), out.size(), out.begin());
     return;
   }
   // Pack adjacent samples into one half-size complex signal and transform.
-  ScratchCplx z_s(ws, h_);
-  ScratchCplx zf_s(ws, h_);
-  std::span<cplx> z = z_s.span();
+  Scratch<C> z_s(ws, h_);
+  Scratch<C> zf_s(ws, h_);
+  std::span<C> z = z_s.span();
   for (std::size_t k = 0; k < h_; ++k) z[k] = {in[2 * k], in[2 * k + 1]};
-  std::span<cplx> zf = zf_s.span();
+  std::span<C> zf = zf_s.span();
   half_->forward(z, zf, ws);
   // Untwiddle: split Z into the spectra of the even/odd sample streams
   // (E = (Z_k + conj(Z_{h-k}))/2, O = -j (Z_k - conj(Z_{h-k}))/2) and
   // recombine as X_k = E + W^k O with W = e^{-j 2 pi / n}.
-  out[0] = {zf[0].real() + zf[0].imag(), 0.0};
-  out[h_] = {zf[0].real() - zf[0].imag(), 0.0};
+  out[0] = {zf[0].real() + zf[0].imag(), T(0.0)};
+  out[h_] = {zf[0].real() - zf[0].imag(), T(0.0)};
+  const T half_scale = T(0.5);
   for (std::size_t k = 1; k < h_; ++k) {
-    const cplx zk = zf[k];
-    const cplx zc = std::conj(zf[h_ - k]);
-    const cplx e = 0.5 * (zk + zc);
-    const cplx diff = zk - zc;
-    const cplx o{0.5 * diff.imag(), -0.5 * diff.real()};  // -j/2 * diff
+    const C zk = zf[k];
+    const C zc = std::conj(zf[h_ - k]);
+    const C e = half_scale * (zk + zc);
+    const C diff = zk - zc;
+    const C o{half_scale * diff.imag(), -half_scale * diff.real()};
     out[k] = e + twiddle_[k] * o;
   }
 }
 
-void RfftPlan::forward(std::span<const double> in, std::span<cplx> out) const {
+template <typename T>
+void BasicRfftPlan<T>::forward(std::span<const T> in, std::span<C> out) const {
   forward(in, out, thread_local_workspace());
 }
 
-void RfftPlan::inverse(std::span<const cplx> in, std::span<double> out,
-                       Workspace& ws) const {
+template <typename T>
+void BasicRfftPlan<T>::inverse(std::span<const C> in, std::span<T> out,
+                               Workspace& ws) const {
   if (in.size() != spectrum_size() || out.size() != n_) {
     throw std::invalid_argument("RfftPlan: buffer size mismatch");
   }
   if (full_ != nullptr) {
-    ScratchCplx spec_s(ws, n_);
-    ScratchCplx time_s(ws, n_);
-    std::span<cplx> spec = spec_s.span();
+    Scratch<C> spec_s(ws, n_);
+    Scratch<C> time_s(ws, n_);
+    std::span<C> spec = spec_s.span();
     spec[0] = in[0];
     for (std::size_t k = 1; k <= n_ / 2; ++k) {
       spec[k] = in[k];
@@ -223,18 +253,19 @@ void RfftPlan::inverse(std::span<const cplx> in, std::span<double> out,
   // Exact inverse of the forward untwiddle: E = (X_k + conj(X_{h-k}))/2,
   // W^k O = (X_k - conj(X_{h-k}))/2, Z_k = E + j conj(W^k) (W^k O); then
   // one half-size inverse transform un-interleaves the samples.
-  ScratchCplx zf_s(ws, h_);
-  ScratchCplx z_s(ws, h_);
-  std::span<cplx> zf = zf_s.span();
+  Scratch<C> zf_s(ws, h_);
+  Scratch<C> z_s(ws, h_);
+  std::span<C> zf = zf_s.span();
+  const T half_scale = T(0.5);
   for (std::size_t k = 0; k < h_; ++k) {
-    const cplx xk = in[k];
-    const cplx xc = std::conj(in[h_ - k]);
-    const cplx e = 0.5 * (xk + xc);
-    const cplx ow = 0.5 * (xk - xc);         // W^k O
-    const cplx o = std::conj(twiddle_[k]) * ow;
+    const C xk = in[k];
+    const C xc = std::conj(in[h_ - k]);
+    const C e = half_scale * (xk + xc);
+    const C ow = half_scale * (xk - xc);  // W^k O
+    const C o = std::conj(twiddle_[k]) * ow;
     zf[k] = {e.real() - o.imag(), e.imag() + o.real()};  // E + j O
   }
-  std::span<cplx> z = z_s.span();
+  std::span<C> z = z_s.span();
   half_->inverse(zf, z, ws);
   for (std::size_t k = 0; k < h_; ++k) {
     out[2 * k] = z[k].real();
@@ -242,9 +273,16 @@ void RfftPlan::inverse(std::span<const cplx> in, std::span<double> out,
   }
 }
 
-void RfftPlan::inverse(std::span<const cplx> in, std::span<double> out) const {
+template <typename T>
+void BasicRfftPlan<T>::inverse(std::span<const C> in,
+                               std::span<T> out) const {
   inverse(in, out, thread_local_workspace());
 }
+
+template class BasicFftPlan<double>;
+template class BasicFftPlan<float>;
+template class BasicRfftPlan<double>;
+template class BasicRfftPlan<float>;
 
 namespace {
 
@@ -285,11 +323,20 @@ const Plan& cached_plan_of(std::size_t n) {
 
 }  // namespace
 
-const FftPlan& plan_of(std::size_t n) { return cached_plan_of<FftPlan>(n); }
-
-const RfftPlan& rplan_of(std::size_t n) {
-  return cached_plan_of<RfftPlan>(n);
+template <typename T>
+const BasicFftPlan<T>& plan_of(std::size_t n) {
+  return cached_plan_of<BasicFftPlan<T>>(n);
 }
+
+template <typename T>
+const BasicRfftPlan<T>& rplan_of(std::size_t n) {
+  return cached_plan_of<BasicRfftPlan<T>>(n);
+}
+
+template const BasicFftPlan<double>& plan_of<double>(std::size_t);
+template const BasicFftPlan<float>& plan_of<float>(std::size_t);
+template const BasicRfftPlan<double>& rplan_of<double>(std::size_t);
+template const BasicRfftPlan<float>& rplan_of<float>(std::size_t);
 
 std::vector<cplx> fft(std::span<const cplx> x) {
   std::vector<cplx> out(x.size());
@@ -322,6 +369,10 @@ void rfft_into(std::span<const double> x, std::span<cplx> out, Workspace& ws) {
   rplan_of(x.size()).forward(x, out, ws);
 }
 
+void rfft_into(std::span<const float> x, std::span<cplxf> out, Workspace& ws) {
+  rplan_of<float>(x.size()).forward(x, out, ws);
+}
+
 std::vector<double> irfft(std::span<const cplx> spec, std::size_t n) {
   std::vector<double> out(n);
   rplan_of(n).inverse(spec, out);
@@ -331,6 +382,11 @@ std::vector<double> irfft(std::span<const cplx> spec, std::size_t n) {
 void irfft_into(std::span<const cplx> spec, std::span<double> out,
                 Workspace& ws) {
   rplan_of(out.size()).inverse(spec, out, ws);
+}
+
+void irfft_into(std::span<const cplxf> spec, std::span<float> out,
+                Workspace& ws) {
+  rplan_of<float>(out.size()).inverse(spec, out, ws);
 }
 
 std::vector<cplx> fft_real(std::span<const double> x) {

@@ -12,7 +12,8 @@ namespace {
 
 // Estimated cost per valid output sample of one overlap-save block of FFT
 // size m for an M-tap kernel: two m-point transforms amortized over
-// m - M + 1 outputs.
+// m - M + 1 outputs. Always evaluated in double — the block choice must not
+// depend on the engine's sample type.
 double block_cost(std::size_t m, std::size_t taps) {
   const double logm = std::log2(static_cast<double>(m));
   return 2.0 * static_cast<double>(m) * logm /
@@ -40,7 +41,8 @@ std::size_t choose_block(std::size_t taps, std::size_t max_step) {
 
 }  // namespace
 
-FftFilter::FftFilter(std::vector<double> kernel, std::size_t max_step)
+template <typename T>
+BasicFftFilter<T>::BasicFftFilter(std::vector<T> kernel, std::size_t max_step)
     : kernel_(std::move(kernel)) {
   if (kernel_.empty()) {
     throw std::invalid_argument("FftFilter: empty kernel");
@@ -48,16 +50,17 @@ FftFilter::FftFilter(std::vector<double> kernel, std::size_t max_step)
   const std::size_t taps = kernel_.size();
   m_ = choose_block(taps, max_step);
   step_ = m_ - taps + 1;
-  plan_ = &rplan_of(m_);
+  plan_ = &rplan_of<T>(m_);
 
-  std::vector<double> k(m_, 0.0);
+  std::vector<T> k(m_, T(0.0));
   std::copy(kernel_.begin(), kernel_.end(), k.begin());
   kernel_fft_.resize(plan_->spectrum_size());
   plan_->forward(k, kernel_fft_);
 }
 
-void FftFilter::convolve_into(std::span<const double> x, std::span<double> out,
-                              Workspace& ws) const {
+template <typename T>
+void BasicFftFilter<T>::convolve_into(std::span<const T> x, std::span<T> out,
+                                      Workspace& ws) const {
   const std::size_t taps = kernel_.size();
   if (x.empty()) {
     // Convolving nothing yields nothing (matching convolve()); a non-empty
@@ -73,10 +76,10 @@ void FftFilter::convolve_into(std::span<const double> x, std::span<double> out,
   }
 
   if (x.size() * taps <= kDirectConvOpsThreshold) {
-    std::fill(out.begin(), out.end(), 0.0);
+    std::fill(out.begin(), out.end(), T(0.0));
     for (std::size_t i = 0; i < x.size(); ++i) {
-      const double xi = x[i];
-      if (xi == 0.0) continue;
+      const T xi = x[i];
+      if (xi == T(0.0)) continue;
       for (std::size_t j = 0; j < taps; ++j) out[i + j] += xi * kernel_[j];
     }
     return;
@@ -87,20 +90,22 @@ void FftFilter::convolve_into(std::span<const double> x, std::span<double> out,
   // starting at b*step - (taps - 1). Real signal, real kernel: each block
   // is one packed forward transform, a half-spectrum product through the
   // dispatched SIMD kernel, and one packed inverse.
-  ScratchReal seg_s(ws, m_);
-  ScratchCplx spec_s(ws, plan_->spectrum_size());
-  std::span<double> seg = seg_s.span();
-  std::span<cplx> spec = spec_s.span();
+  Scratch<T> seg_s(ws, m_);
+  Scratch<C> spec_s(ws, plan_->spectrum_size());
+  std::span<T> seg = seg_s.span();
+  std::span<C> spec = spec_s.span();
   const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x.size());
   for (std::size_t base = 0; base < out_len; base += step_) {
-    const std::ptrdiff_t seg_start =
-        static_cast<std::ptrdiff_t>(base) - static_cast<std::ptrdiff_t>(taps - 1);
+    const std::ptrdiff_t seg_start = static_cast<std::ptrdiff_t>(base) -
+                                     static_cast<std::ptrdiff_t>(taps - 1);
     for (std::size_t j = 0; j < m_; ++j) {
       const std::ptrdiff_t idx = seg_start + static_cast<std::ptrdiff_t>(j);
-      seg[j] = (idx >= 0 && idx < nx) ? x[static_cast<std::size_t>(idx)] : 0.0;
+      seg[j] =
+          (idx >= 0 && idx < nx) ? x[static_cast<std::size_t>(idx)] : T(0.0);
     }
     plan_->forward(seg, spec, ws);
-    simd::active().cmul_inplace(spec.data(), kernel_fft_.data(), spec.size());
+    simd::cmul_inplace(simd::active(), spec.data(), kernel_fft_.data(),
+                       spec.size());
     plan_->inverse(spec, seg, ws);
     const std::size_t count = std::min(step_, out_len - base);
     for (std::size_t j = 0; j < count; ++j) {
@@ -109,73 +114,82 @@ void FftFilter::convolve_into(std::span<const double> x, std::span<double> out,
   }
 }
 
-std::vector<double> FftFilter::convolve(std::span<const double> x,
-                                        Workspace& ws) const {
+template <typename T>
+std::vector<T> BasicFftFilter<T>::convolve(std::span<const T> x,
+                                           Workspace& ws) const {
   // lint: alloc-ok(allocating convenience wrapper; hot paths use convolve_into)
-  std::vector<double> out(output_length(x.size()));
+  std::vector<T> out(output_length(x.size()));
   if (!out.empty()) convolve_into(x, out, ws);
   return out;
 }
 
-void FftFilter::filter_same_into(std::span<const double> x,
-                                 std::span<double> out, Workspace& ws) const {
+template <typename T>
+void BasicFftFilter<T>::filter_same_into(std::span<const T> x,
+                                         std::span<T> out,
+                                         Workspace& ws) const {
   if (out.size() != x.size()) {
     throw std::invalid_argument("FftFilter: filter_same size mismatch");
   }
   if (x.empty()) return;
   const std::size_t delay = (kernel_.size() - 1) / 2;
-  ScratchReal full_s(ws, x.size() + kernel_.size() - 1);
+  Scratch<T> full_s(ws, x.size() + kernel_.size() - 1);
   convolve_into(x, full_s.span(), ws);
   std::copy_n(full_s->begin() + static_cast<std::ptrdiff_t>(delay), x.size(),
               out.begin());
 }
 
-std::vector<double> FftFilter::filter_same(std::span<const double> x,
-                                           Workspace& ws) const {
+template <typename T>
+std::vector<T> BasicFftFilter<T>::filter_same(std::span<const T> x,
+                                              Workspace& ws) const {
   // lint: alloc-ok(allocating convenience wrapper; hot paths use filter_same_into)
-  std::vector<double> out(x.size());
+  std::vector<T> out(x.size());
   filter_same_into(x, out, ws);
   return out;
 }
 
-FftFilter::Stream::Stream(const FftFilter& filter, std::size_t max_step)
+template <typename T>
+BasicFftFilter<T>::Stream::Stream(const BasicFftFilter& filter,
+                                  std::size_t max_step)
     : filter_(&filter) {
   const std::size_t taps = filter.kernel_size();
   m_ = filter.fft_size() - taps + 1 <= max_step
            ? filter.fft_size()
            : choose_block(taps, max_step);
   step_ = m_ - taps + 1;
-  plan_ = &rplan_of(m_);
+  plan_ = &rplan_of<T>(m_);
   if (m_ != filter.fft_size()) {
-    std::vector<double> k(m_, 0.0);
+    std::vector<T> k(m_, T(0.0));
     std::copy(filter.kernel().begin(), filter.kernel().end(), k.begin());
     own_kernel_fft_.resize(plan_->spectrum_size());
     plan_->forward(k, own_kernel_fft_);
   }
-  pending_.assign(taps - 1, 0.0);  // zero prehistory: causal convolution
+  pending_.assign(taps - 1, T(0.0));  // zero prehistory: causal convolution
 }
 
-void FftFilter::Stream::reset() {
-  pending_.assign(filter_->kernel_size() - 1, 0.0);
+template <typename T>
+void BasicFftFilter<T>::Stream::reset() {
+  pending_.assign(filter_->kernel_size() - 1, T(0.0));
   consumed_ = 0;
   produced_ = 0;
 }
 
-std::size_t FftFilter::Stream::push(std::span<const double> x,
-                                    std::vector<double>& out, Workspace& ws) {
+template <typename T>
+std::size_t BasicFftFilter<T>::Stream::push(std::span<const T> x,
+                                            std::vector<T>& out,
+                                            Workspace& ws) {
   const std::size_t taps = filter_->kernel_size();
   consumed_ += x.size();
   // lint: alloc-ok(stream ring append; erase() retains capacity, so growth stops after warm-up)
   pending_.insert(pending_.end(), x.begin(), x.end());
   if (pending_.size() < m_) return 0;
 
-  const std::span<const cplx> kfft =
-      own_kernel_fft_.empty() ? std::span<const cplx>(filter_->kernel_fft_)
-                              : std::span<const cplx>(own_kernel_fft_);
-  ScratchReal seg_s(ws, m_);
-  ScratchCplx spec_s(ws, plan_->spectrum_size());
-  std::span<double> seg = seg_s.span();
-  std::span<cplx> spec = spec_s.span();
+  const std::span<const C> kfft =
+      own_kernel_fft_.empty() ? std::span<const C>(filter_->kernel_fft_)
+                              : std::span<const C>(own_kernel_fft_);
+  Scratch<T> seg_s(ws, m_);
+  Scratch<C> spec_s(ws, plan_->spectrum_size());
+  std::span<T> seg = seg_s.span();
+  std::span<C> spec = spec_s.span();
   std::size_t emitted = 0;
   std::size_t head = 0;
   // One overlap-save block per `step_` buffered samples: block b transforms
@@ -187,7 +201,7 @@ std::size_t FftFilter::Stream::push(std::span<const double> x,
     std::copy_n(pending_.begin() + static_cast<std::ptrdiff_t>(head), m_,
                 seg.begin());
     plan_->forward(seg, spec, ws);
-    simd::active().cmul_inplace(spec.data(), kfft.data(), spec.size());
+    simd::cmul_inplace(simd::active(), spec.data(), kfft.data(), spec.size());
     plan_->inverse(spec, seg, ws);
     for (std::size_t j = 0; j < step_; ++j) {
       out.push_back(seg[taps - 1 + j]);  // lint: alloc-ok(caller-owned output; capacity amortizes across pushes)
@@ -200,5 +214,8 @@ std::size_t FftFilter::Stream::push(std::span<const double> x,
   produced_ += emitted;
   return emitted;
 }
+
+template class BasicFftFilter<double>;
+template class BasicFftFilter<float>;
 
 }  // namespace aqua::dsp

@@ -9,12 +9,18 @@
 // correlation template — pay only the per-block signal transforms.
 //
 // Both the signal and the kernel are real, so every block runs through the
-// packed real FFT (RfftPlan): each transform is one half-size complex FFT,
-// the cached kernel spectrum stores only the m/2 + 1 non-redundant bins,
-// and the per-block spectrum product runs over half the bins through the
-// runtime-dispatched SIMD kernel (dsp/simd.h).
+// packed real FFT (BasicRfftPlan): each transform is one half-size complex
+// FFT, the cached kernel spectrum stores only the m/2 + 1 non-redundant
+// bins, and the per-block spectrum product runs over half the bins through
+// the runtime-dispatched SIMD kernel (dsp/simd.h).
 //
-// An FftFilter is immutable after construction and may be shared across
+// The engine is templated on the sample type: `FftFilter` (double) serves
+// the estimation path, `BasicFftFilter<float>` the single-precision receive
+// front end. The block-size cost model is precision-independent, so the
+// float engine picks the same blocks as the double one — which keeps the
+// two front ends aligned on the absolute block grid.
+//
+// A BasicFftFilter is immutable after construction and may be shared across
 // threads; all per-call scratch comes from the caller's Workspace.
 #pragma once
 
@@ -42,7 +48,7 @@ inline constexpr std::size_t kDirectConvOpsThreshold = std::size_t{1} << 14;
 inline constexpr std::size_t kOneShotDirectConvOpsThreshold = std::size_t{1}
                                                               << 18;
 
-/// Upper bound on the valid outputs per streaming block (FftFilter::Stream).
+/// Upper bound on the valid outputs per streaming block (Stream).
 /// Streams trade a little per-output efficiency for bounded latency: a
 /// batch-optimal block for a long kernel (e.g. the 7680-sample preamble
 /// template) can hold back seconds of audio, which no realtime front end
@@ -50,18 +56,21 @@ inline constexpr std::size_t kOneShotDirectConvOpsThreshold = std::size_t{1}
 inline constexpr std::size_t kMaxStreamStep = std::size_t{1} << 14;
 
 /// Streaming-capable overlap-save convolution engine for one real kernel.
-class FftFilter {
+template <typename T>
+class BasicFftFilter {
  public:
+  using C = std::complex<T>;
+
   /// Builds the engine for `kernel` (must be non-empty). Chooses the FFT
   /// block size minimizing estimated per-output cost and caches the kernel
   /// spectrum at that size. `max_step` bounds the valid outputs per block
   /// (i.e. the worst-case latency of a Stream over this engine); the
   /// default allows the unconstrained batch optimum.
-  explicit FftFilter(std::vector<double> kernel,
-                     std::size_t max_step = static_cast<std::size_t>(-1));
+  explicit BasicFftFilter(std::vector<T> kernel,
+                          std::size_t max_step = static_cast<std::size_t>(-1));
 
   std::size_t kernel_size() const { return kernel_.size(); }
-  const std::vector<double>& kernel() const { return kernel_; }
+  const std::vector<T>& kernel() const { return kernel_; }
   /// FFT block size chosen for this kernel (power of two).
   std::size_t fft_size() const { return m_; }
   /// New input samples consumed per block (fft_size - kernel_size + 1).
@@ -73,16 +82,15 @@ class FftFilter {
   }
 
   /// Full linear convolution: out.size() must be x.size() + kernel_size - 1.
-  void convolve_into(std::span<const double> x, std::span<double> out,
+  void convolve_into(std::span<const T> x, std::span<T> out,
                      Workspace& ws) const;
-  std::vector<double> convolve(std::span<const double> x, Workspace& ws) const;
+  std::vector<T> convolve(std::span<const T> x, Workspace& ws) const;
 
   /// "Same"-size filtering with group-delay compensation, matching
   /// dsp::filter_same: out.size() must equal x.size().
-  void filter_same_into(std::span<const double> x, std::span<double> out,
+  void filter_same_into(std::span<const T> x, std::span<T> out,
                         Workspace& ws) const;
-  std::vector<double> filter_same(std::span<const double> x,
-                                  Workspace& ws) const;
+  std::vector<T> filter_same(std::span<const T> x, Workspace& ws) const;
 
   /// Stateful streaming mode: carries the kernel-length input tail between
   /// calls so a continuous signal is filtered chunk by chunk with every
@@ -102,7 +110,7 @@ class FftFilter {
     /// When the parent's own block already satisfies it, the cached kernel
     /// spectrum is shared; otherwise a latency-bounded block is chosen and
     /// its spectrum computed once here.
-    explicit Stream(const FftFilter& filter,
+    explicit Stream(const BasicFftFilter& filter,
                     std::size_t max_step = kMaxStreamStep);
 
     /// Valid outputs per block (worst-case output lag is step() - 1).
@@ -111,7 +119,7 @@ class FftFilter {
 
     /// Consumes `x` and appends every newly completed output sample to
     /// `out`. Returns the number of samples appended.
-    std::size_t push(std::span<const double> x, std::vector<double>& out,
+    std::size_t push(std::span<const T> x, std::vector<T>& out,
                      Workspace& ws);
 
     /// Totals since construction / reset().
@@ -122,22 +130,27 @@ class FftFilter {
     void reset();
 
    private:
-    const FftFilter* filter_;
+    const BasicFftFilter* filter_;
     std::size_t m_ = 0;
     std::size_t step_ = 0;
-    const RfftPlan* plan_ = nullptr;
-    std::vector<cplx> own_kernel_fft_;   ///< empty when sharing the parent's
-    std::vector<double> pending_;        ///< [taps-1 history | unprocessed]
+    const BasicRfftPlan<T>* plan_ = nullptr;
+    std::vector<C> own_kernel_fft_;  ///< empty when sharing the parent's
+    std::vector<T> pending_;         ///< [taps-1 history | unprocessed]
     std::uint64_t consumed_ = 0;
     std::uint64_t produced_ = 0;
   };
 
  private:
-  std::vector<double> kernel_;
+  std::vector<T> kernel_;
   std::size_t m_ = 0;     ///< FFT block size (power of two)
   std::size_t step_ = 0;  ///< valid outputs per block
-  const RfftPlan* plan_ = nullptr;  ///< shared cache entry, process lifetime
-  std::vector<cplx> kernel_fft_;    ///< packed kernel spectrum (m/2 + 1 bins)
+  const BasicRfftPlan<T>* plan_ = nullptr;  ///< shared cache, process lifetime
+  std::vector<C> kernel_fft_;  ///< packed kernel spectrum (m/2 + 1 bins)
 };
+
+using FftFilter = BasicFftFilter<double>;
+
+extern template class BasicFftFilter<double>;
+extern template class BasicFftFilter<float>;
 
 }  // namespace aqua::dsp

@@ -160,13 +160,16 @@ std::vector<double> filter_same(std::span<const double> x,
   return out;
 }
 
-StreamingFir::StreamingFir(std::vector<double> taps) : taps_(std::move(taps)) {
+template <typename T>
+BasicStreamingFir<T>::BasicStreamingFir(std::vector<T> taps)
+    : taps_(std::move(taps)) {
   if (taps_.empty()) throw std::invalid_argument("StreamingFir: empty taps");
   rtaps_.assign(taps_.rbegin(), taps_.rend());
-  buf_.assign(taps_.size() - 1, 0.0);  // zero prehistory: causal filter
+  buf_.assign(taps_.size() - 1, T(0.0));  // zero prehistory: causal filter
 }
 
-std::vector<double> StreamingFir::process(std::span<const double> in) {
+template <typename T>
+std::vector<T> BasicStreamingFir<T>::process(std::span<const T> in) {
   if (in.empty()) return {};
   const std::size_t t = taps_.size();
   const std::size_t hist = t - 1;  // buf_ holds t-1 samples between calls
@@ -178,24 +181,27 @@ std::vector<double> StreamingFir::process(std::span<const double> in) {
   buf_.resize(hist + in.size());
   std::copy(in.begin(), in.end(),
             buf_.begin() + static_cast<std::ptrdiff_t>(hist));
-  std::vector<double> out(in.size());
-  const auto dot = simd::active().dot;
+  std::vector<T> out(in.size());
+  const simd::Kernels& kern = simd::active();
   for (std::size_t i = 0; i < in.size(); ++i) {
-    out[i] = dot(rtaps_.data(), buf_.data() + i, t);
+    out[i] = simd::dot(kern, rtaps_.data(), buf_.data() + i, t);
   }
   // Retain the trailing t-1 samples as the next call's history (memmove:
   // the ranges overlap when the block is shorter than the history).
   if (hist > 0) {
-    std::memmove(buf_.data(), buf_.data() + in.size(),
-                 hist * sizeof(double));
+    std::memmove(buf_.data(), buf_.data() + in.size(), hist * sizeof(T));
   }
   buf_.resize(hist);
   return out;
 }
 
-void StreamingFir::reset() {
-  buf_.assign(taps_.size() - 1, 0.0);
+template <typename T>
+void BasicStreamingFir<T>::reset() {
+  buf_.assign(taps_.size() - 1, T(0.0));
 }
+
+template class BasicStreamingFir<double>;
+template class BasicStreamingFir<float>;
 
 cplx fir_response(std::span<const double> taps, double freq_hz,
                   double sample_rate_hz) {

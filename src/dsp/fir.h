@@ -58,15 +58,18 @@ std::vector<double> filter_same(std::span<const double> x,
 ///
 /// Every output is one contiguous dot product of the reversed taps against
 /// a persistent [history | block] window buffer, computed by the
-/// runtime-dispatched SIMD kernel (dsp::simd::active().dot). Each output
-/// depends only on its own absolute input window, so the stream is
-/// bit-identical for any chunking of the same input.
-class StreamingFir {
+/// runtime-dispatched SIMD dot kernel of the filter's precision. Each
+/// output depends only on its own absolute input window, so the stream is
+/// bit-identical for any chunking of the same input. `StreamingFir` is the
+/// double instantiation; `BasicStreamingFir<float>` runs the fp32 kernel at
+/// twice the lanes.
+template <typename T>
+class BasicStreamingFir {
  public:
-  explicit StreamingFir(std::vector<double> taps);
+  explicit BasicStreamingFir(std::vector<T> taps);
 
   /// Processes one block; returns the same number of samples as `in`.
-  std::vector<double> process(std::span<const double> in);
+  std::vector<T> process(std::span<const T> in);
 
   /// Clears the internal history.
   void reset();
@@ -74,10 +77,15 @@ class StreamingFir {
   std::size_t tap_count() const { return taps_.size(); }
 
  private:
-  std::vector<double> taps_;
-  std::vector<double> rtaps_;  // taps reversed: window dot == convolution
-  std::vector<double> buf_;    // [tap_count()-1 history | current block]
+  std::vector<T> taps_;
+  std::vector<T> rtaps_;  // taps reversed: window dot == convolution
+  std::vector<T> buf_;    // [tap_count()-1 history | current block]
 };
+
+using StreamingFir = BasicStreamingFir<double>;
+
+extern template class BasicStreamingFir<double>;
+extern template class BasicStreamingFir<float>;
 
 /// Evaluates the frequency response of an FIR at `freq_hz`.
 cplx fir_response(std::span<const double> taps, double freq_hz,

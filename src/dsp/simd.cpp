@@ -1,3 +1,9 @@
+// Scalar reference kernels and the runtime dispatch decision.
+//
+// This translation unit is compiled with -ffp-contract=off (see
+// CMakeLists.txt) so the butterfly kernels' plain mul/add trees cannot be
+// contracted into fused multiply-adds on targets whose baseline has FMA
+// (AArch64); fusion is only ever spelled explicitly via std::fma.
 #include "dsp/simd.h"
 
 #include <cmath>
@@ -14,13 +20,23 @@ namespace {
 // ---------------------------------------------------------------------------
 // Scalar reference kernels. These spell out the exact expression tree every
 // vector implementation must reproduce: std::fma where the vector units fuse,
-// 4-lane accumulation with the (l0 + l1) + (l2 + l3) reduction.
+// fixed-lane accumulation (4 double / 8 float) with a fixed reduction order,
+// and an unfused mul/add tree in the butterfly (the historical std::complex
+// product, kept so double FFT outputs are bit-identical to the scalar era).
 // ---------------------------------------------------------------------------
 
 void scalar_cmul_inplace(cplx* y, const cplx* x, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     const double yr = y[i].real(), yi = y[i].imag();
     const double xr = x[i].real(), xi = x[i].imag();
+    y[i] = {std::fma(yr, xr, -(yi * xi)), std::fma(yi, xr, yr * xi)};
+  }
+}
+
+void scalar_cmul_inplace_f(cplxf* y, const cplxf* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float yr = y[i].real(), yi = y[i].imag();
+    const float xr = x[i].real(), xi = x[i].imag();
     y[i] = {std::fma(yr, xr, -(yi * xi)), std::fma(yi, xr, yr * xi)};
   }
 }
@@ -40,6 +56,21 @@ double scalar_dot(const double* a, const double* b, std::size_t n) {
   return (lane[0] + lane[1]) + (lane[2] + lane[3]);
 }
 
+float scalar_dot_f(const float* a, const float* b, std::size_t n) {
+  float lane[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < n8; i += 8) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      lane[l] = std::fma(a[i + l], b[i + l], lane[l]);
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    lane[i & 7] = std::fma(a[i], b[i], lane[i & 7]);
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
 void scalar_sdft_update(double* acc_re, double* acc_im, std::uint32_t* phase,
                         const std::uint32_t* step, const double* tab_re,
                         const double* tab_im, double d, std::size_t bins,
@@ -54,11 +85,65 @@ void scalar_sdft_update(double* acc_re, double* acc_im, std::uint32_t* phase,
   }
 }
 
-constexpr Kernels kScalarKernels{"scalar", scalar_cmul_inplace, scalar_dot,
-                                 scalar_sdft_update};
+void scalar_sdft_update_f(float* acc_re, float* acc_im, std::uint32_t* phase,
+                          const std::uint32_t* step, const float* tab_re,
+                          const float* tab_im, float d, std::size_t bins,
+                          std::uint32_t period) {
+  for (std::size_t k = 0; k < bins; ++k) {
+    const std::uint32_t p = phase[k];
+    acc_re[k] = std::fma(d, tab_re[p], acc_re[k]);
+    acc_im[k] = std::fma(d, tab_im[p], acc_im[k]);
+    std::uint32_t next = p + step[k];
+    if (next >= period) next -= period;
+    phase[k] = next;
+  }
+}
+
+void scalar_butterfly(cplx* a, cplx* b, const cplx* w, std::size_t n,
+                      bool conj_w) {
+  const double s = conj_w ? -1.0 : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wr = w[i].real(), wi = s * w[i].imag();
+    const double br = b[i].real(), bi = b[i].imag();
+    const double vr = br * wr - bi * wi;
+    const double vi = br * wi + bi * wr;
+    const double ur = a[i].real(), ui = a[i].imag();
+    a[i] = {ur + vr, ui + vi};
+    b[i] = {ur - vr, ui - vi};
+  }
+}
+
+void scalar_butterfly_f(cplxf* a, cplxf* b, const cplxf* w, std::size_t n,
+                        bool conj_w) {
+  const float s = conj_w ? -1.0f : 1.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float wr = w[i].real(), wi = s * w[i].imag();
+    const float br = b[i].real(), bi = b[i].imag();
+    const float vr = br * wr - bi * wi;
+    const float vi = br * wi + bi * wr;
+    const float ur = a[i].real(), ui = a[i].imag();
+    a[i] = {ur + vr, ui + vi};
+    b[i] = {ur - vr, ui - vi};
+  }
+}
+
+constexpr Kernels kScalarKernels{"scalar",
+                                 scalar_cmul_inplace,
+                                 scalar_dot,
+                                 scalar_sdft_update,
+                                 scalar_butterfly,
+                                 scalar_cmul_inplace_f,
+                                 scalar_dot_f,
+                                 scalar_sdft_update_f,
+                                 scalar_butterfly_f};
 
 // Widest supported target among those compiled in, in preference order.
 const Kernels* detect() {
+#if defined(AQUA_SIMD_HAVE_AVX512)
+  if (cpu_supports(Isa::kAvx512)) {
+    if (const Kernels* k = avx512_kernels()) return k;
+  }
+#endif
 #if defined(AQUA_SIMD_HAVE_AVX2)
   if (cpu_supports(Isa::kAvx2)) {
     if (const Kernels* k = avx2_kernels()) return k;
@@ -81,6 +166,9 @@ const Kernels* select() {
     if (std::strcmp(want, "avx2") == 0) {
       isa = Isa::kAvx2;
       known = true;
+    } else if (std::strcmp(want, "avx512") == 0) {
+      isa = Isa::kAvx512;
+      known = true;
     } else if (std::strcmp(want, "neon") == 0) {
       isa = Isa::kNeon;
       known = true;
@@ -93,8 +181,8 @@ const Kernels* select() {
                    want);
     } else {
       std::fprintf(stderr,
-                   "aqua: unknown AQUA_SIMD=%s (expected scalar|avx2|neon); "
-                   "auto-detecting instead\n",
+                   "aqua: unknown AQUA_SIMD=%s (expected "
+                   "scalar|avx2|avx512|neon); auto-detecting instead\n",
                    want);
     }
   }
@@ -110,6 +198,14 @@ bool cpu_supports(Isa isa) {
     case Isa::kAvx2:
 #if defined(__x86_64__) || defined(__i386__)
       return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512dq");
 #else
       return false;
 #endif
@@ -130,6 +226,11 @@ const Kernels* kernels_for(Isa isa) {
     case Isa::kAvx2:
 #if defined(AQUA_SIMD_HAVE_AVX2)
       if (cpu_supports(Isa::kAvx2)) return avx2_kernels();
+#endif
+      return nullptr;
+    case Isa::kAvx512:
+#if defined(AQUA_SIMD_HAVE_AVX512)
+      if (cpu_supports(Isa::kAvx512)) return avx512_kernels();
 #endif
       return nullptr;
     case Isa::kNeon:

@@ -1,9 +1,10 @@
-// Runtime-dispatched SIMD kernels for the three hot inner loops.
+// Runtime-dispatched SIMD kernels for the hot inner loops.
 //
 // The zero-allocation DSP core reduced every hot path to tight
-// span-over-span passes; this header names those passes as three kernels
-// and selects the widest implementation the running CPU supports once at
-// startup (AVX2+FMA on x86-64, NEON on AArch64, portable scalar anywhere):
+// span-over-span passes; this header names those passes as four kernel
+// families and selects the widest implementation the running CPU supports
+// once at startup (AVX-512 or AVX2+FMA on x86-64, NEON on AArch64,
+// portable scalar anywhere):
 //
 //   * `cmul_inplace` — the overlap-save block multiply-accumulate: the
 //     pointwise spectrum product at the center of every `FftFilter` block
@@ -13,18 +14,30 @@
 //   * `sdft_update` — the sliding-DFT bin update: one fused
 //     multiply-accumulate per active bin per sample in
 //     `moving_dft_power`'s running recurrence.
+//   * `butterfly` — the radix-2 FFT butterfly stage: twiddle multiply plus
+//     add/sub over one contiguous half-block, the inner loop of every
+//     power-of-two transform.
+//
+// Each family has a double entry and a float entry (`*_f`), the float one
+// running twice the lanes at the same vector width — that is the whole
+// point of the single-precision receive front end.
 //
 // Every implementation of a kernel computes the SAME floating-point
-// expression tree — fixed 4-lane accumulator structure, fused
-// multiply-adds (`std::fma` in the scalar build), fixed reduction order —
-// so the kernels are bit-identical across dispatch targets, not merely
+// expression tree — fixed lane-accumulator structure (4 double / 8 float
+// lanes for dot), fused multiply-adds (`std::fma` in the scalar build)
+// where every target fuses, plain mul/add in the butterfly where the
+// legacy std::complex tree must be preserved, fixed reduction order — so
+// the kernels are bit-identical across dispatch targets, not merely
 // close. That is what lets the streaming invariants (chunking-invariant
 // scanners, thread-count-invariant sweeps) survive vectorization, and it
 // is asserted by tests/test_simd.cpp on every target buildable on the
-// host.
+// host. Bit-identity holds per precision: every target's float kernels
+// agree with every other target's float kernels, but float results are of
+// course not the double results.
 //
 // Dispatch is decided once (first use) from cpuid; `AQUA_SIMD=scalar`
-// (or `avx2` / `neon`) overrides it for A/B measurement and testing.
+// (or `avx2` / `avx512` / `neon`) overrides it for A/B measurement and
+// testing.
 #pragma once
 
 #include <cstddef>
@@ -38,13 +51,14 @@ namespace aqua::dsp::simd {
 enum class Isa {
   kScalar,  ///< portable C++ (std::fma), always available
   kAvx2,    ///< x86-64 AVX2 + FMA
+  kAvx512,  ///< x86-64 AVX-512 (F + VL + DQ)
   kNeon,    ///< AArch64 Advanced SIMD
 };
 
 /// One resolved set of kernel entry points. All entries of a table come
 /// from the same ISA; tables are immutable and process-lifetime.
 struct Kernels {
-  /// Human-readable target name ("scalar", "avx2", "neon").
+  /// Human-readable target name ("scalar", "avx2", "avx512", "neon").
   const char* name;
 
   /// Pointwise in-place complex product: y[i] *= x[i] for i < n.
@@ -65,13 +79,35 @@ struct Kernels {
                       const std::uint32_t* step, const double* tab_re,
                       const double* tab_im, double d, std::size_t bins,
                       std::uint32_t period);
+
+  /// Radix-2 butterfly over one half-block: for i < n, with
+  /// w_i = conj_w ? conj(w[i]) : w[i],
+  ///   v = b[i] * w_i    (plain mul/sub tree: vr = br*wr - bi*wi,
+  ///                      vi = br*wi + bi*wr — NOT fused, matching the
+  ///                      historical std::complex product so double FFT
+  ///                      results are unchanged from the scalar era)
+  ///   u = a[i];  a[i] = u + v;  b[i] = u - v.
+  void (*butterfly)(cplx* a, cplx* b, const cplx* w, std::size_t n,
+                    bool conj_w);
+
+  /// Single-precision twins of the four kernels above. Same expression
+  /// trees evaluated in float (std::fma -> fmaf; dot_f uses 8 lanes with
+  /// the ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)) reduction).
+  void (*cmul_inplace_f)(cplxf* y, const cplxf* x, std::size_t n);
+  float (*dot_f)(const float* a, const float* b, std::size_t n);
+  void (*sdft_update_f)(float* acc_re, float* acc_im, std::uint32_t* phase,
+                        const std::uint32_t* step, const float* tab_re,
+                        const float* tab_im, float d, std::size_t bins,
+                        std::uint32_t period);
+  void (*butterfly_f)(cplxf* a, cplxf* b, const cplxf* w, std::size_t n,
+                      bool conj_w);
 };
 
 /// The kernel table selected for this process: the widest ISA the CPU
 /// supports among those compiled in, unless overridden by the AQUA_SIMD
-/// environment variable ("scalar", "avx2", "neon"; unknown or unsupported
-/// values fall back to auto-detection with a stderr warning). Decided on
-/// first call, then constant.
+/// environment variable ("scalar", "avx2", "avx512", "neon"; unknown or
+/// unsupported values fall back to auto-detection with a stderr warning).
+/// Decided on first call, then constant.
 const Kernels& active();
 
 /// Table for a specific target, or nullptr when that target is not
@@ -81,5 +117,51 @@ const Kernels* kernels_for(Isa isa);
 
 /// True when the running CPU can execute `isa`.
 bool cpu_supports(Isa isa);
+
+// ---------------------------------------------------------------------------
+// Precision-overloaded dispatch helpers so code templated on the sample type
+// calls the right table entry without `if constexpr` at every site.
+// ---------------------------------------------------------------------------
+
+inline void cmul_inplace(const Kernels& k, cplx* y, const cplx* x,
+                         std::size_t n) {
+  k.cmul_inplace(y, x, n);
+}
+inline void cmul_inplace(const Kernels& k, cplxf* y, const cplxf* x,
+                         std::size_t n) {
+  k.cmul_inplace_f(y, x, n);
+}
+
+inline double dot(const Kernels& k, const double* a, const double* b,
+                  std::size_t n) {
+  return k.dot(a, b, n);
+}
+inline float dot(const Kernels& k, const float* a, const float* b,
+                 std::size_t n) {
+  return k.dot_f(a, b, n);
+}
+
+inline void sdft_update(const Kernels& k, double* acc_re, double* acc_im,
+                        std::uint32_t* phase, const std::uint32_t* step,
+                        const double* tab_re, const double* tab_im, double d,
+                        std::size_t bins, std::uint32_t period) {
+  k.sdft_update(acc_re, acc_im, phase, step, tab_re, tab_im, d, bins, period);
+}
+inline void sdft_update(const Kernels& k, float* acc_re, float* acc_im,
+                        std::uint32_t* phase, const std::uint32_t* step,
+                        const float* tab_re, const float* tab_im, float d,
+                        std::size_t bins, std::uint32_t period) {
+  k.sdft_update_f(acc_re, acc_im, phase, step, tab_re, tab_im, d, bins,
+                  period);
+}
+
+inline void butterfly(const Kernels& k, cplx* a, cplx* b, const cplx* w,
+                      std::size_t n, bool conj_w) {
+  k.butterfly(a, b, w, n, conj_w);
+}
+inline void butterfly(const Kernels& k, cplxf* a, cplxf* b, const cplxf* w,
+                      std::size_t n, bool conj_w) {
+  k.butterfly_f(a, b, w, n, conj_w);
+}
 
 }  // namespace aqua::dsp::simd

@@ -88,8 +88,156 @@ void avx2_sdft_update(double* acc_re, double* acc_im, std::uint32_t* phase,
   }
 }
 
-constexpr Kernels kAvx2Kernels{"avx2", avx2_cmul_inplace, avx2_dot,
-                               avx2_sdft_update};
+void avx2_butterfly(cplx* a, cplx* b, const cplx* w, std::size_t n,
+                    bool conj_w) {
+  auto* ad = reinterpret_cast<double*>(a);
+  auto* bd = reinterpret_cast<double*>(b);
+  const auto* wd = reinterpret_cast<const double*>(w);
+  // XOR-ing the imaginary lanes with -0.0 conjugates exactly (sign flip).
+  const __m256d conj_mask = conj_w ? _mm256_set_pd(-0.0, 0.0, -0.0, 0.0)
+                                   : _mm256_setzero_pd();
+  const std::size_t n2 = n & ~std::size_t{1};  // two complex per vector
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const __m256d wv = _mm256_xor_pd(_mm256_loadu_pd(wd + 2 * i), conj_mask);
+    const __m256d bv = _mm256_loadu_pd(bd + 2 * i);
+    const __m256d wr = _mm256_movedup_pd(wv);          // [wr0 wr0 wr1 wr1]
+    const __m256d wi = _mm256_permute_pd(wv, 0b1111);  // [wi0 wi0 wi1 wi1]
+    const __m256d bs = _mm256_permute_pd(bv, 0b0101);  // [bi0 br0 bi1 br1]
+    const __m256d t = _mm256_mul_pd(bs, wi);           // [bi*wi br*wi ...]
+    // v = b*w with the unfused legacy tree: even lanes br*wr - bi*wi,
+    // odd lanes bi*wr + br*wi (separate mul then addsub — no contraction).
+    const __m256d v = _mm256_addsub_pd(_mm256_mul_pd(bv, wr), t);
+    const __m256d av = _mm256_loadu_pd(ad + 2 * i);
+    _mm256_storeu_pd(ad + 2 * i, _mm256_add_pd(av, v));
+    _mm256_storeu_pd(bd + 2 * i, _mm256_sub_pd(av, v));
+  }
+  if (n2 < n) {
+    const double s = conj_w ? -1.0 : 1.0;
+    const double wr = w[n2].real(), wi = s * w[n2].imag();
+    const double br = b[n2].real(), bi = b[n2].imag();
+    const double vr = br * wr - bi * wi;
+    const double vi = br * wi + bi * wr;
+    const double ur = a[n2].real(), ui = a[n2].imag();
+    a[n2] = {ur + vr, ui + vi};
+    b[n2] = {ur - vr, ui - vi};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-precision twins: same trees, eight fp32 lanes per vector.
+// ---------------------------------------------------------------------------
+
+void avx2_cmul_inplace_f(cplxf* y, const cplxf* x, std::size_t n) {
+  auto* yf = reinterpret_cast<float*>(y);
+  const auto* xf = reinterpret_cast<const float*>(x);
+  const std::size_t n4 = n & ~std::size_t{3};  // four complex per vector
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256 yv = _mm256_loadu_ps(yf + 2 * i);
+    const __m256 xv = _mm256_loadu_ps(xf + 2 * i);
+    const __m256 xr = _mm256_moveldup_ps(xv);            // [xr0 xr0 ...]
+    const __m256 xi = _mm256_movehdup_ps(xv);            // [xi0 xi0 ...]
+    const __m256 ys = _mm256_permute_ps(yv, 0b10110001);  // [yi0 yr0 ...]
+    const __m256 t = _mm256_mul_ps(ys, xi);               // [yi*xi yr*xi ...]
+    _mm256_storeu_ps(yf + 2 * i, _mm256_fmaddsub_ps(yv, xr, t));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    const float yr = y[i].real(), yi = y[i].imag();
+    const float xr = x[i].real(), xi = x[i].imag();
+    y[i] = {__builtin_fmaf(yr, xr, -(yi * xi)),
+            __builtin_fmaf(yi, xr, yr * xi)};
+  }
+}
+
+float avx2_dot_f(const float* a, const float* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < n8; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  alignas(32) float lane[8];
+  _mm256_store_ps(lane, acc);
+  for (std::size_t i = n8; i < n; ++i) {
+    lane[i & 7] = __builtin_fmaf(a[i], b[i], lane[i & 7]);
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+void avx2_sdft_update_f(float* acc_re, float* acc_im, std::uint32_t* phase,
+                        const std::uint32_t* step, const float* tab_re,
+                        const float* tab_im, float d, std::size_t bins,
+                        std::uint32_t period) {
+  const __m256 dv = _mm256_set1_ps(d);
+  const __m256i per = _mm256_set1_epi32(static_cast<int>(period));
+  const std::size_t b8 = bins & ~std::size_t{7};
+  for (std::size_t k = 0; k < b8; k += 8) {
+    const __m256i ph =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(phase + k));
+    const __m256 tre = _mm256_i32gather_ps(tab_re, ph, 4);
+    const __m256 tim = _mm256_i32gather_ps(tab_im, ph, 4);
+    _mm256_storeu_ps(acc_re + k,
+                     _mm256_fmadd_ps(dv, tre, _mm256_loadu_ps(acc_re + k)));
+    _mm256_storeu_ps(acc_im + k,
+                     _mm256_fmadd_ps(dv, tim, _mm256_loadu_ps(acc_im + k)));
+    __m256i next = _mm256_add_epi32(
+        ph, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(step + k)));
+    const __m256i ge = _mm256_cmpeq_epi32(_mm256_max_epu32(next, per), next);
+    next = _mm256_sub_epi32(next, _mm256_and_si256(ge, per));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(phase + k), next);
+  }
+  for (std::size_t k = b8; k < bins; ++k) {
+    const std::uint32_t p = phase[k];
+    acc_re[k] = __builtin_fmaf(d, tab_re[p], acc_re[k]);
+    acc_im[k] = __builtin_fmaf(d, tab_im[p], acc_im[k]);
+    std::uint32_t next = p + step[k];
+    if (next >= period) next -= period;
+    phase[k] = next;
+  }
+}
+
+void avx2_butterfly_f(cplxf* a, cplxf* b, const cplxf* w, std::size_t n,
+                      bool conj_w) {
+  auto* af = reinterpret_cast<float*>(a);
+  auto* bf = reinterpret_cast<float*>(b);
+  const auto* wf = reinterpret_cast<const float*>(w);
+  const __m256 conj_mask =
+      conj_w ? _mm256_set_ps(-0.0f, 0.0f, -0.0f, 0.0f, -0.0f, 0.0f, -0.0f,
+                             0.0f)
+             : _mm256_setzero_ps();
+  const std::size_t n4 = n & ~std::size_t{3};  // four complex per vector
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256 wv = _mm256_xor_ps(_mm256_loadu_ps(wf + 2 * i), conj_mask);
+    const __m256 bv = _mm256_loadu_ps(bf + 2 * i);
+    const __m256 wr = _mm256_moveldup_ps(wv);
+    const __m256 wi = _mm256_movehdup_ps(wv);
+    const __m256 bs = _mm256_permute_ps(bv, 0b10110001);
+    const __m256 t = _mm256_mul_ps(bs, wi);
+    const __m256 v = _mm256_addsub_ps(_mm256_mul_ps(bv, wr), t);
+    const __m256 av = _mm256_loadu_ps(af + 2 * i);
+    _mm256_storeu_ps(af + 2 * i, _mm256_add_ps(av, v));
+    _mm256_storeu_ps(bf + 2 * i, _mm256_sub_ps(av, v));
+  }
+  const float s = conj_w ? -1.0f : 1.0f;
+  for (std::size_t i = n4; i < n; ++i) {
+    const float wr = w[i].real(), wi = s * w[i].imag();
+    const float br = b[i].real(), bi = b[i].imag();
+    const float vr = br * wr - bi * wi;
+    const float vi = br * wi + bi * wr;
+    const float ur = a[i].real(), ui = a[i].imag();
+    a[i] = {ur + vr, ui + vi};
+    b[i] = {ur - vr, ui - vi};
+  }
+}
+
+constexpr Kernels kAvx2Kernels{"avx2",
+                               avx2_cmul_inplace,
+                               avx2_dot,
+                               avx2_sdft_update,
+                               avx2_butterfly,
+                               avx2_cmul_inplace_f,
+                               avx2_dot_f,
+                               avx2_sdft_update_f,
+                               avx2_butterfly_f};
 
 }  // namespace
 

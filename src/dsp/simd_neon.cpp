@@ -81,8 +81,157 @@ void neon_sdft_update(double* acc_re, double* acc_im, std::uint32_t* phase,
   }
 }
 
-constexpr Kernels kNeonKernels{"neon", neon_cmul_inplace, neon_dot,
-                               neon_sdft_update};
+void neon_butterfly(cplx* a, cplx* b, const cplx* w, std::size_t n,
+                    bool conj_w) {
+  auto* ad = reinterpret_cast<double*>(a);
+  auto* bd = reinterpret_cast<double*>(b);
+  const auto* wd = reinterpret_cast<const double*>(w);
+  // XOR-ing with -0.0 flips signs exactly: conj_mask negates the imaginary
+  // lane of w, neg_even negates the real lane of the cross product so a
+  // plain add yields the br*wr - bi*wi / bi*wr + br*wi legacy tree.
+  const std::uint64_t sign = 0x8000000000000000ull;
+  const uint64x2_t conj_mask =
+      conj_w ? vsetq_lane_u64(sign, vdupq_n_u64(0), 1) : vdupq_n_u64(0);
+  const uint64x2_t neg_even = vsetq_lane_u64(sign, vdupq_n_u64(0), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float64x2_t wv = vreinterpretq_f64_u64(veorq_u64(
+        vreinterpretq_u64_f64(vld1q_f64(wd + 2 * i)), conj_mask));  // [wr wi]
+    const float64x2_t bv = vld1q_f64(bd + 2 * i);                   // [br bi]
+    const float64x2_t bs = vextq_f64(bv, bv, 1);                    // [bi br]
+    const float64x2_t m1 =
+        vmulq_f64(bv, vdupq_laneq_f64(wv, 0));  // [br*wr bi*wr]
+    float64x2_t m2 = vmulq_f64(bs, vdupq_laneq_f64(wv, 1));  // [bi*wi br*wi]
+    m2 = vreinterpretq_f64_u64(
+        veorq_u64(vreinterpretq_u64_f64(m2), neg_even));
+    const float64x2_t v = vaddq_f64(m1, m2);  // [br*wr-bi*wi bi*wr+br*wi]
+    const float64x2_t av = vld1q_f64(ad + 2 * i);
+    vst1q_f64(ad + 2 * i, vaddq_f64(av, v));
+    vst1q_f64(bd + 2 * i, vsubq_f64(av, v));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-precision twins: same trees, two complex (four fp32 lanes) per
+// 128-bit vector; dot_f holds the 8-lane structure in two accumulators.
+// ---------------------------------------------------------------------------
+
+void neon_cmul_inplace_f(cplxf* y, const cplxf* x, std::size_t n) {
+  auto* yf = reinterpret_cast<float*>(y);
+  const auto* xf = reinterpret_cast<const float*>(x);
+  const uint32x4_t neg_even = {0x80000000u, 0u, 0x80000000u, 0u};
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const float32x4_t yv = vld1q_f32(yf + 2 * i);  // [yr0 yi0 yr1 yi1]
+    const float32x4_t xv = vld1q_f32(xf + 2 * i);
+    const float32x4_t xr = vtrn1q_f32(xv, xv);  // [xr0 xr0 xr1 xr1]
+    const float32x4_t xi = vtrn2q_f32(xv, xv);  // [xi0 xi0 xi1 xi1]
+    const float32x4_t ys = vrev64q_f32(yv);     // [yi0 yr0 yi1 yr1]
+    float32x4_t t = vmulq_f32(ys, xi);          // [yi*xi yr*xi ...]
+    t = vreinterpretq_f32_u32(veorq_u32(vreinterpretq_u32_f32(t), neg_even));
+    vst1q_f32(yf + 2 * i, vfmaq_f32(t, yv, xr));
+  }
+  if (n2 < n) {
+    const float yr = y[n2].real(), yi = y[n2].imag();
+    const float xr = x[n2].real(), xi = x[n2].imag();
+    y[n2] = {__builtin_fmaf(yr, xr, -(yi * xi)),
+             __builtin_fmaf(yi, xr, yr * xi)};
+  }
+}
+
+float neon_dot_f(const float* a, const float* b, std::size_t n) {
+  float32x4_t acc03 = vdupq_n_f32(0.0f);  // lanes {0..3}
+  float32x4_t acc47 = vdupq_n_f32(0.0f);  // lanes {4..7}
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < n8; i += 8) {
+    acc03 = vfmaq_f32(acc03, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc47 = vfmaq_f32(acc47, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+  }
+  float lane[8] = {vgetq_lane_f32(acc03, 0), vgetq_lane_f32(acc03, 1),
+                   vgetq_lane_f32(acc03, 2), vgetq_lane_f32(acc03, 3),
+                   vgetq_lane_f32(acc47, 0), vgetq_lane_f32(acc47, 1),
+                   vgetq_lane_f32(acc47, 2), vgetq_lane_f32(acc47, 3)};
+  for (std::size_t i = n8; i < n; ++i) {
+    lane[i & 7] = __builtin_fmaf(a[i], b[i], lane[i & 7]);
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+void neon_sdft_update_f(float* acc_re, float* acc_im, std::uint32_t* phase,
+                        const std::uint32_t* step, const float* tab_re,
+                        const float* tab_im, float d, std::size_t bins,
+                        std::uint32_t period) {
+  const uint32x4_t per = vdupq_n_u32(period);
+  const std::size_t b4 = bins & ~std::size_t{3};
+  for (std::size_t k = 0; k < b4; k += 4) {
+    const std::uint32_t p0 = phase[k], p1 = phase[k + 1];
+    const std::uint32_t p2 = phase[k + 2], p3 = phase[k + 3];
+    const float32x4_t tre = {tab_re[p0], tab_re[p1], tab_re[p2], tab_re[p3]};
+    const float32x4_t tim = {tab_im[p0], tab_im[p1], tab_im[p2], tab_im[p3]};
+    vst1q_f32(acc_re + k, vfmaq_n_f32(vld1q_f32(acc_re + k), tre, d));
+    vst1q_f32(acc_im + k, vfmaq_n_f32(vld1q_f32(acc_im + k), tim, d));
+    uint32x4_t next = vaddq_u32(vld1q_u32(phase + k), vld1q_u32(step + k));
+    next = vsubq_u32(next, vandq_u32(vcgeq_u32(next, per), per));
+    vst1q_u32(phase + k, next);
+  }
+  for (std::size_t k = b4; k < bins; ++k) {
+    const std::uint32_t p = phase[k];
+    acc_re[k] = __builtin_fmaf(d, tab_re[p], acc_re[k]);
+    acc_im[k] = __builtin_fmaf(d, tab_im[p], acc_im[k]);
+    std::uint32_t next = p + step[k];
+    if (next >= period) next -= period;
+    phase[k] = next;
+  }
+}
+
+void neon_butterfly_f(cplxf* a, cplxf* b, const cplxf* w, std::size_t n,
+                      bool conj_w) {
+  auto* af = reinterpret_cast<float*>(a);
+  auto* bf = reinterpret_cast<float*>(b);
+  const auto* wf = reinterpret_cast<const float*>(w);
+  const uint32x4_t conj_mask = conj_w
+                                   ? uint32x4_t{0u, 0x80000000u, 0u,
+                                                0x80000000u}
+                                   : vdupq_n_u32(0u);
+  const uint32x4_t neg_even = {0x80000000u, 0u, 0x80000000u, 0u};
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const float32x4_t wv = vreinterpretq_f32_u32(veorq_u32(
+        vreinterpretq_u32_f32(vld1q_f32(wf + 2 * i)), conj_mask));
+    const float32x4_t bv = vld1q_f32(bf + 2 * i);
+    const float32x4_t wr = vtrn1q_f32(wv, wv);
+    const float32x4_t wi = vtrn2q_f32(wv, wv);
+    const float32x4_t bs = vrev64q_f32(bv);
+    const float32x4_t m1 = vmulq_f32(bv, wr);
+    float32x4_t m2 = vmulq_f32(bs, wi);
+    m2 = vreinterpretq_f32_u32(
+        veorq_u32(vreinterpretq_u32_f32(m2), neg_even));
+    const float32x4_t v = vaddq_f32(m1, m2);
+    const float32x4_t av = vld1q_f32(af + 2 * i);
+    vst1q_f32(af + 2 * i, vaddq_f32(av, v));
+    vst1q_f32(bf + 2 * i, vsubq_f32(av, v));
+  }
+  if (n2 < n) {
+    const float s = conj_w ? -1.0f : 1.0f;
+    const float wr = w[n2].real(), wi = s * w[n2].imag();
+    const float br = b[n2].real(), bi = b[n2].imag();
+    const float vr = br * wr - bi * wi;
+    const float vi = br * wi + bi * wr;
+    const float ur = a[n2].real(), ui = a[n2].imag();
+    a[n2] = {ur + vr, ui + vi};
+    b[n2] = {ur - vr, ui - vi};
+  }
+}
+
+constexpr Kernels kNeonKernels{"neon",
+                               neon_cmul_inplace,
+                               neon_dot,
+                               neon_sdft_update,
+                               neon_butterfly,
+                               neon_cmul_inplace_f,
+                               neon_dot_f,
+                               neon_sdft_update_f,
+                               neon_butterfly_f};
 
 }  // namespace
 

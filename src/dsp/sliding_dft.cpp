@@ -19,10 +19,17 @@ constexpr std::size_t kReaccumulateInterval = 4096;
 
 }  // namespace
 
-void moving_dft_power(std::span<const double> x, std::size_t window,
-                      std::size_t first_bin, std::size_t num_bins,
-                      std::span<double> out, Workspace& ws,
-                      std::size_t stride) {
+namespace {
+
+// Shared implementation for both sample types. Tables are generated in
+// double and rounded once into T; the running sums and the per-sample
+// kernel update run in T (the periodic re-seed bounds the fp32 drift).
+template <typename T>
+void moving_dft_power_impl(std::span<const T> x, std::size_t window,
+                           std::size_t first_bin, std::size_t num_bins,
+                           std::span<T> out, Workspace& ws,
+                           std::size_t stride) {
+  using C = std::complex<T>;
   if (window == 0 || x.size() < window) {
     throw std::invalid_argument("moving_dft_power: window exceeds signal");
   }
@@ -47,25 +54,25 @@ void moving_dft_power(std::span<const double> x, std::size_t window,
   // (the SIMD update gathers from it); bin b reads indices (b * s) mod
   // window, advanced with integer adds, so phasors are exact for every
   // sample index.
-  ScratchReal tab_re_s(ws, window);
-  ScratchReal tab_im_s(ws, window);
-  std::span<double> tab_re = tab_re_s.span();
-  std::span<double> tab_im = tab_im_s.span();
+  Scratch<T> tab_re_s(ws, window);
+  Scratch<T> tab_im_s(ws, window);
+  std::span<T> tab_re = tab_re_s.span();
+  std::span<T> tab_im = tab_im_s.span();
   for (std::size_t m = 0; m < window; ++m) {
     const double a =
         -kTwoPi * static_cast<double>(m) / static_cast<double>(window);
-    tab_re[m] = std::cos(a);
-    tab_im[m] = std::sin(a);
+    tab_re[m] = static_cast<T>(std::cos(a));
+    tab_im[m] = static_cast<T>(std::sin(a));
   }
 
   // Per-bin running sums S_b(s) in split form, their phasor indices
   // (b * s) mod window, and the per-bin index increments.
-  ScratchReal acc_re_s(ws, num_bins);
-  ScratchReal acc_im_s(ws, num_bins);
+  Scratch<T> acc_re_s(ws, num_bins);
+  Scratch<T> acc_im_s(ws, num_bins);
   ScratchU32 phase_s(ws, num_bins);
   ScratchU32 step_s(ws, num_bins);
-  std::span<double> acc_re = acc_re_s.span();
-  std::span<double> acc_im = acc_im_s.span();
+  std::span<T> acc_re = acc_re_s.span();
+  std::span<T> acc_im = acc_im_s.span();
   std::span<std::uint32_t> phase = phase_s.span();
   std::span<std::uint32_t> steps = step_s.span();
   for (std::size_t k = 0; k < num_bins; ++k) {
@@ -76,24 +83,23 @@ void moving_dft_power(std::span<const double> x, std::size_t window,
   // the window (bins above window/2 are the conjugate mirror), rotated by
   // the window-start phase e^{-j 2 pi b s / window} the running sum
   // carries. One rfft replaces num_bins direct window accumulations.
-  ScratchCplx spec_s(ws, window / 2 + 1);
-  std::span<cplx> spec = spec_s.span();
+  Scratch<C> spec_s(ws, window / 2 + 1);
+  std::span<C> spec = spec_s.span();
   const auto seed = [&](std::size_t s) {
     rfft_into(x.subspan(s, window), spec, ws);
     for (std::size_t k = 0; k < num_bins; ++k) {
       const std::size_t b = first_bin + k;
-      const cplx z =
-          b <= window / 2 ? spec[b] : std::conj(spec[window - b]);
+      const C z = b <= window / 2 ? spec[b] : std::conj(spec[window - b]);
       const std::size_t p = (b * s) % window;
-      const cplx w{tab_re[p], tab_im[p]};
-      const cplx a = z * w;
+      const C w{tab_re[p], tab_im[p]};
+      const C a = z * w;
       acc_re[k] = a.real();
       acc_im[k] = a.imag();
       phase[k] = static_cast<std::uint32_t>(p);
     }
   };
   const auto write_row = [&](std::size_t s) {
-    double* row = out.data() + (s / stride) * num_bins;
+    T* row = out.data() + (s / stride) * num_bins;
     for (std::size_t k = 0; k < num_bins; ++k) {
       row[k] = acc_re[k] * acc_re[k] + acc_im[k] * acc_im[k];
     }
@@ -101,7 +107,7 @@ void moving_dft_power(std::span<const double> x, std::size_t window,
 
   seed(0);
   write_row(0);
-  const auto sdft_update = simd::active().sdft_update;
+  const simd::Kernels& kern = simd::active();
   const auto period = static_cast<std::uint32_t>(window);
   for (std::size_t s = 1; s < count; ++s) {
     if (s % kReaccumulateInterval == 0) {
@@ -110,12 +116,31 @@ void moving_dft_power(std::span<const double> x, std::size_t window,
       // Remove x[s-1], append x[s-1+window]; every bin's removed and added
       // terms share phasor (b*(s-1)) — one fused multiply-add per bin,
       // then the phasor indices advance to (b*s).
-      const double d = x[s - 1 + window] - x[s - 1];
-      sdft_update(acc_re.data(), acc_im.data(), phase.data(), steps.data(),
-                  tab_re.data(), tab_im.data(), d, num_bins, period);
+      const T d = x[s - 1 + window] - x[s - 1];
+      simd::sdft_update(kern, acc_re.data(), acc_im.data(), phase.data(),
+                        steps.data(), tab_re.data(), tab_im.data(), d,
+                        num_bins, period);
     }
     if (s % stride == 0) write_row(s);
   }
+}
+
+}  // namespace
+
+void moving_dft_power(std::span<const double> x, std::size_t window,
+                      std::size_t first_bin, std::size_t num_bins,
+                      std::span<double> out, Workspace& ws,
+                      std::size_t stride) {
+  moving_dft_power_impl<double>(x, window, first_bin, num_bins, out, ws,
+                                stride);
+}
+
+void moving_dft_power(std::span<const float> x, std::size_t window,
+                      std::size_t first_bin, std::size_t num_bins,
+                      std::span<float> out, Workspace& ws,
+                      std::size_t stride) {
+  moving_dft_power_impl<float>(x, window, first_bin, num_bins, out, ws,
+                               stride);
 }
 
 }  // namespace aqua::dsp

@@ -41,4 +41,14 @@ void moving_dft_power(std::span<const double> x, std::size_t window,
                       std::span<double> out, Workspace& ws,
                       std::size_t stride = 1);
 
+/// Single-precision overload for the float receive front end: float phasor
+/// tables and running sums through the fp32 sdft kernel (twice the bins per
+/// vector). The phasor indices stay integer, so phase never drifts; the
+/// periodic re-seed bounds the fp32 amplitude drift exactly as in the
+/// double path.
+void moving_dft_power(std::span<const float> x, std::size_t window,
+                      std::size_t first_bin, std::size_t num_bins,
+                      std::span<float> out, Workspace& ws,
+                      std::size_t stride = 1);
+
 }  // namespace aqua::dsp

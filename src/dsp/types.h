@@ -2,6 +2,7 @@
 // aquacomm's signal-processing code.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstddef>
@@ -13,6 +14,32 @@ namespace aqua::dsp {
 
 /// Complex sample type used throughout the library.
 using cplx = std::complex<double>;
+
+/// Single-precision complex sample type used by the float receive path.
+using cplxf = std::complex<float>;
+
+/// Sanctioned double->float narrowing for the mic-boundary conversion. The
+/// receive front end (bandpass + preamble correlation + tone scans) runs
+/// single-precision; every narrowing conversion into that path must go
+/// through these helpers so the `float-narrow` lint rule can tell the one
+/// intentional precision boundary apart from accidental truncation.
+inline float narrow_sample(double v) { return static_cast<float>(v); }
+
+/// Narrows a block of samples at the mic boundary (see narrow_sample).
+inline void narrow_samples(std::span<const double> in, std::span<float> out) {
+  const std::size_t n = std::min(in.size(), out.size());
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<float>(in[i]);
+}
+
+/// Converts a double sample block to the requested sample type. Identity for
+/// T = double; the sanctioned mic-boundary narrowing for T = float. Used by
+/// front-end components that are templated on the receive sample type.
+template <typename T>
+std::vector<T> convert_samples(std::span<const double> in) {
+  std::vector<T> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = static_cast<T>(in[i]);
+  return out;
+}
 
 inline constexpr double kPi = std::numbers::pi;
 inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
@@ -55,6 +82,15 @@ inline double mean_power(std::span<const cplx> x) {
 inline double energy(std::span<const double> x) {
   double acc = 0.0;
   for (double v : x) acc += v * v;
+  return acc;
+}
+
+/// Energy of a single-precision signal, accumulated in double so the float
+/// receive path normalizes against the same reference scale as the double
+/// path.
+inline double energy(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
   return acc;
 }
 

@@ -7,6 +7,13 @@
 // one warm-up pass a steady-state pipeline performs no heap allocation in
 // its inner loops.
 //
+// The arena pools five element types: double / cplx for the double-precision
+// estimation tail, float / cplxf for the single-precision receive front end,
+// and uint32 for SIMD index lanes. The generic acquire<V>/release<V>/
+// Scratch<V> interface picks the pool by element type so code templated on
+// the sample type leases without branching; ScratchReal/ScratchCplx/
+// ScratchU32 are aliases kept for the existing double call sites.
+//
 // Threading contract: a Workspace is single-threaded state. Each SweepRunner
 // worker owns one; code that only has the legacy allocating APIs available
 // goes through thread_local_workspace(), which is one arena per thread.
@@ -17,6 +24,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -24,8 +33,9 @@
 
 namespace aqua::dsp {
 
-/// Pool of reusable double / complex scratch vectors. Lease via ScratchReal
-/// / ScratchCplx below (RAII), or acquire/release directly for members.
+/// Pool of reusable scratch vectors (double, float, cplx, cplxf, uint32).
+/// Lease via Scratch<V> below (RAII), or acquire/release directly for
+/// members.
 class Workspace {
  public:
   Workspace() = default;
@@ -34,39 +44,56 @@ class Workspace {
 
   /// Takes a buffer from the pool (or a fresh one) resized to `n`.
   /// Contents are unspecified; callers must overwrite what they read.
-  std::vector<double> acquire_real(std::size_t n) {
-    std::vector<double> buf = pop(real_pool_);
-    buf.resize(n);
-    return buf;
-  }
-  std::vector<cplx> acquire_cplx(std::size_t n) {
-    std::vector<cplx> buf = pop(cplx_pool_);
-    buf.resize(n);
-    return buf;
-  }
-  /// Integer variant (SIMD index lanes, e.g. sliding-DFT phases).
-  std::vector<std::uint32_t> acquire_u32(std::size_t n) {
-    std::vector<std::uint32_t> buf = pop(u32_pool_);
+  template <typename V>
+  std::vector<V> acquire(std::size_t n) {
+    std::vector<V> buf = pop(pool<V>());
     buf.resize(n);
     return buf;
   }
 
   /// Returns a buffer (keeping its capacity) for the next acquire.
-  void release_real(std::vector<double>&& buf) {
-    real_pool_.push_back(std::move(buf));
+  template <typename V>
+  void release(std::vector<V>&& buf) {
+    pool<V>().push_back(std::move(buf));
   }
-  void release_cplx(std::vector<cplx>&& buf) {
-    cplx_pool_.push_back(std::move(buf));
+
+  /// Named wrappers kept for the existing double-precision call sites.
+  std::vector<double> acquire_real(std::size_t n) { return acquire<double>(n); }
+  std::vector<cplx> acquire_cplx(std::size_t n) { return acquire<cplx>(n); }
+  /// Integer variant (SIMD index lanes, e.g. sliding-DFT phases).
+  std::vector<std::uint32_t> acquire_u32(std::size_t n) {
+    return acquire<std::uint32_t>(n);
   }
+  void release_real(std::vector<double>&& buf) { release(std::move(buf)); }
+  void release_cplx(std::vector<cplx>&& buf) { release(std::move(buf)); }
   void release_u32(std::vector<std::uint32_t>&& buf) {
-    u32_pool_.push_back(std::move(buf));
+    release(std::move(buf));
   }
 
   /// Pool sizes (buffers currently at rest) — used by tests.
   std::size_t pooled_real() const { return real_pool_.size(); }
   std::size_t pooled_cplx() const { return cplx_pool_.size(); }
+  std::size_t pooled_realf() const { return realf_pool_.size(); }
+  std::size_t pooled_cplxf() const { return cplxf_pool_.size(); }
 
  private:
+  template <typename V>
+  std::vector<std::vector<V>>& pool() {
+    if constexpr (std::is_same_v<V, double>) {
+      return real_pool_;
+    } else if constexpr (std::is_same_v<V, float>) {
+      return realf_pool_;
+    } else if constexpr (std::is_same_v<V, cplx>) {
+      return cplx_pool_;
+    } else if constexpr (std::is_same_v<V, cplxf>) {
+      return cplxf_pool_;
+    } else {
+      static_assert(std::is_same_v<V, std::uint32_t>,
+                    "Workspace pools double/float/cplx/cplxf/uint32 only");
+      return u32_pool_;
+    }
+  }
+
   template <typename V>
   static V pop(std::vector<V>& pool) {
     if (pool.empty()) return V{};
@@ -76,70 +103,39 @@ class Workspace {
   }
 
   std::vector<std::vector<double>> real_pool_;
+  std::vector<std::vector<float>> realf_pool_;
   std::vector<std::vector<cplx>> cplx_pool_;
+  std::vector<std::vector<cplxf>> cplxf_pool_;
   std::vector<std::vector<std::uint32_t>> u32_pool_;
 };
 
-/// RAII lease of a double scratch vector sized to `n`.
-class ScratchReal {
+/// RAII lease of a scratch vector of `V` sized to `n`.
+template <typename V>
+class Scratch {
  public:
-  ScratchReal(Workspace& ws, std::size_t n)
-      : ws_(&ws), buf_(ws.acquire_real(n)) {}
-  ~ScratchReal() {
-    if (ws_) ws_->release_real(std::move(buf_));
+  Scratch(Workspace& ws, std::size_t n)
+      : ws_(&ws), buf_(ws.acquire<V>(n)) {}
+  ~Scratch() {
+    if (ws_) ws_->release(std::move(buf_));
   }
-  ScratchReal(const ScratchReal&) = delete;
-  ScratchReal& operator=(const ScratchReal&) = delete;
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
 
-  std::vector<double>& operator*() { return buf_; }
-  std::vector<double>* operator->() { return &buf_; }
-  std::span<double> span() { return buf_; }
+  std::vector<V>& operator*() { return buf_; }
+  std::vector<V>* operator->() { return &buf_; }
+  std::span<V> span() { return buf_; }
 
  private:
   Workspace* ws_;
-  std::vector<double> buf_;
+  std::vector<V> buf_;
 };
 
-/// RAII lease of a complex scratch vector sized to `n`.
-class ScratchCplx {
- public:
-  ScratchCplx(Workspace& ws, std::size_t n)
-      : ws_(&ws), buf_(ws.acquire_cplx(n)) {}
-  ~ScratchCplx() {
-    if (ws_) ws_->release_cplx(std::move(buf_));
-  }
-  ScratchCplx(const ScratchCplx&) = delete;
-  ScratchCplx& operator=(const ScratchCplx&) = delete;
-
-  std::vector<cplx>& operator*() { return buf_; }
-  std::vector<cplx>* operator->() { return &buf_; }
-  std::span<cplx> span() { return buf_; }
-
- private:
-  Workspace* ws_;
-  std::vector<cplx> buf_;
-};
-
-/// RAII lease of a uint32 scratch vector sized to `n` (SIMD index lanes,
-/// e.g. the sliding-DFT phase indices).
-class ScratchU32 {
- public:
-  ScratchU32(Workspace& ws, std::size_t n)
-      : ws_(&ws), buf_(ws.acquire_u32(n)) {}
-  ~ScratchU32() {
-    if (ws_) ws_->release_u32(std::move(buf_));
-  }
-  ScratchU32(const ScratchU32&) = delete;
-  ScratchU32& operator=(const ScratchU32&) = delete;
-
-  std::vector<std::uint32_t>& operator*() { return buf_; }
-  std::vector<std::uint32_t>* operator->() { return &buf_; }
-  std::span<std::uint32_t> span() { return buf_; }
-
- private:
-  Workspace* ws_;
-  std::vector<std::uint32_t> buf_;
-};
+/// Aliases kept for the existing double-precision call sites.
+using ScratchReal = Scratch<double>;
+using ScratchCplx = Scratch<cplx>;
+using ScratchU32 = Scratch<std::uint32_t>;
+using ScratchRealF = Scratch<float>;
+using ScratchCplxF = Scratch<cplxf>;
 
 /// One arena per thread, used by the legacy allocating wrappers so existing
 /// call sites get buffer reuse without an API change.

@@ -22,16 +22,19 @@ std::size_t power_grid_stride(std::size_t step, std::size_t sym_total) {
 
 // Noncoherent combining of the kRepeats repeated symbols at window start
 // `start`, whitened per bin by the edge noise profile. `win` is the strided
-// moving-DFT power matrix.
-void combine_repeats(std::span<const double> win,
-                     std::span<const double> noise, std::size_t start,
-                     std::size_t sym_total, std::size_t stride,
-                     std::span<double> powers) {
+// moving-DFT power matrix (in the front end's sample type); the whitened
+// sums always accumulate in double.
+template <typename T>
+void combine_repeats(std::span<const T> win, std::span<const double> noise,
+                     std::size_t start, std::size_t sym_total,
+                     std::size_t stride, std::span<double> powers) {
   std::fill(powers.begin(), powers.end(), 0.0);
   const std::size_t bins = powers.size();
   for (std::size_t r = 0; r < FeedbackCodec::kRepeats; ++r) {
-    const double* row = win.data() + ((start + r * sym_total) / stride) * bins;
-    for (std::size_t k = 0; k < bins; ++k) powers[k] += row[k] / noise[k];
+    const T* row = win.data() + ((start + r * sym_total) / stride) * bins;
+    for (std::size_t k = 0; k < bins; ++k) {
+      powers[k] += static_cast<double>(row[k]) / noise[k];
+    }
   }
 }
 
@@ -41,12 +44,18 @@ void combine_repeats(std::span<const double> win,
 // spectral tilt — residual sub-kHz ambient noise in the filter transition
 // band, device response slope — that would otherwise bias the top-bin
 // search toward the band edges. Fills `noise` (num_bins() values).
-void edge_noise_profile(const Ofdm& ofdm, std::span<const double> signal,
+template <typename T>
+void edge_noise_profile(const Ofdm& ofdm, std::span<const T> signal,
                         std::span<double> noise, dsp::Workspace& ws) {
   const std::size_t n = ofdm.params().symbol_samples();
   const std::size_t bins = ofdm.params().num_bins();
   dsp::ScratchCplx spec_s(ws, bins);
   std::span<dsp::cplx> spec = spec_s.span();
+  // The OFDM demodulator is estimation machinery and stays double: float
+  // windows are widened into this scratch at the handoff (lossless), so
+  // the noise profile is computed identically for both sample types.
+  dsp::ScratchReal window_s(ws, n);
+  std::span<double> window = window_s.span();
   // Average several overlapping windows at each edge of the capture (hop
   // n/2); single-window periodograms have far too much variance to divide
   // by. At least one edge precedes/follows the symbol being searched for.
@@ -57,7 +66,10 @@ void edge_noise_profile(const Ofdm& ofdm, std::span<const double> signal,
       const std::size_t off = w * n / 2;
       if (off + n > signal.size()) break;
       const std::size_t start = from_start ? off : signal.size() - n - off;
-      ofdm.demodulate_into(signal.subspan(start, n), spec, ws);
+      for (std::size_t j = 0; j < n; ++j) {
+        window[j] = static_cast<double>(signal[start + j]);
+      }
+      ofdm.demodulate_into(window, spec, ws);
       for (std::size_t k = 0; k < bins; ++k) acc[k] += std::norm(spec[k]);
       ++count;
     }
@@ -111,7 +123,17 @@ FeedbackCodec::FeedbackCodec(const OfdmParams& params)
     : params_(params),
       ofdm_(params),
       bandpass_(dsp::design_bandpass(params.band_low_hz, params.band_high_hz,
-                                     params.sample_rate_hz, 129)) {}
+                                     params.sample_rate_hz, 129)),
+      bandpass_f_(dsp::convert_samples<float>(bandpass_.kernel())) {}
+
+template <>
+const dsp::BasicFftFilter<double>& FeedbackCodec::bandpass_for<double>() const {
+  return bandpass_;
+}
+template <>
+const dsp::BasicFftFilter<float>& FeedbackCodec::bandpass_for<float>() const {
+  return bandpass_f_;
+}
 
 std::vector<double> FeedbackCodec::encode_band(const BandSelection& band) const {
   std::vector<dsp::cplx> bins(params_.num_bins(), dsp::cplx{0.0, 0.0});
@@ -133,8 +155,9 @@ std::optional<FeedbackDecode> FeedbackCodec::decode_band(
                      dsp::thread_local_workspace());
 }
 
-std::optional<FeedbackDecode> FeedbackCodec::decode_band(
-    std::span<const double> raw, std::size_t step, double min_peak_fraction,
+template <typename T>
+std::optional<FeedbackDecode> FeedbackCodec::decode_band_impl(
+    std::span<const T> raw, std::size_t step, double min_peak_fraction,
     dsp::Workspace& ws) const {
   const std::size_t n = params_.symbol_samples();
   const std::size_t bins = params_.num_bins();
@@ -142,12 +165,12 @@ std::optional<FeedbackDecode> FeedbackCodec::decode_band(
   // Sub-kHz ambient noise (and machinery tones) otherwise leak into the
   // band-edge FFT bins through the rectangular-window sidelobes and
   // masquerade as a transmitted tone.
-  dsp::ScratchReal filtered_s(ws, raw.size());
-  bandpass_.filter_same_into(raw, filtered_s.span(), ws);
-  std::span<const double> signal = filtered_s.span();
+  dsp::Scratch<T> filtered_s(ws, raw.size());
+  bandpass_for<T>().filter_same_into(raw, filtered_s.span(), ws);
+  std::span<const T> signal = filtered_s.span();
 
   dsp::ScratchReal noise_s(ws, bins);
-  edge_noise_profile(ofdm_, signal, noise_s.span(), ws);
+  edge_noise_profile<T>(ofdm_, signal, noise_s.span(), ws);
   std::span<const double> noise = noise_s.span();
 
   const std::size_t sym_total = params_.symbol_total_samples();
@@ -157,10 +180,10 @@ std::optional<FeedbackDecode> FeedbackCodec::decode_band(
   // One moving-DFT pass covers every window start and every repeat offset.
   const std::size_t stride = power_grid_stride(step, sym_total);
   const std::size_t count = signal.size() - n + 1;
-  dsp::ScratchReal win_s(ws, ((count + stride - 1) / stride) * bins);
+  dsp::Scratch<T> win_s(ws, ((count + stride - 1) / stride) * bins);
   dsp::moving_dft_power(signal, n, params_.first_bin(), bins, win_s.span(),
                         ws, stride);
-  std::span<const double> win = win_s.span();
+  std::span<const T> win = win_s.span();
 
   std::optional<FeedbackDecode> best;
   double best_peak_sum = 0.0;
@@ -168,7 +191,7 @@ std::optional<FeedbackDecode> FeedbackCodec::decode_band(
   std::vector<double>& powers = *powers_s;
   for (std::size_t start = 0; start + span_needed <= signal.size();
        start += step) {
-    combine_repeats(win, noise, start, sym_total, stride, powers);
+    combine_repeats<T>(win, noise, start, sym_total, stride, powers);
     // Top-2 whitened (per-bin SNR) powers.
     double total = 0.0;
     std::size_t i1 = 0, i2 = 0;
@@ -216,6 +239,18 @@ std::optional<FeedbackDecode> FeedbackCodec::decode_band(
   return best;
 }
 
+std::optional<FeedbackDecode> FeedbackCodec::decode_band(
+    std::span<const double> raw, std::size_t step, double min_peak_fraction,
+    dsp::Workspace& ws) const {
+  return decode_band_impl<double>(raw, step, min_peak_fraction, ws);
+}
+
+std::optional<FeedbackDecode> FeedbackCodec::decode_band(
+    std::span<const float> raw, std::size_t step, double min_peak_fraction,
+    dsp::Workspace& ws) const {
+  return decode_band_impl<float>(raw, step, min_peak_fraction, ws);
+}
+
 std::optional<ToneDecode> FeedbackCodec::decode_tone(
     std::span<const double> raw, std::size_t step,
     double min_peak_fraction) const {
@@ -223,18 +258,19 @@ std::optional<ToneDecode> FeedbackCodec::decode_tone(
                      dsp::thread_local_workspace());
 }
 
-std::optional<ToneDecode> FeedbackCodec::decode_tone(
-    std::span<const double> raw, std::size_t step, double min_peak_fraction,
+template <typename T>
+std::optional<ToneDecode> FeedbackCodec::decode_tone_impl(
+    std::span<const T> raw, std::size_t step, double min_peak_fraction,
     dsp::Workspace& ws) const {
   const std::size_t n = params_.symbol_samples();
   const std::size_t bins = params_.num_bins();
   if (raw.size() < n || step == 0) return std::nullopt;
-  dsp::ScratchReal filtered_s(ws, raw.size());
-  bandpass_.filter_same_into(raw, filtered_s.span(), ws);
-  std::span<const double> signal = filtered_s.span();
+  dsp::Scratch<T> filtered_s(ws, raw.size());
+  bandpass_for<T>().filter_same_into(raw, filtered_s.span(), ws);
+  std::span<const T> signal = filtered_s.span();
 
   dsp::ScratchReal noise_s(ws, bins);
-  edge_noise_profile(ofdm_, signal, noise_s.span(), ws);
+  edge_noise_profile<T>(ofdm_, signal, noise_s.span(), ws);
   std::span<const double> noise = noise_s.span();
 
   const std::size_t sym_total = params_.symbol_total_samples();
@@ -243,10 +279,10 @@ std::optional<ToneDecode> FeedbackCodec::decode_tone(
 
   const std::size_t stride = power_grid_stride(step, sym_total);
   const std::size_t count = signal.size() - n + 1;
-  dsp::ScratchReal win_s(ws, ((count + stride - 1) / stride) * bins);
+  dsp::Scratch<T> win_s(ws, ((count + stride - 1) / stride) * bins);
   dsp::moving_dft_power(signal, n, params_.first_bin(), bins, win_s.span(),
                         ws, stride);
-  std::span<const double> win = win_s.span();
+  std::span<const T> win = win_s.span();
 
   std::optional<ToneDecode> best;
   double best_peak = 0.0;
@@ -254,7 +290,7 @@ std::optional<ToneDecode> FeedbackCodec::decode_tone(
   std::vector<double>& powers = *powers_s;
   for (std::size_t start = 0; start + span_needed <= signal.size();
        start += step) {
-    combine_repeats(win, noise, start, sym_total, stride, powers);
+    combine_repeats<T>(win, noise, start, sym_total, stride, powers);
     double total = 0.0;
     double p1 = -1.0;
     std::size_t i1 = 0;
@@ -275,6 +311,18 @@ std::optional<ToneDecode> FeedbackCodec::decode_tone(
     }
   }
   return best;
+}
+
+std::optional<ToneDecode> FeedbackCodec::decode_tone(
+    std::span<const double> raw, std::size_t step, double min_peak_fraction,
+    dsp::Workspace& ws) const {
+  return decode_tone_impl<double>(raw, step, min_peak_fraction, ws);
+}
+
+std::optional<ToneDecode> FeedbackCodec::decode_tone(
+    std::span<const float> raw, std::size_t step, double min_peak_fraction,
+    dsp::Workspace& ws) const {
+  return decode_tone_impl<float>(raw, step, min_peak_fraction, ws);
 }
 
 }  // namespace aqua::phy

@@ -61,6 +61,13 @@ class FeedbackCodec {
   std::optional<FeedbackDecode> decode_band(std::span<const double> signal,
                                             std::size_t step = 16,
                                             double min_peak_fraction = 0.3) const;
+  /// Single-precision overload for the float receive front end: the
+  /// bandpass and the moving-DFT power matrix run in fp32 (the decision
+  /// metrics — noise whitening, top-bin sums — still accumulate in double).
+  std::optional<FeedbackDecode> decode_band(std::span<const float> signal,
+                                            std::size_t step,
+                                            double min_peak_fraction,
+                                            dsp::Workspace& ws) const;
 
   /// Searches `signal` for a single-tone symbol.
   std::optional<ToneDecode> decode_tone(std::span<const double> signal,
@@ -72,6 +79,11 @@ class FeedbackCodec {
   std::optional<ToneDecode> decode_tone(std::span<const double> signal,
                                         std::size_t step = 16,
                                         double min_peak_fraction = 0.3) const;
+  /// Single-precision overload (see the decode_band float overload).
+  std::optional<ToneDecode> decode_tone(std::span<const float> signal,
+                                        std::size_t step,
+                                        double min_peak_fraction,
+                                        dsp::Workspace& ws) const;
 
   /// ACKs ride on the first active bin (1 kHz), per the paper.
   static constexpr std::size_t kAckBin = 0;
@@ -84,9 +96,26 @@ class FeedbackCodec {
   const OfdmParams& params() const { return params_; }
 
  private:
+  template <typename T>
+  std::optional<FeedbackDecode> decode_band_impl(std::span<const T> raw,
+                                                 std::size_t step,
+                                                 double min_peak_fraction,
+                                                 dsp::Workspace& ws) const;
+  template <typename T>
+  std::optional<ToneDecode> decode_tone_impl(std::span<const T> raw,
+                                             std::size_t step,
+                                             double min_peak_fraction,
+                                             dsp::Workspace& ws) const;
+  /// The receive bandpass engine matching sample type T.
+  template <typename T>
+  const dsp::BasicFftFilter<T>& bandpass_for() const;
+
   OfdmParams params_;
   Ofdm ofdm_;
   dsp::FftFilter bandpass_;  ///< receive bandpass, cached spectrum
+  /// fp32 twin of bandpass_ (same kernel, correctly-rounded narrowing) for
+  /// the float decode overloads.
+  dsp::BasicFftFilter<float> bandpass_f_;
 };
 
 }  // namespace aqua::phy

@@ -59,25 +59,37 @@ const dsp::CrossCorrelator& Preamble::core_corr() const {
   return *core_corr_;
 }
 
-double Preamble::sliding_metric_at(std::span<const double> signal,
-                                   std::size_t start) const {
+template <typename T>
+double Preamble::sliding_metric_at_t(std::span<const T> signal,
+                                     std::size_t start) const {
   const std::size_t n = params_.symbol_samples();
   if (start + core_samples_ > signal.size()) return 0.0;
   // Segment correlations and the window energy are contiguous dot products
-  // — the dispatched SIMD kernel runs them (batch detect() and the
-  // streaming scanner share this function, so both paths stay identical).
-  const auto dot = dsp::simd::active().dot;
+  // — the dispatched SIMD kernel of T's precision runs them (batch detect()
+  // and the streaming scanner share this function, so both paths stay
+  // identical). The metric itself accumulates in double for every T.
+  const dsp::simd::Kernels& kern = dsp::simd::active();
   double corr_sum = 0.0;
   for (std::size_t s = 0; s + 1 < OfdmParams::kPreambleSymbols; ++s) {
-    const double* a = signal.data() + start + s * n;
+    const T* a = signal.data() + start + s * n;
     const double sign = static_cast<double>(OfdmParams::kPnSigns[s] *
                                             OfdmParams::kPnSigns[s + 1]);
-    corr_sum += sign * dot(a, a + n, n);
+    corr_sum += sign * static_cast<double>(dsp::simd::dot(kern, a, a + n, n));
   }
-  const double energy_sum =
-      dot(signal.data() + start, signal.data() + start, core_samples_);
+  const double energy_sum = static_cast<double>(dsp::simd::dot(
+      kern, signal.data() + start, signal.data() + start, core_samples_));
   if (energy_sum <= 1e-12) return 0.0;
   return corr_sum / energy_sum;
+}
+
+template double Preamble::sliding_metric_at_t<double>(std::span<const double>,
+                                                      std::size_t) const;
+template double Preamble::sliding_metric_at_t<float>(std::span<const float>,
+                                                     std::size_t) const;
+
+double Preamble::sliding_metric_at(std::span<const double> signal,
+                                   std::size_t start) const {
+  return sliding_metric_at_t<double>(signal, start);
 }
 
 std::optional<PreambleDetection> Preamble::detect(
@@ -172,27 +184,41 @@ constexpr std::uint64_t kScannerEnergyReaccumulate = 4096;
 // Compact a ring's front lazily so trims amortize to O(1) per sample.
 constexpr std::size_t kRingTrimSlack = 8192;
 
-std::vector<double> reversed(std::vector<double> v) {
-  std::reverse(v.begin(), v.end());
-  return v;
+// The scanner's engines are built in the scanner's own sample type: the
+// kernels are the correctly-rounded narrowing of the double ones
+// (convert_samples — identity for T = double), and the block-size model is
+// precision-independent, so both precisions sit on the same block grid.
+template <typename T>
+std::vector<T> bandpass_kernel(const dsp::FftFilter& bandpass) {
+  return dsp::convert_samples<T>(bandpass.kernel());
+}
+
+template <typename T>
+std::vector<T> reversed_core(const Preamble& preamble) {
+  std::vector<double> t = preamble.core_template();
+  std::reverse(t.begin(), t.end());
+  return dsp::convert_samples<T>(t);
 }
 
 }  // namespace
 
-PreambleScanner::PreambleScanner(const Preamble& preamble)
+template <typename T>
+BasicPreambleScanner<T>::BasicPreambleScanner(const Preamble& preamble)
     : pre_(&preamble),
       n_(preamble.params_.symbol_samples()),
       core_(preamble.core_samples()),
       delay_((preamble.bandpass_.kernel_size() - 1) / 2),
       window_(std::max<std::size_t>(n_ / 2, 1)),
       ref_energy_(dsp::energy(preamble.core_template())),
-      corr_engine_(reversed(preamble.core_template()), dsp::kMaxStreamStep),
-      band_stream_(preamble.bandpass_, dsp::kMaxStreamStep),
+      band_engine_(bandpass_kernel<T>(preamble.bandpass_)),
+      corr_engine_(reversed_core<T>(preamble), dsp::kMaxStreamStep),
+      band_stream_(band_engine_, dsp::kMaxStreamStep),
       corr_stream_(corr_engine_),
       conv_drop_(delay_),
       corr_drop_(core_ - 1) {}
 
-void PreambleScanner::reset() {
+template <typename T>
+void BasicPreambleScanner<T>::reset() {
   band_stream_.reset();
   corr_stream_.reset();
   filt_.clear();
@@ -207,7 +233,8 @@ void PreambleScanner::reset() {
   consumed_ = 0;
 }
 
-std::uint64_t PreambleScanner::decided_through() const {
+template <typename T>
+std::uint64_t BasicPreambleScanner<T>::decided_through() const {
   const std::uint64_t frontier = next_window_ * window_;
   const std::uint64_t horizon = static_cast<std::uint64_t>(core_ + n_);
   const std::uint64_t settled = frontier > horizon ? frontier - horizon : 0;
@@ -215,18 +242,20 @@ std::uint64_t PreambleScanner::decided_through() const {
                   : settled;
 }
 
-double PreambleScanner::metric_at(std::uint64_t abs_index) const {
+template <typename T>
+double BasicPreambleScanner<T>::metric_at(std::uint64_t abs_index) const {
   // Below the ring means below anything a legitimate probe can reach
   // (trim_rings retains the full confirmation span including the fine
   // pass); the guard only turns a corner-case wild read into a 0.
   if (abs_index < filt_base_) return 0.0;
-  return pre_->sliding_metric_at(
+  return pre_->sliding_metric_at_t<T>(
       filt_, static_cast<std::size_t>(abs_index - filt_base_));
 }
 
-void PreambleScanner::scan(std::span<const double> chunk,
-                           std::vector<PreambleDetection>& out,
-                           dsp::Workspace& ws) {
+template <typename T>
+void BasicPreambleScanner<T>::scan(std::span<const T> chunk,
+                                   std::vector<PreambleDetection>& out,
+                                   dsp::Workspace& ws) {
   consumed_ += chunk.size();
 
   // Bandpass each arriving sample exactly once. Dropping the first
@@ -235,7 +264,7 @@ void PreambleScanner::scan(std::span<const double> chunk,
   // indices are raw-stream indices.
   conv_tmp_.clear();
   band_stream_.push(chunk, conv_tmp_, ws);
-  std::span<const double> newf = conv_tmp_;
+  std::span<const T> newf = conv_tmp_;
   if (conv_drop_ > 0) {
     const std::size_t d = std::min(conv_drop_, newf.size());
     newf = newf.subspan(d);
@@ -249,7 +278,7 @@ void PreambleScanner::scan(std::span<const double> chunk,
   // lag i at convolution index i + core - 1.
   corr_tmp_.clear();
   corr_stream_.push(newf, corr_tmp_, ws);
-  std::span<const double> newc = corr_tmp_;
+  std::span<const T> newc = corr_tmp_;
   if (corr_drop_ > 0) {
     const std::size_t d = std::min(corr_drop_, newc.size());
     newc = newc.subspan(d);
@@ -261,34 +290,40 @@ void PreambleScanner::scan(std::span<const double> chunk,
   advance(out);
 }
 
-void PreambleScanner::advance(std::vector<PreambleDetection>& out) {
+template <typename T>
+void BasicPreambleScanner<T>::advance(std::vector<PreambleDetection>& out) {
   const std::uint64_t filt_end = filt_base_ + filt_.size();
   const std::uint64_t corr_end = corr_base_ + corr_vals_.size();
 
   // Extend the normalized-correlation ring. The running window energy is
-  // updated lag by lag in absolute order (with absolute-grid re-sums), so
-  // the value sequence does not depend on chunk boundaries.
+  // updated lag by lag in absolute order (with absolute-grid re-sums) and
+  // always accumulates in double — the recurrence's loud-then-quiet
+  // cancellation would eat a float accumulator — so the value sequence
+  // does not depend on chunk boundaries for either sample type.
   while (next_lag_ < corr_end && next_lag_ + core_ <= filt_end) {
     const std::uint64_t i = next_lag_;
     if (i == 0 || i % kScannerEnergyReaccumulate == 0) {
       double acc = 0.0;
-      const double* f = filt_.data() + (i - filt_base_);
-      for (std::size_t j = 0; j < core_; ++j) acc += f[j] * f[j];
+      const T* f = filt_.data() + (i - filt_base_);
+      for (std::size_t j = 0; j < core_; ++j) {
+        const double v = static_cast<double>(f[j]);
+        acc += v * v;
+      }
       energy_acc_ = acc;
     } else {
       // Ring offset of lag i-1; trim_rings() never trims past the oldest
       // lag the incremental update still touches.
       const std::size_t off =
           static_cast<std::size_t>(i - 1 - filt_base_);  // lint: pos-sub-ok(trim_rings keeps filt_base_ <= next_lag_ - 1; i >= 1 in this branch)
-      const double head = filt_[off];
-      const double tail = filt_[off + core_];
+      const double head = static_cast<double>(filt_[off]);
+      const double tail = static_cast<double>(filt_[off + core_]);
       energy_acc_ += tail * tail - head * head;
     }
     const double e = std::max(energy_acc_, 0.0);
     const double denom = std::sqrt(ref_energy_ * e);
-    const double c = corr_vals_[static_cast<std::size_t>(
-        i - corr_base_)];  // lint: pos-sub-ok(trim_rings keeps corr_base_ <= next_lag_, and i == next_lag_)
-    coarse_.push_back(denom > 1e-12 ? c / denom : 0.0);
+    const double c = static_cast<double>(corr_vals_[static_cast<std::size_t>(
+        i - corr_base_)]);  // lint: pos-sub-ok(trim_rings keeps corr_base_ <= next_lag_, and i == next_lag_)
+    coarse_.push_back(static_cast<T>(denom > 1e-12 ? c / denom : 0.0));
     ++next_lag_;
   }
 
@@ -315,8 +350,9 @@ void PreambleScanner::advance(std::vector<PreambleDetection>& out) {
   trim_rings();
 }
 
-void PreambleScanner::process_window(std::uint64_t lo, std::uint64_t hi,
-                                     std::vector<PreambleDetection>& out) {
+template <typename T>
+void BasicPreambleScanner<T>::process_window(
+    std::uint64_t lo, std::uint64_t hi, std::vector<PreambleDetection>& out) {
   // Best coarse value in the window (first maximum wins, like the batch
   // candidate pass).
   std::uint64_t c = lo;
@@ -330,7 +366,8 @@ void PreambleScanner::process_window(std::uint64_t lo, std::uint64_t hi,
       c = i;
     }
   }
-  const double coarse_peak = coarse_[off + static_cast<std::size_t>(c - lo)];
+  const double coarse_peak =
+      static_cast<double>(coarse_[off + static_cast<std::size_t>(c - lo)]);
   if (coarse_peak <= Preamble::kCoarseThreshold) return;
 
   // Confirmation: sliding segment correlation around the candidate, step 8,
@@ -370,7 +407,8 @@ void PreambleScanner::process_window(std::uint64_t lo, std::uint64_t hi,
   pending_ = det;
 }
 
-void PreambleScanner::trim_rings() {
+template <typename T>
+void BasicPreambleScanner<T>::trim_rings() {
   // The filtered ring is still read at f[next_lag_ - 1] (energy recurrence)
   // and from (window lo - n - fine-pass step) on (confirmation passes).
   const std::uint64_t lag_back = next_lag_ > 0 ? next_lag_ - 1 : 0;
@@ -396,5 +434,8 @@ void PreambleScanner::trim_rings() {
     coarse_base_ = win_lo;
   }
 }
+
+template class BasicPreambleScanner<double>;
+template class BasicPreambleScanner<float>;
 
 }  // namespace aqua::phy

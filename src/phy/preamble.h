@@ -63,6 +63,13 @@ class Preamble {
   double sliding_metric_at(std::span<const double> signal,
                            std::size_t start) const;
 
+  /// Sample-type generic form of the same metric: segment dot products run
+  /// through the dispatched kernel of T's precision, the metric itself
+  /// accumulates in double. The double instantiation IS sliding_metric_at.
+  template <typename T>
+  double sliding_metric_at_t(std::span<const T> signal,
+                             std::size_t start) const;
+
   /// Detection thresholds. The paper reports a clean preamble scoring
   /// > 0.6 and spiky noise < 0.2. After the receive bandpass, our measured
   /// noise-only metric stays below ~0.11 while a 30 m (lowest-SNR)
@@ -78,7 +85,8 @@ class Preamble {
   std::vector<double> core_template() const;
 
  private:
-  friend class PreambleScanner;
+  template <typename>
+  friend class BasicPreambleScanner;
 
   /// Batch-detect correlator, built on first detect() call: its
   /// batch-optimal spectrum is large (128k complex bins for the 7680-sample
@@ -113,12 +121,21 @@ class Preamble {
 /// sequence is bit-identical for any chunking of the same stream. Decisions
 /// lag the input by a bounded amount (correlation block + confirmation
 /// span, ~0.4 s at the default numerology), never by the buffer length.
-class PreambleScanner {
+///
+/// The scanner is templated on the sample type: `PreambleScanner` (double)
+/// keeps the historical behavior bit for bit, `BasicPreambleScanner<float>`
+/// is the single-precision front end the streaming modem feeds from the
+/// mic boundary. The scanner owns precision-matched bandpass/correlation
+/// engines (the block-size model is precision-independent, so both
+/// precisions sit on the same absolute block grid); all decision metrics
+/// and the energy recurrence accumulate in double regardless of T.
+template <typename T>
+class BasicPreambleScanner {
  public:
-  explicit PreambleScanner(const Preamble& preamble);
+  explicit BasicPreambleScanner(const Preamble& preamble);
 
   /// Consumes the next chunk and appends any newly confirmed detections.
-  void scan(std::span<const double> chunk, std::vector<PreambleDetection>& out,
+  void scan(std::span<const T> chunk, std::vector<PreambleDetection>& out,
             dsp::Workspace& ws);
 
   /// Raw samples consumed so far.
@@ -142,17 +159,18 @@ class PreambleScanner {
   std::size_t delay_ = 0;   ///< bandpass group delay
   std::size_t window_ = 0;  ///< candidate window width (n / 2)
   double ref_energy_ = 0.0;
-  dsp::FftFilter corr_engine_;  ///< latency-bounded reversed-template engine
-  dsp::FftFilter::Stream band_stream_;
-  dsp::FftFilter::Stream corr_stream_;
+  dsp::BasicFftFilter<T> band_engine_;  ///< precision-matched bandpass
+  dsp::BasicFftFilter<T> corr_engine_;  ///< latency-bounded reversed template
+  typename dsp::BasicFftFilter<T>::Stream band_stream_;
+  typename dsp::BasicFftFilter<T>::Stream corr_stream_;
 
   // Rings over the absolute timeline: element 0 of each vector is the
   // absolute index stored in the matching *_base_.
-  std::vector<double> filt_;    ///< filter-same-aligned bandpassed samples
+  std::vector<T> filt_;  ///< filter-same-aligned bandpassed samples
   std::uint64_t filt_base_ = 0;
-  std::vector<double> corr_vals_;  ///< raw correlation per lag
+  std::vector<T> corr_vals_;  ///< raw correlation per lag
   std::uint64_t corr_base_ = 0;
-  std::vector<double> coarse_;     ///< normalized correlation per lag
+  std::vector<T> coarse_;  ///< normalized correlation per lag
   std::uint64_t coarse_base_ = 0;
 
   std::size_t conv_drop_ = 0;  ///< leading conv outputs to discard (delay)
@@ -162,8 +180,18 @@ class PreambleScanner {
   std::uint64_t next_window_ = 0;  ///< next candidate window to decide
   std::optional<PreambleDetection> pending_;  ///< best in the open merge span
   std::uint64_t consumed_ = 0;
-  std::vector<double> conv_tmp_;
-  std::vector<double> corr_tmp_;
+  std::vector<T> conv_tmp_;
+  std::vector<T> corr_tmp_;
 };
+
+using PreambleScanner = BasicPreambleScanner<double>;
+
+extern template class BasicPreambleScanner<double>;
+extern template class BasicPreambleScanner<float>;
+
+extern template double Preamble::sliding_metric_at_t<double>(
+    std::span<const double>, std::size_t) const;
+extern template double Preamble::sliding_metric_at_t<float>(
+    std::span<const float>, std::size_t) const;
 
 }  // namespace aqua::phy

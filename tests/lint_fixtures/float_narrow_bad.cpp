@@ -1,0 +1,25 @@
+// lint-as: src/phy/fixture.cpp
+// Implicit double->float narrowing in the front-end layers: unsuffixed
+// double literals and double-returning <cmath> calls flowing straight into
+// float declarations.
+#include <cmath>
+
+float literal_narrowing() {
+  const float gain = 0.3;
+  return gain;
+}
+
+float exponent_literal() {
+  const float eps = 1e-6;
+  return eps;
+}
+
+float math_call(double arg) {
+  const float tw = std::cos(arg);
+  return tw;
+}
+
+float mixed_declarators(float a, double b) {
+  const float lo = a, hi = b * 2.5;
+  return lo + hi;
+}

@@ -1,0 +1,38 @@
+// lint-as: src/dsp/fixture.cpp
+// Float declarations whose narrowing is spelled out lint clean: f-suffixed
+// literals, explicit static_cast<float>, and the sanctioned dsp/types.h
+// mic-boundary helpers.
+#include <cmath>
+#include <span>
+#include <vector>
+
+float suffixed_literal() {
+  const float gain = 0.3f;
+  const float scale = 1e-3f;
+  return gain * scale;
+}
+
+float explicit_cast(double arg) {
+  const float tw = static_cast<float>(std::cos(arg));
+  return tw;
+}
+
+float sanctioned_helper(double x) {
+  extern float narrow_sample(double);
+  const float s = narrow_sample(x);
+  return s;
+}
+
+float float_expressions(std::span<const float> w, float s) {
+  // Pure float arithmetic and float-returning calls stay silent.
+  const float wr = w[0], wi = s * w[1];
+  const float vr = wr * wr - wi * wi;
+  const float m = std::sqrt(vr * vr);  // lint: narrow-ok(magnitude metric only)
+  return m;
+}
+
+double doubles_untouched(double a) {
+  // Double declarations are not this rule's business.
+  const double tw = std::cos(a) * 0.5;
+  return tw;
+}

@@ -99,6 +99,30 @@ TEST(LintDeterminism, HostEntropyFails) {
   }
 }
 
+TEST(LintFloatNarrow, ExplicitConversionsPass) {
+  expect_clean("float_narrow_good.cpp");
+}
+
+TEST(LintFloatNarrow, ImplicitNarrowingFails) {
+  // Unsuffixed literal, exponent literal, std::cos call, and the narrowing
+  // declarator of the mixed declaration.
+  expect_only("float_narrow_bad.cpp", "float-narrow", 4);
+}
+
+TEST(LintFloatNarrow, RuleIsScopedToFrontEndLayers) {
+  // The same source is silent outside src/dsp and src/phy.
+  const std::vector<Finding> from_sim = lint_source(
+      "f.cpp", "src/sim/f.cpp", "const float gain = 0.3;\n");
+  EXPECT_TRUE(from_sim.empty()) << describe(from_sim);
+  const std::vector<Finding> from_dsp = lint_source(
+      "f.cpp", "src/dsp/f.cpp", "const float gain = 0.3;\n");
+  EXPECT_EQ(count_rule(from_dsp, "float-narrow"), 1) << describe(from_dsp);
+  // dsp/types.h holds the sanctioned helpers and may narrow freely.
+  const std::vector<Finding> from_types = lint_source(
+      "types.h", "src/dsp/types.h", "const float gain = 0.3;\n");
+  EXPECT_TRUE(from_types.empty()) << describe(from_types);
+}
+
 TEST(LintSuppression, ReasonedSuppressionsSilenceFindings) {
   expect_clean("suppression_good.cpp");
 }

@@ -155,15 +155,32 @@ TEST(Rfft, RejectsBadSizes) {
 
 std::vector<const simd::Kernels*> runnable_targets() {
   std::vector<const simd::Kernels*> out;
-  for (const simd::Isa isa :
-       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kNeon}) {
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2,
+                              simd::Isa::kAvx512, simd::Isa::kNeon}) {
     if (const simd::Kernels* k = simd::kernels_for(isa)) out.push_back(k);
   }
   return out;
 }
 
-// Sizes around the 4-lane structure's boundaries.
-const std::size_t kKernelSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 61, 128, 1001};
+std::vector<float> random_realf(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> g(0.0f, 1.0f);
+  std::vector<float> x(n);
+  for (float& v : x) v = g(rng);
+  return x;
+}
+
+std::vector<cplxf> random_cplxf(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> g(0.0f, 1.0f);
+  std::vector<cplxf> x(n);
+  for (cplxf& v : x) v = {g(rng), g(rng)};
+  return x;
+}
+
+// Sizes around the lane-structure boundaries (4 double / 8 float lanes).
+const std::size_t kKernelSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9,
+                                    15, 16, 17, 61, 128, 1001};
 
 TEST(Simd, ActiveTableIsRunnable) {
   const simd::Kernels& k = simd::active();
@@ -171,6 +188,11 @@ TEST(Simd, ActiveTableIsRunnable) {
   EXPECT_NE(k.dot, nullptr);
   EXPECT_NE(k.cmul_inplace, nullptr);
   EXPECT_NE(k.sdft_update, nullptr);
+  EXPECT_NE(k.butterfly, nullptr);
+  EXPECT_NE(k.dot_f, nullptr);
+  EXPECT_NE(k.cmul_inplace_f, nullptr);
+  EXPECT_NE(k.sdft_update_f, nullptr);
+  EXPECT_NE(k.butterfly_f, nullptr);
   // The scalar table must always be reachable.
   ASSERT_NE(simd::kernels_for(simd::Isa::kScalar), nullptr);
 }
@@ -277,6 +299,186 @@ TEST(Simd, SdftUpdateBitIdenticalAcrossTargetsAndCorrect) {
         EXPECT_EQ(gre[j], ref_re[j]) << k->name << " bin " << j;
         EXPECT_EQ(gim[j], ref_im[j]) << k->name << " bin " << j;
         EXPECT_EQ(gph[j], ref_ph[j]) << k->name << " bin " << j;
+      }
+    }
+  }
+}
+
+TEST(Simd, ButterflyBitIdenticalAcrossTargetsAndCorrect) {
+  const simd::Kernels* scalar = simd::kernels_for(simd::Isa::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  for (const std::size_t n : kKernelSizes) {
+    const std::vector<cplx> a0 = random_cplx(n, 1100 + n);
+    const std::vector<cplx> b0 = random_cplx(n, 1200 + n);
+    const std::vector<cplx> w = random_cplx(n, 1300 + n);
+    for (const bool conj_w : {false, true}) {
+      std::vector<cplx> ra = a0, rb = b0;
+      scalar->butterfly(ra.data(), rb.data(), w.data(), n, conj_w);
+      // The contract: v = b*w (historical std::complex product tree),
+      // a' = a + v, b' = a - v. Must be EXACT — the double FFT's outputs
+      // are pinned to the scalar era through this tree.
+      for (std::size_t i = 0; i < n; ++i) {
+        const cplx wi = conj_w ? std::conj(w[i]) : w[i];
+        const cplx v(b0[i].real() * wi.real() - b0[i].imag() * wi.imag(),
+                     b0[i].real() * wi.imag() + b0[i].imag() * wi.real());
+        EXPECT_EQ(ra[i].real(), (a0[i] + v).real()) << "element " << i;
+        EXPECT_EQ(ra[i].imag(), (a0[i] + v).imag()) << "element " << i;
+        EXPECT_EQ(rb[i].real(), (a0[i] - v).real()) << "element " << i;
+        EXPECT_EQ(rb[i].imag(), (a0[i] - v).imag()) << "element " << i;
+      }
+      for (const simd::Kernels* k : runnable_targets()) {
+        std::vector<cplx> ga = a0, gb = b0;
+        k->butterfly(ga.data(), gb.data(), w.data(), n, conj_w);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(ga[i].real(), ra[i].real()) << k->name << " elem " << i;
+          EXPECT_EQ(ga[i].imag(), ra[i].imag()) << k->name << " elem " << i;
+          EXPECT_EQ(gb[i].real(), rb[i].real()) << k->name << " elem " << i;
+          EXPECT_EQ(gb[i].imag(), rb[i].imag()) << k->name << " elem " << i;
+        }
+      }
+    }
+  }
+}
+
+// --- Single-precision kernel twins: same contracts at 2x the lanes. ------
+
+TEST(Simd, DotFloatBitIdenticalAcrossTargetsAndCorrect) {
+  const simd::Kernels* scalar = simd::kernels_for(simd::Isa::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  for (const std::size_t n : kKernelSizes) {
+    const std::vector<float> a = random_realf(n, 1400 + n);
+    const std::vector<float> b = random_realf(n, 1500 + n);
+    const float ref = scalar->dot_f(a.data(), b.data(), n);
+    // Double-accumulated cross-check (tolerance: fp32 summation error).
+    double naive = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      naive += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    }
+    EXPECT_NEAR(static_cast<double>(ref), naive,
+                1e-4 * (1.0 + std::abs(naive) + static_cast<double>(n)));
+    for (const simd::Kernels* k : runnable_targets()) {
+      const float got = k->dot_f(a.data(), b.data(), n);
+      EXPECT_EQ(got, ref) << k->name << " n " << n;
+    }
+  }
+}
+
+TEST(Simd, CmulFloatBitIdenticalAcrossTargetsAndCorrect) {
+  const simd::Kernels* scalar = simd::kernels_for(simd::Isa::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  for (const std::size_t n : kKernelSizes) {
+    const std::vector<cplxf> y0 = random_cplxf(n, 1600 + n);
+    const std::vector<cplxf> x = random_cplxf(n, 1700 + n);
+    std::vector<cplxf> ref = y0;
+    scalar->cmul_inplace_f(ref.data(), x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const cplxf expect = y0[i] * x[i];
+      EXPECT_NEAR(std::abs(ref[i] - expect), 0.0f,
+                  1e-4f * (1.0f + std::abs(expect)))
+          << "element " << i;
+    }
+    for (const simd::Kernels* k : runnable_targets()) {
+      std::vector<cplxf> got = y0;
+      k->cmul_inplace_f(got.data(), x.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i].real(), ref[i].real()) << k->name << " element " << i;
+        EXPECT_EQ(got[i].imag(), ref[i].imag()) << k->name << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, SdftUpdateFloatBitIdenticalAcrossTargetsAndCorrect) {
+  const simd::Kernels* scalar = simd::kernels_for(simd::Isa::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  const std::uint32_t period = 960;
+  std::vector<float> tab_re(period), tab_im(period);
+  for (std::uint32_t m = 0; m < period; ++m) {
+    const double a = -kTwoPi * m / static_cast<double>(period);
+    tab_re[m] = static_cast<float>(std::cos(a));
+    tab_im[m] = static_cast<float>(std::sin(a));
+  }
+  std::mt19937_64 rng(43);
+  std::uniform_int_distribution<std::uint32_t> pick(0, period - 1);
+  for (const std::size_t bins : kKernelSizes) {
+    std::vector<float> re0 = random_realf(bins, 1800 + bins);
+    std::vector<float> im0 = random_realf(bins, 1900 + bins);
+    std::vector<std::uint32_t> ph0(bins), steps(bins);
+    for (std::size_t k = 0; k < bins; ++k) {
+      ph0[k] = pick(rng);
+      steps[k] = pick(rng);
+    }
+    const float d = 0.8371f;
+
+    std::vector<float> ref_re = re0, ref_im = im0;
+    std::vector<std::uint32_t> ref_ph = ph0;
+    for (int iter = 0; iter < 5; ++iter) {
+      scalar->sdft_update_f(ref_re.data(), ref_im.data(), ref_ph.data(),
+                            steps.data(), tab_re.data(), tab_im.data(), d,
+                            bins, period);
+    }
+    // Naive fp32 recurrence cross-check: the integer phase walk must be
+    // exact; the accumulators within fp32 rounding of the fused updates.
+    {
+      std::vector<float> nre = re0, nim = im0;
+      std::vector<std::uint32_t> nph = ph0;
+      for (int iter = 0; iter < 5; ++iter) {
+        for (std::size_t k = 0; k < bins; ++k) {
+          nre[k] += d * tab_re[nph[k]];
+          nim[k] += d * tab_im[nph[k]];
+          nph[k] = (nph[k] + steps[k]) % period;
+        }
+      }
+      for (std::size_t k = 0; k < bins; ++k) {
+        ASSERT_EQ(ref_ph[k], nph[k]) << "bin " << k;
+        EXPECT_NEAR(ref_re[k], nre[k], 1e-4f * (1.0f + std::abs(nre[k])));
+        EXPECT_NEAR(ref_im[k], nim[k], 1e-4f * (1.0f + std::abs(nim[k])));
+      }
+    }
+    for (const simd::Kernels* k : runnable_targets()) {
+      std::vector<float> gre = re0, gim = im0;
+      std::vector<std::uint32_t> gph = ph0;
+      for (int iter = 0; iter < 5; ++iter) {
+        k->sdft_update_f(gre.data(), gim.data(), gph.data(), steps.data(),
+                         tab_re.data(), tab_im.data(), d, bins, period);
+      }
+      for (std::size_t j = 0; j < bins; ++j) {
+        EXPECT_EQ(gre[j], ref_re[j]) << k->name << " bin " << j;
+        EXPECT_EQ(gim[j], ref_im[j]) << k->name << " bin " << j;
+        EXPECT_EQ(gph[j], ref_ph[j]) << k->name << " bin " << j;
+      }
+    }
+  }
+}
+
+TEST(Simd, ButterflyFloatBitIdenticalAcrossTargetsAndCorrect) {
+  const simd::Kernels* scalar = simd::kernels_for(simd::Isa::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  for (const std::size_t n : kKernelSizes) {
+    const std::vector<cplxf> a0 = random_cplxf(n, 2100 + n);
+    const std::vector<cplxf> b0 = random_cplxf(n, 2200 + n);
+    const std::vector<cplxf> w = random_cplxf(n, 2300 + n);
+    for (const bool conj_w : {false, true}) {
+      std::vector<cplxf> ra = a0, rb = b0;
+      scalar->butterfly_f(ra.data(), rb.data(), w.data(), n, conj_w);
+      for (std::size_t i = 0; i < n; ++i) {
+        const cplxf wi = conj_w ? std::conj(w[i]) : w[i];
+        const cplxf v(b0[i].real() * wi.real() - b0[i].imag() * wi.imag(),
+                      b0[i].real() * wi.imag() + b0[i].imag() * wi.real());
+        EXPECT_EQ(ra[i].real(), (a0[i] + v).real()) << "element " << i;
+        EXPECT_EQ(ra[i].imag(), (a0[i] + v).imag()) << "element " << i;
+        EXPECT_EQ(rb[i].real(), (a0[i] - v).real()) << "element " << i;
+        EXPECT_EQ(rb[i].imag(), (a0[i] - v).imag()) << "element " << i;
+      }
+      for (const simd::Kernels* k : runnable_targets()) {
+        std::vector<cplxf> ga = a0, gb = b0;
+        k->butterfly_f(ga.data(), gb.data(), w.data(), n, conj_w);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(ga[i].real(), ra[i].real()) << k->name << " elem " << i;
+          EXPECT_EQ(ga[i].imag(), ra[i].imag()) << k->name << " elem " << i;
+          EXPECT_EQ(gb[i].real(), rb[i].real()) << k->name << " elem " << i;
+          EXPECT_EQ(gb[i].imag(), rb[i].imag()) << k->name << " elem " << i;
+        }
       }
     }
   }

@@ -115,6 +115,7 @@ constexpr std::pair<std::string_view, std::string_view> kSuppressionIds[] = {
     {"pos-sub-ok", "pos-sub"},
     {"det-ok", "determinism"},
     {"layer-ok", "layering"},
+    {"narrow-ok", "float-narrow"},
 };
 
 std::string_view trim(std::string_view s) {
@@ -244,7 +245,7 @@ void parse_suppressions(Ctx& ctx) {
     if (rule.empty()) {
       ctx.report(c.line, "suppression",
                  "unknown suppression id; expected one of alloc-ok, "
-                 "pos-sub-ok, det-ok, layer-ok");
+                 "pos-sub-ok, det-ok, layer-ok, narrow-ok");
       continue;
     }
     rest = trim(rest);
@@ -818,6 +819,100 @@ void check_determinism(Ctx& ctx, const Matches& m) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: float-narrow.
+// ---------------------------------------------------------------------------
+// <cmath> functions that return double; assigning their result to a float
+// silently narrows unless wrapped in a visible conversion.
+const std::unordered_set<std::string_view> kDoubleMathFns = {
+    "cos",  "sin",   "tan",   "acos",  "asin", "atan",  "atan2", "cosh",
+    "sinh", "tanh",  "sqrt",  "cbrt",  "exp",  "exp2",  "log",   "log2",
+    "log10", "pow",  "hypot", "fma",   "floor", "ceil", "round", "trunc",
+    "fmod", "fabs",
+};
+
+// True for a floating literal spelled as a double (no f/F suffix): "0.5",
+// "1e-3", "0x1.8p1". "0x1E6" is an integer — hex literals are floating only
+// when they carry a binary exponent.
+bool unsuffixed_double_literal(std::string_view text) {
+  if (text.empty()) return false;
+  const char last = text.back();
+  if (last == 'f' || last == 'F') return false;
+  const bool hex = text.size() > 1 && text[0] == '0' &&
+                   (text[1] == 'x' || text[1] == 'X');
+  if (hex) {
+    return text.find('p') != std::string_view::npos ||
+           text.find('P') != std::string_view::npos;
+  }
+  return text.find('.') != std::string_view::npos ||
+         text.find('e') != std::string_view::npos ||
+         text.find('E') != std::string_view::npos;
+}
+
+// The sanctioned mic-boundary conversions (dsp/types.h) and the explicit
+// cast spellings that make a narrowing visible at the site.
+bool narrowing_is_explicit(const std::vector<Token>& toks, std::size_t begin,
+                           std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string_view t = toks[i].text;
+    if (t == "narrow_sample" || t == "narrow_samples" ||
+        t == "convert_samples" || t == "round_to") {
+      return true;
+    }
+    if (t == "static_cast" && i + 2 < end && is_punct(toks[i + 1], "<") &&
+        is_ident(toks[i + 2], "float")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Flags `float x = <expr>` declarations in src/dsp and src/phy whose
+// initializer contains an unsuffixed double literal or a double-returning
+// <cmath> call with no visible conversion: the front end's precision
+// boundary lives in the sanctioned dsp/types.h helpers, so narrowing
+// anywhere else should be spelled out (f-suffix, static_cast<float>, or a
+// narrow_* helper). Lexical heuristic: declarations only, expression-level
+// narrowing through intermediate doubles is out of reach.
+void check_float_narrow(Ctx& ctx) {
+  if (ctx.layer != kDsp && ctx.layer != kPhy) return;
+  if (ctx.rel == "src/dsp/types.h") return;  // the sanctioned helpers
+  const std::vector<Token>& toks = ctx.lx.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "float")) continue;
+    if (toks[i + 1].kind != Tok::kIdent) continue;
+    if (!is_punct(toks[i + 2], "=")) continue;
+    // Statement scan: the initializer list runs to the terminating ';'
+    // (covers every declarator of `float a = ..., b = ...;`).
+    std::size_t end = i + 3;
+    while (end < toks.size() && !is_punct(toks[end], ";")) ++end;
+    if (!narrowing_is_explicit(toks, i + 3, end)) {
+      for (std::size_t j = i + 3; j < end; ++j) {
+        const Token& t = toks[j];
+        if (t.kind == Tok::kNumber && unsuffixed_double_literal(t.text)) {
+          ctx.report(t.line, "float-narrow",
+                     "double literal '" + std::string(t.text) +
+                         "' narrows implicitly into a float; spell it with "
+                         "an f suffix or convert through the dsp/types.h "
+                         "narrowing helpers");
+          break;
+        }
+        if (t.kind == Tok::kIdent && kDoubleMathFns.contains(t.text) &&
+            j + 1 < end && is_punct(toks[j + 1], "(")) {
+          ctx.report(t.line, "float-narrow",
+                     "std::" + std::string(t.text) +
+                         "() returns double and narrows implicitly into a "
+                         "float; wrap it in static_cast<float> or a "
+                         "dsp/types.h narrowing helper");
+          break;
+        }
+      }
+    }
+    i = end;
+  }
+}
+
 void check_unused_suppressions(Ctx& ctx) {
   for (const Suppression& s : ctx.sups) {
     if (s.used) continue;
@@ -873,6 +968,7 @@ std::vector<Finding> lint_source(const std::string& display_path,
   check_hot_alloc(ctx, hot, m);
   check_pos_sub(ctx, m);
   check_determinism(ctx, m);
+  check_float_narrow(ctx);
   check_unused_suppressions(ctx);
   return std::move(ctx.out);
 }
@@ -945,6 +1041,12 @@ std::string rules_help() {
       "                             time(), getenv() outside sanctioned\n"
       "                             files; unordered-container iteration\n"
       "                             feeding += accumulation\n"
+      "  float-narrow [narrow-ok]   float declarations in src/dsp and\n"
+      "                             src/phy initialized from unsuffixed\n"
+      "                             double literals or double-returning\n"
+      "                             <cmath> calls; narrowing belongs in the\n"
+      "                             dsp/types.h mic-boundary helpers or an\n"
+      "                             explicit static_cast<float>\n"
       "  suppression  (always on)   suppressions must carry a reason and\n"
       "                             must match a finding\n"
       "Suppress one finding: trailing or preceding own-line comment\n"
