@@ -45,7 +45,7 @@ inline std::optional<int> parse_positive_int(const char* text) {
 /// Parses a positive int from the environment; warns (once per call) and
 /// returns `fallback` on garbage instead of silently treating it as 0.
 inline int positive_int_env(const char* name, int fallback) {
-  const char* env = std::getenv(name);
+  const char* env = std::getenv(name);  // lint: det-ok(bench knob: selects how much work to run, never what the DSP computes)
   if (!env) return fallback;
   if (const std::optional<int> v = parse_positive_int(env)) return *v;
   std::fprintf(stderr,
@@ -90,7 +90,7 @@ inline int sweep_threads(int argc, char** argv) {
                  "non-negative integer)\n",
                  argv[i + 1]);
   }
-  const char* env = std::getenv("AQUA_SWEEP_THREADS");
+  const char* env = std::getenv("AQUA_SWEEP_THREADS");  // lint: det-ok(bench knob: selects how much work to run, never what the DSP computes)
   if (!env) return 0;
   if (const std::optional<int> v = parse_threads(env)) return *v;
   std::fprintf(stderr,

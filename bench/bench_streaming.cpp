@@ -28,7 +28,7 @@ namespace {
 constexpr std::size_t kPush = 1600;  // one 33 ms microphone callback
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)  // lint: det-ok(benches measure wall time by definition; results go to stderr, not into any signal)
       .count();
 }
 
@@ -41,7 +41,7 @@ double run_rescan(const phy::Preamble& preamble,
   detections = 0;
   const std::size_t need =
       preamble.core_samples() + 4 * phy::OfdmParams().symbol_total_samples();
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // lint: det-ok(benches measure wall time by definition)
   for (std::size_t base = 0; base < timeline.size(); base += kPush) {
     const std::size_t len = std::min(kPush, timeline.size() - base);
     buffer.insert(buffer.end(), timeline.begin() + static_cast<std::ptrdiff_t>(base),
@@ -65,7 +65,7 @@ double run_streaming(const phy::Preamble& preamble,
                      dsp::Workspace& ws) {
   phy::PreambleScanner scanner(preamble);
   std::vector<phy::PreambleDetection> dets;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // lint: det-ok(benches measure wall time by definition)
   for (std::size_t base = 0; base < timeline.size(); base += kPush) {
     const std::size_t len = std::min(kPush, timeline.size() - base);
     scanner.scan(timeline.subspan(base, len), dets, ws);
@@ -80,7 +80,7 @@ double run_modem(std::span<const double> timeline, std::size_t& detections,
   mc.my_id = 32;
   core::Modem modem(mc, ws);
   detections = 0;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // lint: det-ok(benches measure wall time by definition)
   for (std::size_t base = 0; base < timeline.size(); base += kPush) {
     const std::size_t len = std::min(kPush, timeline.size() - base);
     for (const core::ModemEvent& e : modem.push(timeline.subspan(base, len))) {

@@ -75,7 +75,7 @@ double rate(double count, double seconds) {
 // one used to collapse the whole label to "unknown"). $AQUA_BENCH_MACHINE
 // overrides for named lab machines.
 std::string machine_label() {
-  if (const char* m = std::getenv("AQUA_BENCH_MACHINE")) return m;
+  if (const char* m = std::getenv("AQUA_BENCH_MACHINE")) return m;  // lint: det-ok(bench knob: selects how much work to run, never what the DSP computes)
   struct utsname u {};
   std::string label =
       (uname(&u) == 0 && u.machine[0] != '\0') ? u.machine : "unknown";
@@ -88,7 +88,7 @@ std::string machine_label() {
 // $AQUA_BENCH_COMMIT wins (CI stamps the PR head there), then the actual
 // `git describe` of the working tree, then $GITHUB_SHA.
 std::string commit_label() {
-  if (const char* c = std::getenv("AQUA_BENCH_COMMIT")) return c;
+  if (const char* c = std::getenv("AQUA_BENCH_COMMIT")) return c;  // lint: det-ok(bench knob: selects how much work to run, never what the DSP computes)
   if (FILE* p = popen("git describe --always --tags --dirty 2>/dev/null",
                       "r")) {
     char buf[128] = {};
@@ -100,7 +100,7 @@ std::string commit_label() {
     }
     if (ok && !desc.empty()) return desc;
   }
-  if (const char* c = std::getenv("GITHUB_SHA")) return c;
+  if (const char* c = std::getenv("GITHUB_SHA")) return c;  // lint: det-ok(bench knob: selects how much work to run, never what the DSP computes)
   return "unknown";
 }
 
@@ -299,10 +299,10 @@ int main(int argc, char** argv) {
   const auto run_grid = [&](const char* title, const sim::ScenarioGrid& grid,
                             std::uint64_t seed_base) {
     const std::vector<sim::Scenario> scenarios = grid.expand();
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = std::chrono::steady_clock::now();  // lint: det-ok(benches measure wall time by definition; results go to stderr, not into any signal)
     const std::vector<sim::ScenarioResult> results =
         runner.run(scenarios, n, seed_base);
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now();  // lint: det-ok(benches measure wall time by definition)
     print_results(title, results);
 
     GridTiming t;
@@ -418,7 +418,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "timing: wrote %s\n", path);
 
     double tolerance = 0.15;
-    if (const char* t = std::getenv("AQUA_BENCH_TOLERANCE")) {
+    if (const char* t = std::getenv("AQUA_BENCH_TOLERANCE")) {  // lint: det-ok(bench knob: selects the output path for the report, not the measured signal)
       char* end = nullptr;
       const double v = std::strtod(t, &end);
       if (end != t && v >= 0.0) tolerance = v;

@@ -1,0 +1,20 @@
+// Concurrency-discipline annotations checked by tools/lint (aqua_lint).
+//
+// AQUA_GUARDED_BY(m) marks a field as protected by the mutex member `m`:
+// aqua_lint's guarded-by rule verifies that every member function touching
+// the field locks `m` first (lock_guard / scoped_lock / unique_lock /
+// shared_lock / m.lock()). The macro expands to nothing — it exists purely
+// so the locking contract is written next to the data it protects and is
+// machine-checked instead of rotting in a comment.
+//
+//   class DataModem {
+//     mutable std::mutex cache_mu_;
+//     mutable Cache cache_ AQUA_GUARDED_BY(cache_mu_);
+//   };
+//
+// This header is dependency-free by design and sits at the bottom of the
+// layer DAG (with the obs interfaces), so every layer may include it; the
+// layering rule special-cases it accordingly.
+#pragma once
+
+#define AQUA_GUARDED_BY(mutex)

@@ -131,7 +131,7 @@ class LinkSession {
 
  private:
   dsp::Workspace& scratch() const {
-    return ws_ ? *ws_ : dsp::thread_local_workspace();
+    return ws_ ? *ws_ : dsp::thread_local_workspace();  // lint: alloc-ok(fallback arena when the owner injected none)
   }
   void ensure_duplex();
 

@@ -78,6 +78,7 @@ std::span<const RxSample> Modem::raw_rx(std::uint64_t from,
 #if defined(AQUA_RX_DOUBLE)
   return w;  // identity: the A/B build reads the ring directly
 #else
+  // lint: alloc-ok(member scratch: capacity persists across calls, so steady state reuses the buffer)
   rx_window_.resize(len);
   dsp::narrow_samples(w, rx_window_);
   return rx_window_;
@@ -85,6 +86,7 @@ std::span<const RxSample> Modem::raw_rx(std::uint64_t from,
 }
 
 void Modem::enqueue_tx(std::span<const double> wave) {
+  // lint: alloc-ok(tx ring append; the pull side erases from the front and the deque recycles its blocks)
   tx_queue_.insert(tx_queue_.end(), wave.begin(), wave.end());
 }
 
@@ -93,6 +95,7 @@ std::uint64_t Modem::enqueue_tx_at(std::uint64_t decision_pos,
   const std::uint64_t target = decision_pos + config_.tx_latency;
   const std::uint64_t queue_end = tx_pos_ + tx_pending();
   if (target > queue_end) {
+    // lint: alloc-ok(tx ring silence padding; same recycled deque blocks as enqueue_tx)
     tx_queue_.insert(tx_queue_.end(),
                      static_cast<std::size_t>(target - queue_end), 0.0);
   }
@@ -121,6 +124,7 @@ void Modem::pull_tx(std::span<double> speaker) {
 }
 
 std::vector<double> Modem::pull_tx(std::size_t n) {
+  // lint: alloc-ok(allocating convenience overload for tests; the sim loop uses the span overload)
   std::vector<double> out(n);
   pull_tx(std::span<double>(out));
   return out;
@@ -130,8 +134,10 @@ void Modem::send(std::span<const std::uint8_t> info_bits,
                  std::uint8_t dest_id) {
   if (sink_) sink_->on_send(sink_endpoint_, rx_pos_, info_bits, dest_id);
   Outgoing msg;
+  // lint: alloc-ok(per-message copy of the app payload at the API boundary)
   msg.bits.assign(info_bits.begin(), info_bits.end());
   msg.dest_id = dest_id;
+  // lint: alloc-ok(per-message queue append; messages arrive at seconds scale)
   tx_messages_.push_back(std::move(msg));
   if (tx_state_ == TxState::kIdle) start_next_message();
 }
@@ -146,9 +152,12 @@ void Modem::start_next_message() {
   // are anchored to the absolute position where this waveform finishes
   // playing out — a pure function of the sample timeline, so behavior is
   // identical however the caller chunks push()/pull_tx().
+  // lint: alloc-ok(per-message header build: one preamble+ID waveform per outgoing message)
   std::vector<double> phase1 = preamble_.waveform();
   {
+    // lint: alloc-ok(per-message header build: one receiver-ID symbol per outgoing message)
     const std::vector<double> id = feedback_.encode_tone(msg.dest_id);
+    // lint: alloc-ok(per-message header build)
     phase1.insert(phase1.end(), id.begin(), id.end());
   }
   phase1_end_ = tx_pos_ + tx_pending() + phase1.size();
@@ -159,6 +168,7 @@ void Modem::start_next_message() {
     // the header immediately. Without an expected ACK the exchange still
     // completes through kWaitAck with a zero listen window, i.e. as soon
     // as the data has played out.
+    // lint: alloc-ok(per-message data encode on the fixed-band fallback path)
     const std::vector<double> data = modem_.encode(
         tx_bits_, *config_.fixed_band, config_.decode.use_differential);
     data_end_ = tx_pos_ + tx_pending() + data.size();
@@ -191,6 +201,7 @@ bool Modem::rx_step(std::vector<ModemEvent>& events) {
     detected.type = ModemEvent::Type::kPreambleDetected;
     detected.stream_pos = det.start_index;
     detected.preamble_metric = det.sliding_metric;
+    // lint: alloc-ok(protocol events fire per packet, not per sample)
     events.push_back(std::move(detected));
 
     std::optional<phy::ToneDecode> id;
@@ -218,6 +229,7 @@ bool Modem::rx_step(std::vector<ModemEvent>& events) {
     addressed.preamble_metric = det.sliding_metric;
     addressed.band = band_;
     addressed.snr_db = est.snr_db;
+    // lint: alloc-ok(protocol events fire per packet, not per sample)
     events.push_back(std::move(addressed));
 
     if (!config_.fixed_band) {
@@ -270,6 +282,7 @@ bool Modem::rx_step(std::vector<ModemEvent>& events) {
   } else {
     ev.type = ModemEvent::Type::kPacketFailed;
   }
+  // lint: alloc-ok(protocol events fire per packet, not per sample)
   events.push_back(std::move(ev));
 
   rx_state_ = RxState::kSearching;
@@ -294,6 +307,7 @@ bool Modem::tx_step(std::vector<ModemEvent>& events) {
       ModemEvent ev;
       ev.type = ModemEvent::Type::kTxFailed;
       ev.stream_pos = fb_deadline_;
+      // lint: alloc-ok(protocol events fire per packet, not per sample)
       events.push_back(std::move(ev));
       tx_state_ = TxState::kIdle;
       start_next_message();
@@ -303,8 +317,10 @@ bool Modem::tx_step(std::vector<ModemEvent>& events) {
     fb.type = ModemEvent::Type::kTxFeedbackReceived;
     fb.stream_pos = fb_deadline_;
     fb.band = dec->band;
+    // lint: alloc-ok(protocol events fire per packet, not per sample)
     events.push_back(std::move(fb));
 
+    // lint: alloc-ok(per-message data encode once the feedback band arrives)
     const std::vector<double> data =
         modem_.encode(tx_bits_, dec->band, config_.decode.use_differential);
     data_end_ = enqueue_tx_at(fb_deadline_, data);
@@ -312,6 +328,7 @@ bool Modem::tx_step(std::vector<ModemEvent>& events) {
     sent.type = ModemEvent::Type::kTxDataSent;
     sent.stream_pos = fb_deadline_;
     sent.band = dec->band;
+    // lint: alloc-ok(protocol events fire per packet, not per sample)
     events.push_back(std::move(sent));
 
     ack_deadline_ = data_end_ + (config_.send_ack ? config_.ack_window : 0);
@@ -333,6 +350,7 @@ bool Modem::tx_step(std::vector<ModemEvent>& events) {
     done.type = ModemEvent::Type::kTxComplete;
     done.stream_pos = ack_deadline_;
     done.ack_received = got && got->bin == phy::FeedbackCodec::kAckBin;
+    // lint: alloc-ok(protocol events fire per packet, not per sample)
     events.push_back(std::move(done));
     tx_state_ = TxState::kIdle;
     start_next_message();
@@ -369,6 +387,7 @@ void Modem::trim_buffer() {
 
 std::vector<ModemEvent> Modem::push(std::span<const double> mic) {
   if (sink_) sink_->on_push(sink_endpoint_, rx_pos_, mic);
+  // lint: alloc-ok(rx ring append; trim_buffer() erases consumed audio and the deque recycles its blocks)
   buffer_.insert(buffer_.end(), mic.begin(), mic.end());
   rx_pos_ += mic.size();
 
@@ -377,6 +396,7 @@ std::vector<ModemEvent> Modem::push(std::span<const double> mic) {
     obs::StageTimer t(metrics_, "dsp.scan");
     // The ONE narrowing of the mic stream: every front-end stage downstream
     // of here (bandpass, correlation, confirmation) runs in RxSample.
+    // lint: alloc-ok(member scratch: capacity persists across calls, so steady state reuses the buffer)
     rx_chunk_.resize(mic.size());
 #if defined(AQUA_RX_DOUBLE)
     std::copy(mic.begin(), mic.end(), rx_chunk_.begin());
@@ -385,8 +405,10 @@ std::vector<ModemEvent> Modem::push(std::span<const double> mic) {
 #endif
     scanner_.scan(rx_chunk_, det_tmp_, scratch());
   }
+  // lint: alloc-ok(detections are rare events — at most one per received packet)
   for (const phy::PreambleDetection& d : det_tmp_) detections_.push_back(d);
 
+  // lint: alloc-ok(default-constructed; allocates only when a rare protocol event lands)
   std::vector<ModemEvent> events;
   // Run both machines to quiescence; each step performs at most one
   // transition, and all gates are absolute sample positions.

@@ -192,7 +192,7 @@ class Modem {
   };
 
   dsp::Workspace& scratch() const {
-    return ws_ ? *ws_ : dsp::thread_local_workspace();
+    return ws_ ? *ws_ : dsp::thread_local_workspace();  // lint: alloc-ok(fallback arena when the owner injected none)
   }
   std::span<const double> raw(std::uint64_t from, std::size_t len) const;
   /// Same window as raw(), narrowed into the front-end sample type (the

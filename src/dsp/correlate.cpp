@@ -78,9 +78,11 @@ template <typename T>
 void sliding_energy_into(std::span<const T> x, std::size_t win,
                          std::span<T> out) {
   if (win == 0 || x.size() < win) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("sliding_energy: window exceeds signal");
   }
   if (out.size() != x.size() - win + 1) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("sliding_energy: output size mismatch");
   }
   // The accumulator stays double for every sample type: a float recurrence
@@ -143,6 +145,7 @@ void BasicCrossCorrelator<T>::correlate_into(std::span<const T> x,
                                              std::span<T> out,
                                              Workspace& ws) const {
   if (out.size() != output_length(x.size())) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("CrossCorrelator: output size mismatch");
   }
   if (out.empty()) return;

@@ -93,6 +93,7 @@ void BasicFftPlan<T>::radix2(std::span<C> data, bool invert) const {
   // Must fail loudly in release builds too: transforming with a mismatched
   // plan would silently produce garbage spectra.
   if (m != m_) {
+    // lint: throw-ok(caller-bug guard before the butterfly loop; never fires on well-formed input)
     throw std::invalid_argument("FftPlan: radix-2 work size mismatch");
   }
   for (std::size_t i = 0; i < m; ++i) {
@@ -117,6 +118,7 @@ template <typename T>
 void BasicFftPlan<T>::transform(std::span<const C> in, std::span<C> out,
                                 bool invert, Workspace& ws) const {
   if (in.size() != n_ || out.size() != n_) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("FftPlan: buffer size mismatch");
   }
   if (pow2_) {
@@ -152,6 +154,7 @@ void BasicFftPlan<T>::forward(std::span<const C> in, std::span<C> out,
 
 template <typename T>
 void BasicFftPlan<T>::forward(std::span<const C> in, std::span<C> out) const {
+  // lint: alloc-ok(no-arena convenience overload; resolves the per-thread workspace once per call)
   forward(in, out, thread_local_workspace());
 }
 
@@ -165,6 +168,7 @@ void BasicFftPlan<T>::inverse(std::span<const C> in, std::span<C> out,
 
 template <typename T>
 void BasicFftPlan<T>::inverse(std::span<const C> in, std::span<C> out) const {
+  // lint: alloc-ok(no-arena convenience overload; resolves the per-thread workspace once per call)
   inverse(in, out, thread_local_workspace());
 }
 
@@ -192,6 +196,7 @@ template <typename T>
 void BasicRfftPlan<T>::forward(std::span<const T> in, std::span<C> out,
                                Workspace& ws) const {
   if (in.size() != n_ || out.size() != spectrum_size()) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("RfftPlan: buffer size mismatch");
   }
   if (full_ != nullptr) {
@@ -228,6 +233,7 @@ void BasicRfftPlan<T>::forward(std::span<const T> in, std::span<C> out,
 
 template <typename T>
 void BasicRfftPlan<T>::forward(std::span<const T> in, std::span<C> out) const {
+  // lint: alloc-ok(no-arena convenience overload; resolves the per-thread workspace once per call)
   forward(in, out, thread_local_workspace());
 }
 
@@ -235,6 +241,7 @@ template <typename T>
 void BasicRfftPlan<T>::inverse(std::span<const C> in, std::span<T> out,
                                Workspace& ws) const {
   if (in.size() != spectrum_size() || out.size() != n_) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("RfftPlan: buffer size mismatch");
   }
   if (full_ != nullptr) {
@@ -276,6 +283,7 @@ void BasicRfftPlan<T>::inverse(std::span<const C> in, std::span<T> out,
 template <typename T>
 void BasicRfftPlan<T>::inverse(std::span<const C> in,
                                std::span<T> out) const {
+  // lint: alloc-ok(no-arena convenience overload; resolves the per-thread workspace once per call)
   inverse(in, out, thread_local_workspace());
 }
 
@@ -292,6 +300,7 @@ namespace {
 // process lifetime. One instantiation per plan type keeps the
 // locking-sensitive code in exactly one place.
 template <typename Plan>
+// lint: hot-alloc-ok(two-level plan cache: allocates only on first sight of an FFT size, then serves lock-free thread-local hits)
 const Plan& cached_plan_of(std::size_t n) {
   thread_local std::unordered_map<std::size_t, const Plan*> local;
   if (const auto it = local.find(n); it != local.end()) return *it->second;

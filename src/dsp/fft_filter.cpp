@@ -66,12 +66,14 @@ void BasicFftFilter<T>::convolve_into(std::span<const T> x, std::span<T> out,
     // Convolving nothing yields nothing (matching convolve()); a non-empty
     // out here means the caller sized its buffer for a different signal.
     if (!out.empty()) {
+      // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
       throw std::invalid_argument("FftFilter: output size mismatch");
     }
     return;
   }
   const std::size_t out_len = x.size() + taps - 1;
   if (out.size() != out_len) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("FftFilter: output size mismatch");
   }
 
@@ -128,6 +130,7 @@ void BasicFftFilter<T>::filter_same_into(std::span<const T> x,
                                          std::span<T> out,
                                          Workspace& ws) const {
   if (out.size() != x.size()) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("FftFilter: filter_same size mismatch");
   }
   if (x.empty()) return;
@@ -168,6 +171,7 @@ BasicFftFilter<T>::Stream::Stream(const BasicFftFilter& filter,
 
 template <typename T>
 void BasicFftFilter<T>::Stream::reset() {
+  // lint: alloc-ok(restart-time reconfiguration; assign reuses the ring's capacity after the first call)
   pending_.assign(filter_->kernel_size() - 1, T(0.0));
   consumed_ = 0;
   produced_ = 0;

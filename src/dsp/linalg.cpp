@@ -58,7 +58,7 @@ std::vector<double> levinson_solve(std::span<const double> r,
     for (std::size_t i = 0; i < m; ++i) ef += r[m - i] * f[i];
     const double denom = 1.0 - ef * ef;
     if (std::abs(denom) < 1e-300) {
-      throw std::runtime_error("levinson_solve: singular leading minor");
+        throw std::runtime_error("levinson_solve: singular leading minor");
     }
     // New forward vector (symmetric Toeplitz => backward = reversed forward).
     std::vector<double> fn(m + 1, 0.0);

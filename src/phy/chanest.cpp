@@ -8,8 +8,9 @@ namespace aqua::phy {
 ChannelEstimate estimate_channel(const Ofdm& ofdm,
                                  std::span<const double> rx_preamble,
                                  std::span<const dsp::cplx> cazac_bins) {
-  return estimate_channel(ofdm, rx_preamble, cazac_bins,
-                          dsp::thread_local_workspace());
+  // lint: alloc-ok(no-arena convenience overload; resolves the per-thread workspace once per call)
+  dsp::Workspace& ws = dsp::thread_local_workspace();
+  return estimate_channel(ofdm, rx_preamble, cazac_bins, ws);
 }
 
 ChannelEstimate estimate_channel(const Ofdm& ofdm,
@@ -20,9 +21,11 @@ ChannelEstimate estimate_channel(const Ofdm& ofdm,
   const std::size_t n = p.symbol_samples();
   const std::size_t nsym = OfdmParams::kPreambleSymbols;
   if (rx_preamble.size() < nsym * n) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("estimate_channel: preamble too short");
   }
   if (cazac_bins.size() != p.num_bins()) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("estimate_channel: wrong CAZAC length");
   }
 

@@ -28,6 +28,7 @@ DataModem::DataModem(const OfdmParams& params)
       bandpass_(dsp::design_bandpass(params.band_low_hz, params.band_high_hz,
                                      params.sample_rate_hz, kBandpassTaps)) {}
 
+// lint: hot-alloc-ok(deterministic PRNG expansion of the training row — O(width) once per band decision, not per sample)
 std::vector<std::uint8_t> DataModem::training_bits(std::size_t width) const {
   std::mt19937_64 rng(kTrainingSeed);
   std::vector<std::uint8_t> bits(width);
@@ -46,6 +47,7 @@ std::vector<double> DataModem::modulate_rows(
     dsp::Workspace& ws) const {
   const std::size_t width = band.width();
   if (abs_bits.size() % width != 0) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("modulate_rows: ragged rows");
   }
   const std::size_t rows = abs_bits.size() / width;
@@ -76,6 +78,7 @@ std::vector<double> DataModem::encode(std::span<const std::uint8_t> info_bits,
   return encode_coded(codec_.encode(info_bits), band, use_differential);
 }
 
+// lint: hot-alloc-ok(cold transmit side: one encode per outgoing packet, dominated by the channel's seconds-long airtime)
 std::vector<double> DataModem::encode_coded(
     std::span<const std::uint8_t> coded_bits, const BandSelection& band,
     bool use_differential) const {
@@ -110,6 +113,7 @@ std::vector<double> DataModem::encode_coded(
   return modulate_rows(abs_bits, band, dsp::thread_local_workspace());
 }
 
+// lint: hot-alloc-ok(per-band training-template cache: builds once per band, then serves the cached entry by reference)
 const DataModem::TrainingTemplate& DataModem::training_template(
     const BandSelection& band) const {
   const std::uint32_t key = (static_cast<std::uint32_t>(band.begin_bin) << 16) |
@@ -144,7 +148,7 @@ DataDecodeResult DataModem::decode(std::span<const double> signal,
                                    std::size_t info_bits,
                                    const DecodeOptions& options) const {
   return decode(signal, band, info_bits, options,
-                dsp::thread_local_workspace());
+                dsp::thread_local_workspace());  // lint: alloc-ok(no-arena convenience overload)
 }
 
 DataDecodeResult DataModem::decode(std::span<const double> signal,

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "coding/convolutional.h"
+#include "core/annotations.h"
 #include "coding/differential.h"
 #include "coding/interleaver.h"
 #include "dsp/correlate.h"
@@ -147,7 +148,7 @@ class DataModem {
   mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::uint32_t,
                              std::unique_ptr<const TrainingTemplate>>
-      training_cache_;
+      training_cache_ AQUA_GUARDED_BY(cache_mu_);
 };
 
 }  // namespace aqua::phy

@@ -7,6 +7,7 @@
 
 namespace aqua::phy {
 
+// lint: hot-alloc-ok(per-packet training: two O(taps) vectors and data-validation throws, once per received packet rather than per sample)
 MmseEqualizer MmseEqualizer::train(std::span<const double> rx,
                                    std::span<const double> tx,
                                    std::size_t taps, std::size_t delay,
@@ -52,6 +53,7 @@ std::vector<double> MmseEqualizer::apply(std::span<const double> x) const {
 void MmseEqualizer::apply_into(std::span<const double> x,
                                std::span<double> out) const {
   if (out.size() != x.size()) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("MmseEqualizer: output size mismatch");
   }
   if (taps_.empty()) {  // identity

@@ -135,6 +135,7 @@ const dsp::BasicFftFilter<float>& FeedbackCodec::bandpass_for<float>() const {
   return bandpass_f_;
 }
 
+// lint: hot-alloc-ok(control-plane encode: one short feedback burst per band exchange, not per sample)
 std::vector<double> FeedbackCodec::encode_band(const BandSelection& band) const {
   std::vector<dsp::cplx> bins(params_.num_bins(), dsp::cplx{0.0, 0.0});
   bins.at(band.begin_bin) = {1.0, 0.0};
@@ -142,6 +143,7 @@ std::vector<double> FeedbackCodec::encode_band(const BandSelection& band) const 
   return repeat_symbol(ofdm_.modulate_with_cp(bins), kRepeats);
 }
 
+// lint: hot-alloc-ok(control-plane encode: one short feedback burst per tone exchange, not per sample)
 std::vector<double> FeedbackCodec::encode_tone(std::size_t bin) const {
   std::vector<dsp::cplx> bins(params_.num_bins(), dsp::cplx{0.0, 0.0});
   bins.at(bin) = {1.0, 0.0};
@@ -152,7 +154,7 @@ std::optional<FeedbackDecode> FeedbackCodec::decode_band(
     std::span<const double> raw, std::size_t step,
     double min_peak_fraction) const {
   return decode_band(raw, step, min_peak_fraction,
-                     dsp::thread_local_workspace());
+                     dsp::thread_local_workspace());  // lint: alloc-ok(no-arena convenience overload)
 }
 
 template <typename T>
@@ -255,7 +257,7 @@ std::optional<ToneDecode> FeedbackCodec::decode_tone(
     std::span<const double> raw, std::size_t step,
     double min_peak_fraction) const {
   return decode_tone(raw, step, min_peak_fraction,
-                     dsp::thread_local_workspace());
+                     dsp::thread_local_workspace());  // lint: alloc-ok(no-arena convenience overload)
 }
 
 template <typename T>

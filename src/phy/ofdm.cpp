@@ -46,9 +46,11 @@ void Ofdm::modulate_into(std::span<const dsp::cplx> bins,
                          dsp::Workspace& ws) const {
   const std::size_t n = params_.symbol_samples();
   if (bin_offset + bins.size() > params_.num_bins()) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("Ofdm::modulate_at: bins exceed active band");
   }
   if (out.size() != n) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("Ofdm::modulate_into: wrong output length");
   }
   std::size_t active = 0;
@@ -112,9 +114,11 @@ void Ofdm::demodulate_into(std::span<const double> symbol,
                            dsp::Workspace& ws) const {
   const std::size_t n = params_.symbol_samples();
   if (symbol.size() != n) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("Ofdm::demodulate: wrong symbol length");
   }
   if (bins.size() != params_.num_bins()) {
+    // lint: throw-ok(caller-bug guard before the sample loop; never fires on well-formed input)
     throw std::invalid_argument("Ofdm::demodulate_into: wrong bins length");
   }
   if (band_packed_) {

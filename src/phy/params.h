@@ -35,6 +35,7 @@ struct OfdmParams {
   std::size_t symbol_samples() const {
     const double n = sample_rate_hz / subcarrier_spacing_hz;
     const auto ni = static_cast<std::size_t>(n + 0.5);
+    // lint: throw-ok(config-validation guard; fires only on a nonsensical numerology, not on samples)
     if (ni == 0) throw std::invalid_argument("OfdmParams: bad spacing");
     return ni;
   }

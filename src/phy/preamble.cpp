@@ -45,6 +45,7 @@ Preamble::Preamble(const OfdmParams& params)
                                      params.sample_rate_hz, 129)),
       core_samples_(OfdmParams::kPreambleSymbols * params.symbol_samples()) {}
 
+// lint: hot-alloc-ok(one-time correlator-template materialization under call_once; the result is cached for the life of the Preamble)
 std::vector<double> Preamble::core_template() const {
   return std::vector<double>(
       waveform_.begin() + static_cast<std::ptrdiff_t>(params_.cp_samples()),
@@ -94,6 +95,7 @@ double Preamble::sliding_metric_at(std::span<const double> signal,
 
 std::optional<PreambleDetection> Preamble::detect(
     std::span<const double> raw_signal) const {
+  // lint: alloc-ok(no-arena convenience overload; resolves the per-thread workspace once per call)
   return detect(raw_signal, dsp::thread_local_workspace());
 }
 
@@ -323,6 +325,7 @@ void BasicPreambleScanner<T>::advance(std::vector<PreambleDetection>& out) {
     const double denom = std::sqrt(ref_energy_ * e);
     const double c = static_cast<double>(corr_vals_[static_cast<std::size_t>(
         i - corr_base_)]);  // lint: pos-sub-ok(trim_rings keeps corr_base_ <= next_lag_, and i == next_lag_)
+    // lint: alloc-ok(ring append; trim_rings erase() retains capacity, so growth stops after warm-up)
     coarse_.push_back(static_cast<T>(denom > 1e-12 ? c / denom : 0.0));
     ++next_lag_;
   }
@@ -343,6 +346,7 @@ void BasicPreambleScanner<T>::advance(std::vector<PreambleDetection>& out) {
     // step — can still reach back into its merge span.
     if (pending_ && next_window_ * window_ > pending_->start_index + core_ +
                                                  n_ + Preamble::kSlidingStep) {
+      // lint: alloc-ok(detections are rare events — at most one per received packet, not per sample)
       out.push_back(*pending_);
       pending_.reset();
     }
@@ -403,6 +407,7 @@ void BasicPreambleScanner<T>::process_window(
     if (det.sliding_metric > pending_->sliding_metric) *pending_ = det;
     return;
   }
+  // lint: alloc-ok(detections are rare events — at most one per received packet, not per sample)
   if (pending_) out.push_back(*pending_);
   pending_ = det;
 }

@@ -1,0 +1,21 @@
+// lint-as: src/sim/fixture.cpp
+// Mutable namespace-scope state the sharded sim cannot own, plus a
+// thread_local outside the sanctioned workspace/plan-cache files.
+#include <cstddef>
+
+static std::size_t g_packets_seen = 0;
+
+double g_last_snr_db = 0.0;
+
+namespace aqua {
+int g_retries = 3;
+}  // namespace aqua
+
+thread_local int t_scratch_depth = 0;
+
+void touch() {
+  ++g_packets_seen;
+  g_last_snr_db += 1.0;
+  ++aqua::g_retries;
+  ++t_scratch_depth;
+}

@@ -1,0 +1,26 @@
+// lint-as: src/sim/fixture.cpp
+// Namespace-scope state the rule sanctions: immutable values, atomics and
+// synchronization primitives, and extern declarations owned elsewhere.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+constexpr std::size_t kMaxNodes = 1000;
+
+const double kDefaultGainDb = -3.0;
+
+static const char* const kBuildTag = "fixture";
+
+std::atomic<std::size_t> g_live_sessions{0};
+
+std::mutex g_registry_mu;
+
+extern int g_owned_by_another_tu;
+
+void touch() {
+  g_live_sessions.fetch_add(1);
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  (void)kMaxNodes;
+  (void)kDefaultGainDb;
+  (void)kBuildTag;
+}

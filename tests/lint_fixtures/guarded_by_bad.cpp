@@ -1,0 +1,17 @@
+// lint-as: src/core/fixture.cpp
+// Fields annotated AQUA_GUARDED_BY(mu_) touched by member functions that
+// never lock mu_.
+#include <mutex>
+
+#define AQUA_GUARDED_BY(mutex)
+
+class Counter {
+ public:
+  void bump() { ++count_; }
+
+  int read() const { return count_; }
+
+ private:
+  mutable std::mutex mu_;
+  int count_ AQUA_GUARDED_BY(mu_) = 0;
+};

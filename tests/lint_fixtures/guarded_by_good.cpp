@@ -1,0 +1,44 @@
+// lint-as: src/core/fixture.cpp
+// Guarded fields touched only under their mutex: scoped lock types, a bare
+// mu_.lock(), and constructors (single-threaded by definition).
+#include <mutex>
+#include <shared_mutex>
+
+#define AQUA_GUARDED_BY(mutex)
+
+class Counter {
+ public:
+  Counter() : count_(0) {}
+
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+  int read() const {
+    std::scoped_lock lock(mu_);
+    return count_;
+  }
+
+  void reset() {
+    mu_.lock();
+    count_ = 0;
+    mu_.unlock();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int count_ AQUA_GUARDED_BY(mu_);
+};
+
+class Registry {
+ public:
+  double load() const {
+    std::shared_lock<std::shared_mutex> lock(rw_);
+    return gain_;
+  }
+
+ private:
+  mutable std::shared_mutex rw_;
+  double gain_ AQUA_GUARDED_BY(rw_) = 1.0;
+};

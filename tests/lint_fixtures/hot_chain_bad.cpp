@@ -1,0 +1,23 @@
+// lint-as: src/phy/fixture.cpp
+// Two-level interprocedural propagation: `entry` is hot (takes Workspace&),
+// `middle` and `leaf` never see a Workspace, yet the allocation in `leaf`
+// is reached from the hot seed and must carry the full witness chain.
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dsp {
+struct Workspace {};
+}  // namespace dsp
+
+double leaf(std::size_t n) {
+  std::vector<double> tmp(n, 0.0);
+  return tmp.empty() ? 0.0 : tmp[0];
+}
+
+double middle(std::size_t n) { return leaf(n); }
+
+double entry(std::span<const double> x, dsp::Workspace& ws) {
+  (void)ws;
+  return middle(x.size());
+}

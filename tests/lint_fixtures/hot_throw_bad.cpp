@@ -1,0 +1,23 @@
+// lint-as: src/dsp/fixture.cpp
+// Throws on the hot path: one directly inside a Workspace&-taking seed and
+// one in a helper the seed reaches interprocedurally.
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+namespace dsp {
+struct Workspace {};
+}  // namespace dsp
+
+void helper(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("fixture: empty");
+}
+
+double seed(std::span<const double> x, dsp::Workspace& ws) {
+  (void)ws;
+  if (x.size() % 2 != 0) {
+    throw std::invalid_argument("fixture: odd length");
+  }
+  helper(x.size());
+  return x.empty() ? 0.0 : x[0];
+}

@@ -1,0 +1,38 @@
+// lint-as: src/dsp/fixture.cpp
+// Exceptions that are fine: setup-time validation in constructors and
+// plan-building helpers the hot path never reaches, a justified guard in a
+// seed, and a bare rethrow (which forwards, never originates, a stall).
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+namespace dsp {
+struct Workspace {};
+}  // namespace dsp
+
+class Plan {
+ public:
+  explicit Plan(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("fixture: size must be >= 1");
+  }
+};
+
+Plan build_plan(std::size_t n) {
+  if (n > (std::size_t{1} << 31)) {
+    throw std::invalid_argument("fixture: size too large");
+  }
+  return Plan(n);
+}
+
+double seed(std::span<const double> x, dsp::Workspace& ws) {
+  (void)ws;
+  if (x.empty()) {
+    // lint: throw-ok(fixture: caller-bug guard before the sample loop)
+    throw std::invalid_argument("fixture: empty input");
+  }
+  try {
+    return x[0];
+  } catch (...) {
+    throw;
+  }
+}

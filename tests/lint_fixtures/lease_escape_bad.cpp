@@ -1,0 +1,49 @@
+// lint-as: src/dsp/fixture.cpp
+// Every pattern here lets a view of a Workspace lease outlive the lease:
+// returned, stored into a member, stored into a global, or smuggled out
+// through a returned ref-capturing lambda.
+#include <cstddef>
+#include <span>
+
+namespace dsp {
+struct Workspace {};
+struct ScratchReal {
+  ScratchReal(Workspace& ws, std::size_t n);
+  std::span<double> span();
+};
+}  // namespace dsp
+
+std::span<double> g_view;  // lint: global-ok(fixture: escape target for the global-store case)
+
+std::span<double> return_direct(dsp::Workspace& ws, std::size_t n) {
+  dsp::ScratchReal buf(ws, n);
+  return buf.span();
+}
+
+std::span<double> return_derived(dsp::Workspace& ws, std::size_t n) {
+  dsp::ScratchReal buf(ws, n);
+  std::span<double> sp = buf.span();
+  std::span<double> head = sp.first(2);
+  return head;
+}
+
+class Holder {
+ public:
+  void attach(dsp::Workspace& ws) {
+    dsp::ScratchReal buf(ws, 16);
+    view_ = buf.span();
+  }
+
+ private:
+  std::span<double> view_;
+};
+
+void stash_global(dsp::Workspace& ws) {
+  dsp::ScratchReal buf(ws, 8);
+  g_view = buf.span();
+}
+
+auto make_reader(dsp::Workspace& ws) {
+  dsp::ScratchReal buf(ws, 4);
+  return [&buf] { return buf.span(); };
+}

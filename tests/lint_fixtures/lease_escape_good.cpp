@@ -1,0 +1,40 @@
+// lint-as: src/dsp/fixture.cpp
+// Leases used correctly: views stay inside the lease's scope — consumed
+// locally, passed down to callees, or handed out through a purely local
+// lambda helper (the chanest pattern).
+#include <cstddef>
+#include <span>
+
+namespace dsp {
+struct Workspace {};
+struct ScratchReal {
+  ScratchReal(Workspace& ws, std::size_t n);
+  std::span<double> span();
+};
+}  // namespace dsp
+
+double consume(std::span<const double> x);
+
+double use_locally(dsp::Workspace& ws, std::size_t n) {
+  dsp::ScratchReal buf(ws, n);
+  std::span<double> sp = buf.span();
+  for (std::size_t i = 0; i < sp.size(); ++i) sp[i] = 0.0;
+  return sp.empty() ? 0.0 : sp[0];
+}
+
+double pass_down(dsp::Workspace& ws, std::size_t n) {
+  dsp::ScratchReal buf(ws, n);
+  return consume(buf.span());
+}
+
+// A local lambda returning a subspan is fine: the lambda never escapes the
+// function, so every view it hands out dies before the lease does.
+double local_lambda_helper(dsp::Workspace& ws, std::size_t rows,
+                           std::size_t cols) {
+  dsp::ScratchReal buf(ws, rows * cols);
+  std::span<double> mat = buf.span();
+  const auto row = [&](std::size_t r) { return mat.subspan(r * cols, cols); };
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) acc += consume(row(r));
+  return acc;
+}

@@ -1,0 +1,14 @@
+// lint-as: src/dsp/fixture.cpp
+// Line/col regression: the raw string below contains comment openers and
+// closers that a naive comment stripper would mis-track, shifting every
+// position reported after it. The `new` on line 14 must be reported at
+// exactly 14:10.
+const char* kDoc = R"doc(
+  // this is data, not a comment
+  /* so is this — and it never closes in comment-land
+  " stray quote
+)doc";
+
+int* make_counter() {
+  return new int(0);
+}

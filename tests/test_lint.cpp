@@ -155,6 +155,102 @@ TEST(LintSuppression, LayerOverrideComesFromLintAsComment) {
   EXPECT_TRUE(from_sim.empty()) << describe(from_sim);
 }
 
+TEST(LintLeaseEscape, ScopedViewsPass) {
+  expect_clean("lease_escape_good.cpp");
+}
+
+TEST(LintLeaseEscape, EscapingViewsFail) {
+  // Direct return, derived-span return, member store, global store, and a
+  // returned ref-capturing lambda.
+  expect_only("lease_escape_bad.cpp", "lease-escape", 5);
+}
+
+TEST(LintGuardedBy, LockedAccessesPass) {
+  expect_clean("guarded_by_good.cpp");
+}
+
+TEST(LintGuardedBy, UnlockedAccessesFail) {
+  // One finding per touching function: bump() and read().
+  expect_only("guarded_by_bad.cpp", "guarded-by", 2);
+}
+
+TEST(LintGlobalState, SanctionedGlobalsPass) {
+  expect_clean("global_state_good.cpp");
+}
+
+TEST(LintGlobalState, MutableGlobalsFail) {
+  // Static, two namespace-scope globals, and the stray thread_local.
+  expect_only("global_state_bad.cpp", "global-state", 4);
+}
+
+TEST(LintHotThrow, SetupThrowsAndRethrowsPass) {
+  expect_clean("hot_throw_good.cpp");
+}
+
+TEST(LintHotThrow, HotPathThrowsFail) {
+  // One in the seed itself, one in a helper it reaches.
+  expect_only("hot_throw_bad.cpp", "hot-throw", 2);
+}
+
+TEST(LintHotChain, TwoLevelPropagationCarriesWitness) {
+  const std::vector<Finding> findings =
+      lint_file(fixture("hot_chain_bad.cpp"));
+  ASSERT_EQ(count_rule(findings, "hot-alloc"), 1) << describe(findings);
+  // The finding sits in `leaf`, two calls from the Workspace&-taking seed,
+  // and its message carries the full witness chain.
+  const Finding& f = findings.front();
+  EXPECT_NE(f.message.find("entry -> middle -> leaf"), std::string::npos)
+      << describe(findings);
+}
+
+TEST(LintHotChain, BoundaryExemptionAbsorbsHotness) {
+  // hot-alloc-ok on `middle` stops propagation, so the identical allocation
+  // in `leaf` is sanctioned — and the exemption counts as used (no
+  // unused-suppression finding either).
+  expect_clean("hot_chain_good.cpp");
+}
+
+TEST(LintRawString, PositionsSurviveRawStrings) {
+  // The fixture's raw string contains `//` and `/*` openers; positions for
+  // code after it must come from the lexer, not a comment-stripper guess.
+  const std::vector<Finding> findings =
+      lint_file(fixture("raw_string_lines.cpp"));
+  ASSERT_EQ(count_rule(findings, "hot-alloc"), 1) << describe(findings);
+  EXPECT_EQ(findings.front().line, 13) << describe(findings);
+  EXPECT_EQ(findings.front().col, 10) << describe(findings);
+}
+
+TEST(LintJson, RoundTripPreservesFindings) {
+  const std::vector<Finding> in = {
+      {"src/dsp/a.cpp", 12, 3, "hot-alloc", "plain message"},
+      {"src/phy/b.cpp", 1, 1, "lease-escape",
+       "quotes \" backslash \\ newline \n tab \t done"},
+  };
+  const std::string text = aqua::lint::findings_to_json(in);
+  std::vector<Finding> out;
+  std::string err;
+  ASSERT_TRUE(aqua::lint::findings_from_json(text, &out, &err)) << err;
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].file, in[i].file);
+    EXPECT_EQ(out[i].line, in[i].line);
+    EXPECT_EQ(out[i].col, in[i].col);
+    EXPECT_EQ(out[i].rule, in[i].rule);
+    EXPECT_EQ(out[i].message, in[i].message);
+  }
+}
+
+TEST(LintJson, RejectsWrongVersionAndMalformedInput) {
+  std::vector<Finding> out;
+  std::string err;
+  EXPECT_FALSE(aqua::lint::findings_from_json(
+      "{\"version\": 2, \"findings\": []}", &out, &err));
+  EXPECT_NE(err.find("version"), std::string::npos) << err;
+  EXPECT_FALSE(aqua::lint::findings_from_json(
+      "{\"findings\": []}", &out, &err));
+  EXPECT_FALSE(aqua::lint::findings_from_json("not json", &out, &err));
+}
+
 // The acceptance gate: the live tree must carry no findings, and every
 // suppression in it must be attached to a real finding with a reason.
 TEST(LintSrcTree, LiveSourcesLintClean) {

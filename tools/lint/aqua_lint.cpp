@@ -1,22 +1,58 @@
 // aqua_lint: repo-invariant static analysis over src/.
 //
 // Usage:
-//   aqua_lint [--list-rules] <path>...
+//   aqua_lint [options] <path>...
 //
-// Walks each path (directories recurse over .h/.hpp/.cpp/.cc), runs the
-// rule families documented in lint/rules.h, and prints findings as
+// Options:
+//   --list-rules       print the rule-family table and exit
+//   --rules=a,b,c      run only the listed families (suppression/io stay on)
+//   --json             print findings as JSON (lint/json.h schema) instead
+//                      of text
+//   --json-out FILE    additionally write the full JSON report to FILE
+//                      (text still goes to stdout; this is the CI artifact)
+//   --baseline FILE    read a committed JSON report and fail only on
+//                      findings not present in it (keyed by
+//                      file + rule + message, so line churn does not break
+//                      the build); baselined findings are annotated in the
+//                      text output
 //
-//   file:line: rule-id: message
+// Walks each path (directories recurse over .h/.hpp/.cpp/.cc), builds the
+// project-wide symbol/call-graph IR, runs the rule families documented in
+// lint/rules.h, and prints findings as
 //
-// Exit status: 0 when clean, 1 when findings exist, 2 on usage error.
+//   file:line:col: rule-id: message
+//
+// Exit status: 0 when clean (or every finding is baselined), 1 when new
+// findings exist, 2 on usage/IO error.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "lint/json.h"
 #include "lint/rules.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: aqua_lint [--list-rules] [--rules=a,b,c] [--json] "
+    "[--json-out FILE] [--baseline FILE] <path>...\n";
+
+std::string baseline_key(const aqua::lint::Finding& f) {
+  return f.file + "\x1f" + f.rule + "\x1f" + f.message;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  aqua::lint::LintOptions options;
+  bool json_stdout = false;
+  std::string json_out;
+  std::string baseline_path;
+
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-rules") {
@@ -24,8 +60,36 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "-h" || arg == "--help") {
-      std::fputs("usage: aqua_lint [--list-rules] <path>...\n", stdout);
+      std::fputs(kUsage, stdout);
       return 0;
+    }
+    if (arg == "--json") {
+      json_stdout = true;
+      continue;
+    }
+    if (arg.starts_with("--rules=")) {
+      std::string_view list = arg.substr(8);
+      while (!list.empty()) {
+        const std::size_t comma = list.find(',');
+        const std::string_view one = list.substr(0, comma);
+        if (!one.empty()) options.rules.emplace_back(one);
+        if (comma == std::string_view::npos) break;
+        list.remove_prefix(comma + 1);
+      }
+      if (options.rules.empty()) {
+        std::fprintf(stderr, "aqua_lint: --rules= needs at least one id\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--json-out" || arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aqua_lint: %s needs a file argument\n",
+                     argv[i]);
+        return 2;
+      }
+      (arg == "--json-out" ? json_out : baseline_path) = argv[++i];
+      continue;
     }
     if (arg.starts_with("-")) {
       std::fprintf(stderr, "aqua_lint: unknown option '%s'\n", argv[i]);
@@ -34,20 +98,63 @@ int main(int argc, char** argv) {
     paths.emplace_back(arg);
   }
   if (paths.empty()) {
-    std::fputs("usage: aqua_lint [--list-rules] <path>...\n", stderr);
+    std::fputs(kUsage, stderr);
     return 2;
   }
 
+  std::unordered_set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "aqua_lint: cannot open baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<aqua::lint::Finding> base;
+    std::string err;
+    if (!aqua::lint::findings_from_json(buf.str(), &base, &err)) {
+      std::fprintf(stderr, "aqua_lint: bad baseline '%s': %s\n",
+                   baseline_path.c_str(), err.c_str());
+      return 2;
+    }
+    for (const aqua::lint::Finding& f : base) {
+      baseline.insert(baseline_key(f));
+    }
+  }
+
   const std::vector<aqua::lint::Finding> findings =
-      aqua::lint::lint_paths(paths);
+      aqua::lint::lint_paths(paths, options);
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "aqua_lint: cannot write '%s'\n",
+                   json_out.c_str());
+      return 2;
+    }
+    out << aqua::lint::findings_to_json(findings);
+  }
+
+  if (json_stdout) {
+    std::fputs(aqua::lint::findings_to_json(findings).c_str(), stdout);
+  }
+
+  std::size_t fresh = 0;
   for (const aqua::lint::Finding& f : findings) {
-    std::fprintf(stdout, "%s:%d: %s: %s\n", f.file.c_str(), f.line,
-                 f.rule.c_str(), f.message.c_str());
+    const bool known =
+        !baseline.empty() && baseline.contains(baseline_key(f));
+    if (!known) ++fresh;
+    if (!json_stdout) {
+      std::fprintf(stdout, "%s:%d:%d: %s: %s%s\n", f.file.c_str(), f.line,
+                   f.col, f.rule.c_str(), f.message.c_str(),
+                   known ? " [baselined]" : "");
+    }
   }
-  if (!findings.empty()) {
-    std::fprintf(stdout, "aqua_lint: %zu finding%s\n", findings.size(),
-                 findings.size() == 1 ? "" : "s");
-    return 1;
+  if (!findings.empty() && !json_stdout) {
+    std::fprintf(stdout, "aqua_lint: %zu finding%s (%zu new)\n",
+                 findings.size(), findings.size() == 1 ? "" : "s", fresh);
   }
-  return 0;
+  return fresh != 0 ? 1 : 0;
 }

@@ -31,7 +31,7 @@ LexResult lex(std::string_view src) {
   const std::size_t n = src.size();
   int line = 1;
   // Index of the first character of the current line, to compute own_line
-  // for comments.
+  // for comments and the 1-based column of every token.
   std::size_t line_start = 0;
 
   const auto only_ws_before = [&](std::size_t pos) {
@@ -39,6 +39,10 @@ LexResult lex(std::string_view src) {
       if (src[j] != ' ' && src[j] != '\t') return false;
     }
     return true;
+  };
+
+  const auto col_of = [&](std::size_t pos) {
+    return static_cast<int>(pos - line_start) + 1;
   };
 
   const auto newline = [&](std::size_t pos) {
@@ -62,9 +66,11 @@ LexResult lex(std::string_view src) {
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
       const bool own = only_ws_before(i);
       const int start_line = line;
+      const int start_col = col_of(i);
       std::size_t j = i + 2;
       while (j < n && src[j] != '\n') ++j;
-      out.comments.push_back({src.substr(i + 2, j - i - 2), start_line, own});
+      out.comments.push_back(
+          {src.substr(i + 2, j - i - 2), start_line, start_col, own, i, j});
       i = j;
       continue;
     }
@@ -72,6 +78,7 @@ LexResult lex(std::string_view src) {
     if (c == '/' && i + 1 < n && src[i + 1] == '*') {
       const bool own = only_ws_before(i);
       const int start_line = line;
+      const int start_col = col_of(i);
       std::size_t j = i + 2;
       while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
         if (src[j] == '\n') newline(j);
@@ -79,7 +86,7 @@ LexResult lex(std::string_view src) {
       }
       const std::size_t end = (j + 1 < n) ? j + 2 : n;
       out.comments.push_back(
-          {src.substr(i + 2, j - i - 2), start_line, own});
+          {src.substr(i + 2, j - i - 2), start_line, start_col, own, i, end});
       i = end;
       continue;
     }
@@ -89,6 +96,7 @@ LexResult lex(std::string_view src) {
     // comment so suppression comments on #include lines still lex.
     if (c == '#' && only_ws_before(i)) {
       const int start_line = line;
+      const int start_col = col_of(i);
       std::size_t j = i;
       while (j < n) {
         if (src[j] == '\n') {
@@ -105,13 +113,15 @@ LexResult lex(std::string_view src) {
         }
         ++j;
       }
-      out.tokens.push_back({Tok::kPreproc, src.substr(i, j - i), start_line});
+      out.tokens.push_back(
+          {Tok::kPreproc, src.substr(i, j - i), start_line, start_col});
       i = j;
       continue;
     }
 
     // Identifier (possibly a raw-string prefix).
     if (ident_start(c)) {
+      const int start_col = col_of(i);
       std::size_t j = i;
       while (j < n && ident_char(src[j])) ++j;
       std::string_view word = src.substr(i, j - i);
@@ -137,13 +147,14 @@ LexResult lex(std::string_view src) {
               break;
             }
           }
-          out.tokens.push_back(
-              {Tok::kString, src.substr(i, std::min(p, n) - i), start_line});
+          out.tokens.push_back({Tok::kString,
+                                src.substr(i, std::min(p, n) - i), start_line,
+                                start_col});
           i = std::min(p, n);
           continue;
         }
       }
-      out.tokens.push_back({Tok::kIdent, word, line});
+      out.tokens.push_back({Tok::kIdent, word, line, start_col});
       i = j;
       continue;
     }
@@ -152,6 +163,7 @@ LexResult lex(std::string_view src) {
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '.' && i + 1 < n &&
          std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const int start_col = col_of(i);
       std::size_t j = i;
       while (j < n) {
         const char d = src[j];
@@ -165,7 +177,8 @@ LexResult lex(std::string_view src) {
           break;
         }
       }
-      out.tokens.push_back({Tok::kNumber, src.substr(i, j - i), line});
+      out.tokens.push_back({Tok::kNumber, src.substr(i, j - i), line,
+                            start_col});
       i = j;
       continue;
     }
@@ -173,6 +186,7 @@ LexResult lex(std::string_view src) {
     // String / char literal with escapes.
     if (c == '"' || c == '\'') {
       const int start_line = line;
+      const int start_col = col_of(i);
       std::size_t j = i + 1;
       while (j < n && src[j] != c) {
         if (src[j] == '\\' && j + 1 < n) {
@@ -184,7 +198,7 @@ LexResult lex(std::string_view src) {
       }
       const std::size_t end = (j < n && src[j] == c) ? j + 1 : j;
       out.tokens.push_back({c == '"' ? Tok::kString : Tok::kChar,
-                            src.substr(i, end - i), start_line});
+                            src.substr(i, end - i), start_line, start_col});
       i = end;
       continue;
     }
@@ -198,7 +212,7 @@ LexResult lex(std::string_view src) {
       }
     }
     if (matched.empty()) matched = src.substr(i, 1);
-    out.tokens.push_back({Tok::kPunct, matched, line});
+    out.tokens.push_back({Tok::kPunct, matched, line, col_of(i)});
     i += matched.size();
   }
   return out;

@@ -2,12 +2,20 @@
 //
 // This is not a compiler front end: it splits a translation unit into
 // identifiers, numbers, literals, punctuation and preprocessor directives,
-// which is exactly enough for the repo-invariant checks in rules.h (include
-// edges, allocation constructs, identifier-pattern subtractions, banned
-// calls). Comments are lexed separately so the rule layer can parse
-// `// lint: <rule>-ok(reason)` suppressions.
+// which is exactly enough for the symbol/call-graph IR in lint/parser.h and
+// the repo-invariant checks in rules.h (include edges, allocation
+// constructs, identifier-pattern subtractions, banned calls). Comments are
+// lexed separately so the rule layer can parse `// lint: <rule>-ok(reason)`
+// suppressions.
+//
+// Every token and comment carries its original-source line AND column, and
+// comments additionally carry their byte range. Findings are reported from
+// these positions — never from offsets into derived text — so multi-line
+// raw strings (which a naive comment-stripping pass mis-tracks) cannot
+// shift positions.
 #pragma once
 
+#include <cstddef>
 #include <string_view>
 #include <vector>
 
@@ -26,12 +34,16 @@ struct Token {
   Tok kind;
   std::string_view text;  ///< view into the lexed source
   int line;               ///< 1-based line of the token's first character
+  int col;                ///< 1-based column of the token's first character
 };
 
 struct Comment {
   std::string_view text;  ///< comment body without the // or /* */ markers
   int line;               ///< 1-based line the comment starts on
+  int col;                ///< 1-based column of the comment opener
   bool own_line;          ///< nothing but whitespace precedes it on its line
+  std::size_t begin = 0;  ///< byte offset of the opener in the source
+  std::size_t end = 0;    ///< byte offset one past the closer
 };
 
 struct LexResult {

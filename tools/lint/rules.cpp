@@ -1,13 +1,16 @@
 #include "lint/rules.h"
 
 #include <algorithm>
-#include <array>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "lint/callgraph.h"
 #include "lint/lexer.h"
+#include "lint/parser.h"
 
 namespace aqua::lint {
 
@@ -17,7 +20,9 @@ namespace {
 // Layer model (docs/ARCHITECTURE.md "Layer map"). A file may include its own
 // layer and any layer in its allowed set. src/obs splits at file granularity:
 // the dependency-free interfaces (sink.h, registry.h/.cpp) sit below dsp,
-// the trace/replay implementations sit above core.
+// the trace/replay implementations sit above core. src/core/annotations.h
+// (the AQUA_GUARDED_BY no-op macros) is dependency-free by construction and
+// sits at the bottom with the obs interfaces so every layer may include it.
 // ---------------------------------------------------------------------------
 enum Layer : unsigned {
   kObsIface = 0,
@@ -59,6 +64,7 @@ constexpr unsigned kAllowedDeps[kLayerCount] = {
 };
 
 Layer layer_of(std::string_view rel) {
+  if (rel == "src/core/annotations.h") return kObsIface;
   if (!rel.starts_with("src/")) return kUnknownLayer;
   rel.remove_prefix(4);
   const std::size_t slash = rel.find('/');
@@ -101,17 +107,25 @@ std::string allowed_list(Layer from) {
 // ---------------------------------------------------------------------------
 // Suppressions: `// lint: <id>-ok(reason)`. A suppression covers its own
 // line, plus the next line when the comment stands alone on its line.
+// `hot-alloc-ok` on a function definition is special: it exempts the whole
+// function from *inherited* hotness (lint/callgraph.h stops propagation
+// there) and is tracked under the internal rule id "hot-fn-exempt".
 // ---------------------------------------------------------------------------
 struct Suppression {
   int line = 0;
   bool own_line = false;
-  std::string rule;    // rule id the suppression applies to
+  std::string rule;  // rule id the suppression applies to
   std::string reason;
   bool used = false;
 };
 
 constexpr std::pair<std::string_view, std::string_view> kSuppressionIds[] = {
+    {"hot-alloc-ok", "hot-fn-exempt"},
     {"alloc-ok", "hot-alloc"},
+    {"throw-ok", "hot-throw"},
+    {"lease-ok", "lease-escape"},
+    {"guard-ok", "guarded-by"},
+    {"global-ok", "global-state"},
     {"pos-sub-ok", "pos-sub"},
     {"det-ok", "determinism"},
     {"layer-ok", "layering"},
@@ -122,28 +136,39 @@ std::string_view trim(std::string_view s) {
   while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
     s.remove_prefix(1);
   }
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
-                        s.back() == '\r')) {
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
     s.remove_suffix(1);
   }
   return s;
 }
 
 // ---------------------------------------------------------------------------
-// Per-file lint context.
+// Per-TU state. Token string_views point into `source`, so a Tu is kept
+// behind a unique_ptr and never relocated after lexing.
 // ---------------------------------------------------------------------------
-struct Ctx {
-  std::string file;
+struct Tu {
+  std::string file;  // display path (printed in findings)
+  std::string rel;   // repo-relative path (layer / sanction selection)
   Layer layer = kUnknownLayer;
-  std::string rel;
-  std::string stripped;                 // source with comments blanked
-  std::vector<std::string_view> lines;  // 0-based views into `stripped`
+  std::string source;
+  std::string blanked;                  // source with comment bytes blanked
+  std::vector<std::string_view> lines;  // 0-based views into `blanked`
   LexResult lx;
+  Matches m;
+  SymbolTable sym;
   std::vector<Suppression> sups;
-  std::vector<Finding> out;
+  std::vector<char> fn_exempt;             // per-function hot-alloc-ok
+  std::vector<std::size_t> fn_exempt_sup;  // function -> suppression index
+};
+
+struct Ctx {
+  Tu& tu;
+  const LintOptions& opts;
+  std::vector<Finding>& out;
 
   bool suppressed(std::string_view rule, int line) {
-    for (Suppression& s : sups) {
+    for (Suppression& s : tu.sups) {
       if (s.rule != rule) continue;
       if (s.line == line || (s.own_line && s.line + 1 == line)) {
         s.used = true;
@@ -153,67 +178,30 @@ struct Ctx {
     return false;
   }
 
-  void report(int line, std::string_view rule, std::string message) {
+  void report(int line, int col, std::string_view rule, std::string message) {
+    if (!opts.enabled(rule)) return;
     if (suppressed(rule, line)) return;
-    out.push_back({file, line, std::string(rule), std::move(message)});
+    out.push_back({tu.file, line, col, std::string(rule),
+                   std::move(message)});
   }
 
   std::string_view line_text(int line) const {
-    if (line < 1 || line > static_cast<int>(lines.size())) return {};
-    return lines[static_cast<std::size_t>(line - 1)];
+    if (line < 1 || line > static_cast<int>(tu.lines.size())) return {};
+    return tu.lines[static_cast<std::size_t>(line - 1)];
   }
 };
 
-// Blanks comment bodies (line and block) with spaces, preserving the line
-// structure, so the pos-sub guard scan never matches text inside comments —
-// otherwise a suppression reason like "(caller keeps pos <= size)" would
-// double as a guard and mark itself unused.
-std::string strip_comments(std::string_view src) {
+// Blanks comment bytes with spaces using the lexer's byte ranges — the
+// lexer already walked raw strings correctly, so unlike a character-level
+// re-scan this cannot mistake `//` inside a multi-line raw string for a
+// comment (the bug that shifted every position after such a literal).
+// Newlines are preserved so line numbering is unchanged.
+std::string blank_comments(std::string_view src,
+                           const std::vector<Comment>& comments) {
   std::string out(src);
-  enum { kCode, kLine, kBlock, kStr, kChr } st = kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    switch (st) {
-      case kCode:
-        if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
-          st = kLine;
-          out[i] = ' ';
-        } else if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
-          st = kBlock;
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          st = kStr;
-        } else if (c == '\'') {
-          st = kChr;
-        }
-        break;
-      case kLine:
-        if (c == '\n') {
-          st = kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case kBlock:
-        if (c == '*' && i + 1 < out.size() && out[i + 1] == '/') {
-          st = kCode;
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case kStr:
-      case kChr:
-        if (c == '\\' && i + 1 < out.size()) {
-          ++i;
-        } else if (c == (st == kStr ? '"' : '\'') || c == '\n') {
-          st = kCode;
-        }
-        break;
+  for (const Comment& c : comments) {
+    for (std::size_t i = c.begin; i < c.end && i < out.size(); ++i) {
+      if (out[i] != '\n') out[i] = ' ';
     }
   }
   return out;
@@ -230,7 +218,7 @@ void split_lines(std::string_view src, std::vector<std::string_view>& lines) {
 }
 
 void parse_suppressions(Ctx& ctx) {
-  for (const Comment& c : ctx.lx.comments) {
+  for (const Comment& c : ctx.tu.lx.comments) {
     const std::size_t at = c.text.find("lint:");
     if (at == std::string_view::npos) continue;
     std::string_view rest = trim(c.text.substr(at + 5));
@@ -243,227 +231,95 @@ void parse_suppressions(Ctx& ctx) {
       }
     }
     if (rule.empty()) {
-      ctx.report(c.line, "suppression",
-                 "unknown suppression id; expected one of alloc-ok, "
+      ctx.report(c.line, c.col, "suppression",
+                 "unknown suppression id; expected one of hot-alloc-ok, "
+                 "alloc-ok, throw-ok, lease-ok, guard-ok, global-ok, "
                  "pos-sub-ok, det-ok, layer-ok, narrow-ok");
       continue;
     }
     rest = trim(rest);
     if (!rest.starts_with("(") || rest.find(')') == std::string_view::npos) {
-      ctx.report(c.line, "suppression",
+      ctx.report(c.line, c.col, "suppression",
                  "suppression for '" + std::string(rule) +
                      "' must carry a reason: use the form "
                      "<id>-ok(<reason>)");
       continue;
     }
-    const std::string_view reason =
-        trim(rest.substr(1, rest.rfind(')') - 1));
+    const std::string_view reason = trim(rest.substr(1, rest.rfind(')') - 1));
     if (reason.empty()) {
-      ctx.report(c.line, "suppression",
+      ctx.report(c.line, c.col, "suppression",
                  "suppression reason must not be empty; write what makes "
                  "this site safe");
       continue;
     }
-    ctx.sups.push_back(
+    ctx.tu.sups.push_back(
         {c.line, c.own_line, std::string(rule), std::string(reason)});
   }
 }
 
-// ---------------------------------------------------------------------------
-// Token utilities.
-// ---------------------------------------------------------------------------
-bool is_punct(const Token& t, std::string_view p) {
-  return t.kind == Tok::kPunct && t.text == p;
-}
-
-bool is_ident(const Token& t, std::string_view w) {
-  return t.kind == Tok::kIdent && t.text == w;
-}
-
-// For every opener token index, the index of its matching closer (and the
-// reverse). Parens, braces and brackets share one stack; mismatches (macro
-// tricks) leave entries unmatched, which the rules treat as "unknown".
-struct Matches {
-  std::vector<std::size_t> close_of;  // opener index -> closer index (or npos)
-  std::vector<std::size_t> open_of;   // closer index -> opener index (or npos)
-};
-
-Matches match_pairs(const std::vector<Token>& toks) {
-  constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  Matches m;
-  m.close_of.assign(toks.size(), npos);
-  m.open_of.assign(toks.size(), npos);
-  std::vector<std::size_t> stack;
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].kind != Tok::kPunct) continue;
-    const std::string_view t = toks[i].text;
-    if (t == "(" || t == "{" || t == "[") {
-      stack.push_back(i);
-    } else if (t == ")" || t == "}" || t == "]") {
-      const char want = t == ")" ? '(' : (t == "}" ? '{' : '[');
-      // Pop until the matching opener kind (tolerates unbalanced input).
-      while (!stack.empty() && toks[stack.back()].text[0] != want) {
-        stack.pop_back();
-      }
-      if (!stack.empty()) {
-        m.close_of[stack.back()] = i;
-        m.open_of[i] = stack.back();
-        stack.pop_back();
+// Binds `hot-alloc-ok` suppressions to the function definitions they sit
+// on, so lint/callgraph.h can stop hot propagation there.
+void bind_function_exemptions(Tu& tu) {
+  tu.fn_exempt.assign(tu.sym.functions.size(), 0);
+  tu.fn_exempt_sup.assign(tu.sym.functions.size(), kNpos);
+  for (std::size_t f = 0; f < tu.sym.functions.size(); ++f) {
+    const FunctionSym& fn = tu.sym.functions[f];
+    for (std::size_t s = 0; s < tu.sups.size(); ++s) {
+      const Suppression& sup = tu.sups[s];
+      if (sup.rule != "hot-fn-exempt") continue;
+      if (sup.line == fn.line || (sup.own_line && sup.line + 1 == fn.line)) {
+        tu.fn_exempt[f] = 1;
+        tu.fn_exempt_sup[f] = s;
       }
     }
   }
-  return m;
-}
-
-// Walks a `<`...`>` template argument list starting at the `<` token index;
-// returns the index one past the closing `>`, treating ">>" as two closes.
-// Returns `start` unchanged if this does not look like template arguments.
-std::size_t skip_template_args(const std::vector<Token>& toks,
-                               std::size_t start) {
-  if (start >= toks.size() || !is_punct(toks[start], "<")) return start;
-  int depth = 0;
-  for (std::size_t i = start; i < toks.size(); ++i) {
-    if (toks[i].kind != Tok::kPunct) continue;
-    if (toks[i].text == "<") ++depth;
-    if (toks[i].text == ">") {
-      if (--depth == 0) return i + 1;
-    }
-    if (toks[i].text == ">>") {
-      depth -= 2;
-      if (depth <= 0) return i + 1;
-    }
-    if (toks[i].text == ";" || toks[i].text == "{") return start;  // not args
-  }
-  return start;
 }
 
 // ---------------------------------------------------------------------------
-// Scope analysis for hot-alloc: mark every token inside a "hot" function
-// body — a function (not constructor/destructor) whose parameter list
-// contains `Workspace&`. Hotness is inherited by nested blocks and lambdas.
+// Hot-path helpers over the propagated call graph.
 // ---------------------------------------------------------------------------
-const std::unordered_set<std::string_view> kControlKeywords = {
-    "if", "for", "while", "switch", "catch", "noexcept", "return",
-    "sizeof", "alignof", "decltype", "static_assert",
-};
-
-bool params_take_workspace(const std::vector<Token>& toks, std::size_t open,
-                           std::size_t close) {
-  for (std::size_t i = open + 1; i + 1 < close; ++i) {
-    if (is_ident(toks[i], "Workspace") && is_punct(toks[i + 1], "&")) {
-      return true;
-    }
-  }
-  return false;
+std::string fn_display(const FunctionSym& f) {
+  if (f.is_lambda) return "<lambda>";
+  if (f.class_name.empty()) return f.name;
+  return f.class_name + "::" + f.name;
 }
 
-std::vector<char> hot_mask(const std::vector<Token>& toks,
-                           const Matches& m) {
-  constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  std::vector<char> mask(toks.size(), 0);
-  struct Scope {
-    std::size_t close;
-    bool hot;
-    bool is_class;
-    std::string_view class_name;
-  };
-  std::vector<Scope> scopes;
-
-  // Name of the most recent `class`/`struct` head awaiting its `{`.
-  std::string_view pending_class;
-
-  const auto innermost_class = [&]() -> std::string_view {
-    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
-      if (it->is_class) return it->class_name;
-    }
-    return {};
-  };
-
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    while (!scopes.empty() && i > scopes.back().close) scopes.pop_back();
-    const bool parent_hot = !scopes.empty() && scopes.back().hot;
-    if (parent_hot) mask[i] = 1;
-
-    const Token& t = toks[i];
-    if (t.kind == Tok::kIdent && (t.text == "class" || t.text == "struct") &&
-        i + 1 < toks.size() && toks[i + 1].kind == Tok::kIdent) {
-      pending_class = toks[i + 1].text;
-      continue;
-    }
-    if (is_punct(t, ";")) {
-      pending_class = {};
-      continue;
-    }
-    if (!is_punct(t, "{")) continue;
-
-    const std::size_t close = m.close_of[i];
-    if (close == npos) continue;
-
-    bool hot = parent_hot;
-    bool is_class = false;
-    std::string_view class_name;
-    if (!pending_class.empty()) {
-      is_class = true;
-      class_name = pending_class;
-      pending_class = {};
-    } else if (!parent_hot) {
-      // Find the parameter list: walk back over trailing qualifiers
-      // (const/noexcept/override/final/mutable and trailing return types).
-      std::size_t j = i;
-      while (j > 0) {
-        const Token& p = toks[j - 1];
-        if (p.kind == Tok::kIdent || is_punct(p, "::") || is_punct(p, "<") ||
-            is_punct(p, ">") || is_punct(p, "&") || is_punct(p, "*") ||
-            is_punct(p, "->")) {
-          --j;
-          continue;
-        }
-        break;
-      }
-      if (j > 0 && is_punct(toks[j - 1], ")") &&
-          m.open_of[j - 1] != npos) {
-        const std::size_t open = m.open_of[j - 1];
-        // Function-ish. Exclude control-flow statements, constructors and
-        // destructors; everything else with Workspace& params is hot.
-        std::string_view name;
-        bool ctor_or_dtor = false;
-        if (open > 0 && toks[open - 1].kind == Tok::kIdent) {
-          name = toks[open - 1].text;
-          if (kControlKeywords.contains(name)) {
-            name = {};
-          } else {
-            if (open > 1 && is_punct(toks[open - 2], "~")) {
-              ctor_or_dtor = true;
-            } else if (open > 2 && is_punct(toks[open - 2], "::") &&
-                       toks[open - 3].kind == Tok::kIdent &&
-                       toks[open - 3].text == name) {
-              ctor_or_dtor = true;  // out-of-line A::A(...)
-            } else if (innermost_class() == name) {
-              ctor_or_dtor = true;  // in-class A(...)
-            }
-            if (!ctor_or_dtor &&
-                params_take_workspace(toks, open, j - 1)) {
-              hot = true;
-            }
-          }
-        } else if (open > 0 && is_punct(toks[open - 1], "]")) {
-          // Lambda parameter list; a lambda taking Workspace& is hot.
-          if (params_take_workspace(toks, open, j - 1)) hot = true;
-        }
-      }
-    }
-    scopes.push_back({close, hot, is_class, class_name});
-    if (hot) mask[i] = 1;
+// Token-level hot mask: every token inside the body of a hot function.
+// Nested lambdas are separate FunctionSyms but hot via their parent edge,
+// so their tokens are covered either way.
+std::vector<char> hot_token_mask(const Tu& tu,
+                                 const std::vector<char>& fn_hot) {
+  std::vector<char> mask(tu.lx.tokens.size(), 0);
+  for (std::size_t f = 0; f < tu.sym.functions.size(); ++f) {
+    if (!fn_hot[f]) continue;
+    const FunctionSym& fn = tu.sym.functions[f];
+    if (fn.body_open == kNpos || fn.body_close == kNpos) continue;
+    for (std::size_t i = fn.body_open; i <= fn.body_close; ++i) mask[i] = 1;
   }
   return mask;
 }
+
+// " [hot path: seed -> ... -> fn]" when the token's function gained its
+// hotness interprocedurally; "" for seeds (their signature says it all).
+std::string hot_context(const Tu& tu,
+                        const std::vector<std::string>& chains,
+                        std::size_t tok) {
+  const std::size_t f = tu.sym.enclosing_function(tok);
+  if (f == kNpos || f >= chains.size() || chains[f].empty()) return "";
+  return " [hot path: " + chains[f] + "]";
+}
+
+const std::unordered_set<std::string_view> kStmtKeywords = {
+    "if", "for", "while", "switch", "catch", "noexcept", "return",
+    "sizeof", "alignof", "decltype", "static_assert",
+};
 
 // ---------------------------------------------------------------------------
 // Rule: layering.
 // ---------------------------------------------------------------------------
 void check_layering(Ctx& ctx) {
-  if (ctx.layer == kUnknownLayer) return;
-  for (const Token& t : ctx.lx.tokens) {
+  if (ctx.tu.layer == kUnknownLayer) return;
+  for (const Token& t : ctx.tu.lx.tokens) {
     if (t.kind != Tok::kPreproc) continue;
     const std::size_t inc = t.text.find("include");
     if (inc == std::string_view::npos) continue;
@@ -474,11 +330,12 @@ void check_layering(Ctx& ctx) {
     const std::string inc_path(t.text.substr(q1 + 1, q2 - q1 - 1));
     const Layer target = layer_of("src/" + inc_path);
     if (target == kUnknownLayer) continue;
-    if (!may_include(ctx.layer, target)) {
-      ctx.report(t.line, "layering",
-                 std::string(kLayerNames[ctx.layer]) + " may not include \"" +
-                     inc_path + "\" (" + kLayerNames[target] +
-                     "); this layer may depend on: " + allowed_list(ctx.layer));
+    if (!may_include(ctx.tu.layer, target)) {
+      ctx.report(
+          t.line, t.col, "layering",
+          std::string(kLayerNames[ctx.tu.layer]) + " may not include \"" +
+              inc_path + "\" (" + kLayerNames[target] +
+              "); this layer may depend on: " + allowed_list(ctx.tu.layer));
     }
   }
 }
@@ -499,16 +356,19 @@ const std::unordered_set<std::string_view> kGrowingMembers = {
 };
 
 void check_hot_alloc(Ctx& ctx, const std::vector<char>& hot,
-                     const Matches&) {
-  if (ctx.layer != kDsp && ctx.layer != kPhy && ctx.layer != kCore) return;
-  const std::vector<Token>& toks = ctx.lx.tokens;
+                     const std::vector<std::string>& chains) {
+  if (ctx.tu.layer != kDsp && ctx.tu.layer != kPhy &&
+      ctx.tu.layer != kCore) {
+    return;
+  }
+  const std::vector<Token>& toks = ctx.tu.lx.tokens;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
     if (t.kind != Tok::kIdent && t.kind != Tok::kPunct) continue;
 
     // Anywhere in dsp/phy/core: raw heap allocation.
     if (is_ident(t, "new")) {
-      ctx.report(t.line, "hot-alloc",
+      ctx.report(t.line, t.col, "hot-alloc",
                  "`new` in a hot-path layer; use Workspace leases (or "
                  "suppress with // lint: alloc-ok(reason) for setup-time "
                  "allocation)");
@@ -518,7 +378,7 @@ void check_hot_alloc(Ctx& ctx, const std::vector<char>& hot,
         (t.text == "make_unique" || t.text == "make_shared") &&
         i + 1 < toks.size() &&
         (is_punct(toks[i + 1], "<") || is_punct(toks[i + 1], "("))) {
-      ctx.report(t.line, "hot-alloc",
+      ctx.report(t.line, t.col, "hot-alloc",
                  std::string(t.text) +
                      " in a hot-path layer; construction-time caches need "
                      "// lint: alloc-ok(reason)");
@@ -527,12 +387,13 @@ void check_hot_alloc(Ctx& ctx, const std::vector<char>& hot,
 
     if (!hot[i]) continue;
 
-    // Inside a Workspace&-taking function: the arena is already in hand.
+    // Inside a hot function: the arena is already in hand (or one call up).
     if (is_ident(t, "thread_local_workspace") && i + 1 < toks.size() &&
         is_punct(toks[i + 1], "(")) {
-      ctx.report(t.line, "hot-alloc",
-                 "thread_local_workspace() inside a function that already "
-                 "takes a Workspace&; pass the caller's arena through");
+      ctx.report(t.line, t.col, "hot-alloc",
+                 "thread_local_workspace() on the hot path; pass the "
+                 "caller's arena through" +
+                     hot_context(ctx.tu, chains, i));
       continue;
     }
 
@@ -548,14 +409,15 @@ void check_hot_alloc(Ctx& ctx, const std::vector<char>& hot,
       }
       if (after >= toks.size()) continue;
       const Token& nx = toks[after];
-      const bool decl = nx.kind == Tok::kIdent &&
-                        !kControlKeywords.contains(nx.text);
+      const bool decl =
+          nx.kind == Tok::kIdent && !kStmtKeywords.contains(nx.text);
       const bool temp = is_punct(nx, "(") || is_punct(nx, "{");
       if (decl || temp) {
-        ctx.report(t.line, "hot-alloc",
+        ctx.report(t.line, t.col, "hot-alloc",
                    "owning container " + std::string(t.text) +
                        " constructed in steady-state code; lease scratch "
-                       "from the Workspace instead");
+                       "from the Workspace instead" +
+                       hot_context(ctx.tu, chains, i));
       }
       continue;
     }
@@ -565,13 +427,38 @@ void check_hot_alloc(Ctx& ctx, const std::vector<char>& hot,
         toks[i + 1].kind == Tok::kIdent &&
         kGrowingMembers.contains(toks[i + 1].text) &&
         is_punct(toks[i + 2], "(")) {
-      ctx.report(toks[i + 1].line, "hot-alloc",
+      ctx.report(toks[i + 1].line, toks[i + 1].col, "hot-alloc",
                  "container ." + std::string(toks[i + 1].text) +
                      "() in steady-state code; size Workspace leases up "
-                     "front (or justify with // lint: alloc-ok(reason))");
+                     "front (or justify with // lint: alloc-ok(reason))" +
+                     hot_context(ctx.tu, chains, i));
       ++i;
       continue;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hot-throw. Throwing off the per-sample path means a malformed
+// packet costs an unwind instead of a decode error; validation belongs at
+// plan/setup time. Rethrows (`throw;`) pass — they only appear in catch
+// blocks that already paid for the exception.
+// ---------------------------------------------------------------------------
+void check_hot_throw(Ctx& ctx, const std::vector<char>& hot,
+                     const std::vector<std::string>& chains) {
+  if (ctx.tu.layer != kDsp && ctx.tu.layer != kPhy &&
+      ctx.tu.layer != kCore) {
+    return;
+  }
+  const std::vector<Token>& toks = ctx.tu.lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "throw") || !hot[i]) continue;
+    if (i + 1 < toks.size() && is_punct(toks[i + 1], ";")) continue;
+    ctx.report(toks[i].line, toks[i].col, "hot-throw",
+               "`throw` on the hot path: exceptions off the sample path "
+               "stall the decode chain; validate at plan/setup time or "
+               "justify with // lint: throw-ok(reason)" +
+                   hot_context(ctx.tu, chains, i));
   }
 }
 
@@ -635,9 +522,9 @@ bool line_guards(std::string_view line, std::string_view name) {
 
 constexpr int kGuardWindowLines = 8;
 
-void check_pos_sub(Ctx& ctx, const Matches& m) {
-  constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  const std::vector<Token>& toks = ctx.lx.tokens;
+void check_pos_sub(Ctx& ctx) {
+  const std::vector<Token>& toks = ctx.tu.lx.tokens;
+  const Matches& m = ctx.tu.m;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     if (!is_punct(toks[i], "-")) continue;
     if (i == 0 || i + 1 >= toks.size()) continue;
@@ -658,7 +545,7 @@ void check_pos_sub(Ctx& ctx, const Matches& m) {
     if (prev.kind == Tok::kIdent) {
       left = prev.text;
     } else if ((prev.text == ")" || prev.text == "]") &&
-               m.open_of[i - 1] != npos) {
+               m.open_of[i - 1] != kNpos) {
       const std::size_t open = m.open_of[i - 1];
       if (open > 0 && toks[open - 1].kind == Tok::kIdent) {
         left = toks[open - 1].text;
@@ -699,7 +586,7 @@ void check_pos_sub(Ctx& ctx, const Matches& m) {
     if (guarded) continue;
 
     const std::string_view which = left_pos ? left : right;
-    ctx.report(line, "pos-sub",
+    ctx.report(line, toks[i].col, "pos-sub",
                "unguarded subtraction on sample-position identifier '" +
                    std::string(which) +
                    "' (size_t wraps below zero); guard with a comparison/"
@@ -712,12 +599,12 @@ void check_pos_sub(Ctx& ctx, const Matches& m) {
 // ---------------------------------------------------------------------------
 // Rule: determinism.
 // ---------------------------------------------------------------------------
-void check_determinism(Ctx& ctx, const Matches& m) {
-  constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  const std::vector<Token>& toks = ctx.lx.tokens;
+void check_determinism(Ctx& ctx) {
+  const std::vector<Token>& toks = ctx.tu.lx.tokens;
+  const Matches& m = ctx.tu.m;
   // src/obs/registry.h is the sanctioned wall-clock probe (StageTimer);
   // its values reach stderr/JSON only, never deterministic stdout.
-  const bool sanctioned = ctx.rel == "src/obs/registry.h";
+  const bool sanctioned = ctx.tu.rel == "src/obs/registry.h";
 
   // Owning unordered containers declared in this file, by variable name.
   std::unordered_set<std::string_view> unordered_vars;
@@ -746,27 +633,29 @@ void check_determinism(Ctx& ctx, const Matches& m) {
 
     if (!sanctioned) {
       if ((t.text == "rand" || t.text == "srand") && call) {
-        ctx.report(t.line, "determinism",
+        ctx.report(t.line, t.col, "determinism",
                    "rand()/srand() is nondeterministic global state; use a "
                    "seeded std::mt19937 derived from the scenario/item seed");
       } else if (t.text == "random_device") {
-        ctx.report(t.line, "determinism",
+        ctx.report(t.line, t.col, "determinism",
                    "std::random_device draws entropy from the host; derive "
                    "seeds from the scenario/item index instead");
       } else if (t.text == "getenv" && call) {
-        ctx.report(t.line, "determinism",
+        ctx.report(t.line, t.col, "determinism",
                    "getenv() makes results depend on the environment; "
                    "sanctioned uses need // lint: det-ok(reason)");
       } else if (t.text == "time" && call) {
-        ctx.report(t.line, "determinism",
+        ctx.report(t.line, t.col, "determinism",
                    "time() is wall-clock input; deterministic code must not "
                    "read it");
       } else if (t.text.ends_with("_clock") && i + 2 < toks.size() &&
-                 is_punct(toks[i + 1], "::") && is_ident(toks[i + 2], "now")) {
-        ctx.report(t.line, "determinism",
+                 is_punct(toks[i + 1], "::") &&
+                 is_ident(toks[i + 2], "now")) {
+        ctx.report(t.line, t.col, "determinism",
                    std::string(t.text) +
                        "::now() outside the sanctioned wall-clock files; "
-                       "timing belongs in obs::StageTimer (stderr/JSON only)");
+                       "timing belongs in obs::StageTimer (stderr/JSON "
+                       "only)");
       }
     }
 
@@ -776,15 +665,15 @@ void check_determinism(Ctx& ctx, const Matches& m) {
     if (t.text == "for" && call) {
       const std::size_t open = i + 1;
       const std::size_t close = m.close_of[open];
-      if (close == npos) continue;
-      std::size_t colon = npos;
+      if (close == kNpos) continue;
+      std::size_t colon = kNpos;
       for (std::size_t j = open + 1; j < close; ++j) {
         if (is_punct(toks[j], ":")) {
           colon = j;
           break;
         }
       }
-      if (colon == npos) continue;
+      if (colon == kNpos) continue;
       bool over_unordered = false;
       for (std::size_t j = colon + 1; j < close; ++j) {
         if (toks[j].kind == Tok::kIdent &&
@@ -800,7 +689,7 @@ void check_determinism(Ctx& ctx, const Matches& m) {
       std::size_t body_end = body_begin;
       if (body_begin < toks.size() && is_punct(toks[body_begin], "{")) {
         body_end = m.close_of[body_begin];
-        if (body_end == npos) continue;
+        if (body_end == kNpos) continue;
       } else {
         while (body_end < toks.size() && !is_punct(toks[body_end], ";")) {
           ++body_end;
@@ -808,7 +697,7 @@ void check_determinism(Ctx& ctx, const Matches& m) {
       }
       for (std::size_t j = body_begin; j < body_end; ++j) {
         if (is_punct(toks[j], "+=")) {
-          ctx.report(toks[j].line, "determinism",
+          ctx.report(toks[j].line, toks[j].col, "determinism",
                      "accumulation over unordered-container iteration: the "
                      "order is unspecified, so floating-point sums are not "
                      "reproducible; iterate a sorted copy or restructure");
@@ -876,9 +765,9 @@ bool narrowing_is_explicit(const std::vector<Token>& toks, std::size_t begin,
 // narrow_* helper). Lexical heuristic: declarations only, expression-level
 // narrowing through intermediate doubles is out of reach.
 void check_float_narrow(Ctx& ctx) {
-  if (ctx.layer != kDsp && ctx.layer != kPhy) return;
-  if (ctx.rel == "src/dsp/types.h") return;  // the sanctioned helpers
-  const std::vector<Token>& toks = ctx.lx.tokens;
+  if (ctx.tu.layer != kDsp && ctx.tu.layer != kPhy) return;
+  if (ctx.tu.rel == "src/dsp/types.h") return;  // the sanctioned helpers
+  const std::vector<Token>& toks = ctx.tu.lx.tokens;
   for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
     if (!is_ident(toks[i], "float")) continue;
     if (toks[i + 1].kind != Tok::kIdent) continue;
@@ -891,7 +780,7 @@ void check_float_narrow(Ctx& ctx) {
       for (std::size_t j = i + 3; j < end; ++j) {
         const Token& t = toks[j];
         if (t.kind == Tok::kNumber && unsuffixed_double_literal(t.text)) {
-          ctx.report(t.line, "float-narrow",
+          ctx.report(t.line, t.col, "float-narrow",
                      "double literal '" + std::string(t.text) +
                          "' narrows implicitly into a float; spell it with "
                          "an f suffix or convert through the dsp/types.h "
@@ -900,7 +789,7 @@ void check_float_narrow(Ctx& ctx) {
         }
         if (t.kind == Tok::kIdent && kDoubleMathFns.contains(t.text) &&
             j + 1 < end && is_punct(toks[j + 1], "(")) {
-          ctx.report(t.line, "float-narrow",
+          ctx.report(t.line, t.col, "float-narrow",
                      "std::" + std::string(t.text) +
                          "() returns double and narrows implicitly into a "
                          "float; wrap it in static_cast<float> or a "
@@ -913,25 +802,412 @@ void check_float_narrow(Ctx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: global-state. Namespace-scope mutable non-atomic variables in src/
+// are shared state the thousand-node sim cannot shard; thread_local is
+// confined to the sanctioned workspace / FFT-plan-cache files.
+// ---------------------------------------------------------------------------
+const std::unordered_set<std::string_view> kThreadLocalSanctioned = {
+    "src/dsp/workspace.cpp",
+    "src/dsp/fft.cpp",
+};
+
+void check_global_state(Ctx& ctx) {
+  if (ctx.tu.layer == kUnknownLayer) return;  // src/ (or lint-as) only
+  for (const GlobalSym& g : ctx.tu.sym.globals) {
+    if (g.is_const || g.is_atomic || g.is_extern || g.is_thread_local) {
+      continue;
+    }
+    ctx.report(g.line, g.col, "global-state",
+               std::string("mutable ") +
+                   (g.is_static ? "file-scope static" : "namespace-scope "
+                                                        "global") +
+                   " '" + g.name +
+                   "' is cross-node shared state; make it const/constexpr, "
+                   "std::atomic, or hang it off the owning object "
+                   "(// lint: global-ok(reason) if it truly is "
+                   "process-wide)");
+  }
+  if (!kThreadLocalSanctioned.contains(std::string_view(ctx.tu.rel))) {
+    for (const ThreadLocalSym& t : ctx.tu.sym.thread_locals) {
+      ctx.report(t.line, t.col, "global-state",
+                 "thread_local outside the sanctioned workspace/plan-cache "
+                 "files (src/dsp/workspace.cpp, src/dsp/fft.cpp): per-"
+                 "thread state breaks the sharded-sim ownership model");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: guarded-by. Fields annotated AQUA_GUARDED_BY(m) may only be
+// touched by member functions that lock `m` earlier in the body
+// (lock_guard / scoped_lock / unique_lock / shared_lock / m.lock()).
+// Constructors and destructors run single-threaded and pass.
+// ---------------------------------------------------------------------------
+// class name -> [(field, mutex)], collected across every TU so fields
+// declared in a header guard method bodies in the matching .cpp.
+using GuardMap =
+    std::unordered_map<std::string,
+                       std::vector<std::pair<std::string, std::string>>>;
+
+const std::unordered_set<std::string_view> kLockTypes = {
+    "lock_guard", "scoped_lock", "unique_lock", "shared_lock",
+};
+
+bool lock_held_before(const std::vector<Token>& toks, const Matches& m,
+                      std::size_t begin, std::size_t end,
+                      std::string_view mutex) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    if (kLockTypes.contains(toks[i].text)) {
+      // lock_guard<std::mutex> lk(mu_);  /  scoped_lock lk{mu_, other};
+      std::size_t j = skip_template_args(toks, i + 1);
+      // Skip the variable name and find the argument list.
+      while (j < end && toks[j].kind == Tok::kIdent) ++j;
+      if (j < end && (is_punct(toks[j], "(") || is_punct(toks[j], "{"))) {
+        const std::size_t close = m.close_of[j];
+        const std::size_t stop = close == kNpos ? end : close;
+        for (std::size_t k = j + 1; k < stop && k < end; ++k) {
+          if (toks[k].kind == Tok::kIdent && toks[k].text == mutex) {
+            return true;
+          }
+        }
+      }
+      continue;
+    }
+    // mu_.lock() / mu_.lock_shared()
+    if (toks[i].text == mutex && i + 2 < end &&
+        (is_punct(toks[i + 1], ".") || is_punct(toks[i + 1], "->")) &&
+        toks[i + 2].kind == Tok::kIdent &&
+        (toks[i + 2].text == "lock" || toks[i + 2].text == "lock_shared")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_guarded_by(Ctx& ctx, const GuardMap& guards) {
+  const std::vector<Token>& toks = ctx.tu.lx.tokens;
+  for (const FunctionSym& fn : ctx.tu.sym.functions) {
+    if (fn.class_name.empty() || fn.is_ctor_or_dtor) continue;
+    if (fn.body_open == kNpos || fn.body_close == kNpos) continue;
+    const auto it = guards.find(fn.class_name);
+    if (it == guards.end()) continue;
+    for (const auto& [field, mutex] : it->second) {
+      for (std::size_t k = fn.body_open + 1; k < fn.body_close; ++k) {
+        if (toks[k].kind != Tok::kIdent || toks[k].text != field) continue;
+        // `other.field` is a different object — only unqualified and
+        // `this->field` accesses are this object's state.
+        if (k >= 1 &&
+            (is_punct(toks[k - 1], ".") || is_punct(toks[k - 1], "->"))) {
+          if (!(k >= 2 && is_ident(toks[k - 2], "this"))) continue;
+        }
+        if (!lock_held_before(toks, ctx.tu.m, fn.body_open + 1, k, mutex)) {
+          ctx.report(toks[k].line, toks[k].col, "guarded-by",
+                     "field '" + field + "' is AQUA_GUARDED_BY(" + mutex +
+                         ") but " + fn_display(fn) +
+                         " touches it without locking " + mutex +
+                         " first (lock_guard/scoped_lock/unique_lock/"
+                         "shared_lock or " + mutex + ".lock())");
+          break;  // one finding per field per function
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lease-escape. A Workspace lease (Scratch<V> and its aliases) hands
+// back a pooled buffer when it goes out of scope, so any view of it that
+// outlives the function — stored into a member or global, captured by
+// reference in a lambda that escapes, or returned — dangles.
+//
+// Taint model (per function): lease objects seed the taint set; `auto`/
+// span/reference declarations initialized from a tainted object or its
+// span()/subspan()/first()/last()/data() views propagate it. Indexed loads
+// (`sp[i]`) and non-view members (`sp.size()`) are values and do not.
+// ---------------------------------------------------------------------------
+const std::unordered_set<std::string_view> kLeaseTypes = {
+    "Scratch",    "ScratchReal",  "ScratchCplx",
+    "ScratchU32", "ScratchRealF", "ScratchCplxF",
+};
+
+const std::unordered_set<std::string_view> kViewMembers = {
+    "span", "subspan", "first", "last", "data",
+};
+
+using TaintSet = std::unordered_set<std::string_view>;
+
+// Scans [begin, end) for a mention of a tainted name that yields the
+// object or a view of it (not an element / scalar). Returns the name.
+// Mentions inside nested parens/braces are call arguments — the enclosing
+// call's *result* is what flows on, and that is (usually) a value, so only
+// depth-0 mentions count: `return buf.span()` escapes, `return f(buf.span())`
+// does not.
+std::string_view expr_derives_view(const std::vector<Token>& toks,
+                                   std::size_t begin, std::size_t end,
+                                   const TaintSet& taint) {
+  int depth = 0;
+  for (std::size_t k = begin; k < end; ++k) {
+    if (toks[k].kind == Tok::kPunct) {
+      const std::string_view p = toks[k].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      if (p == ")" || p == "]" || p == "}") --depth;
+      continue;
+    }
+    if (toks[k].kind != Tok::kIdent || !taint.contains(toks[k].text)) {
+      continue;
+    }
+    if (depth > 0) continue;
+    if (k + 1 >= end) return toks[k].text;  // bare mention at the end
+    const Token& nx = toks[k + 1];
+    if (is_punct(nx, "[")) continue;  // element access: a value
+    if (is_punct(nx, ".") || is_punct(nx, "->")) {
+      if (k + 2 < end && toks[k + 2].kind == Tok::kIdent &&
+          kViewMembers.contains(toks[k + 2].text)) {
+        return toks[k].text;  // sp.span(), sp.data(), ...
+      }
+      continue;  // sp.size() and friends: values
+    }
+    return toks[k].text;  // whole-object copy / reference binding
+  }
+  return {};
+}
+
+// Capture-list inspection for a lambda: which parent-tainted names does it
+// capture by reference (explicit `&name` or a `[&]` default that mentions
+// a tainted name in the body)?
+TaintSet lambda_ref_taints(const Tu& tu, const FunctionSym& lam,
+                           const TaintSet& parent_taint) {
+  TaintSet out;
+  if (parent_taint.empty()) return out;
+  const std::vector<Token>& toks = tu.lx.tokens;
+  const std::size_t close =
+      lam.params_open != kNpos ? lam.params_open - 1 : lam.body_open - 1;
+  if (close >= toks.size() || !is_punct(toks[close], "]")) return out;
+  const std::size_t open = tu.m.open_of[close];
+  if (open == kNpos) return out;
+  bool by_ref_all = false;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (is_punct(toks[i], "&")) {
+      if (i + 1 >= close || is_punct(toks[i + 1], ",")) {
+        by_ref_all = true;
+      } else if (toks[i + 1].kind == Tok::kIdent &&
+                 parent_taint.contains(toks[i + 1].text)) {
+        out.insert(toks[i + 1].text);
+      }
+    }
+  }
+  if (by_ref_all && lam.body_open != kNpos && lam.body_close != kNpos) {
+    for (std::size_t i = lam.body_open + 1; i < lam.body_close; ++i) {
+      if (toks[i].kind == Tok::kIdent && parent_taint.contains(toks[i].text)) {
+        out.insert(toks[i].text);
+      }
+    }
+  }
+  return out;
+}
+
+void check_lease_escape(Ctx& ctx,
+                        const std::unordered_set<std::string>& globals) {
+  const std::vector<Token>& toks = ctx.tu.lx.tokens;
+  const SymbolTable& sym = ctx.tu.sym;
+
+  // body_open token -> function index, to skip nested lambda bodies while
+  // walking a function's own statements.
+  std::unordered_map<std::size_t, std::size_t> body_fn;
+  for (std::size_t f = 0; f < sym.functions.size(); ++f) {
+    if (sym.functions[f].body_open != kNpos) {
+      body_fn.emplace(sym.functions[f].body_open, f);
+    }
+  }
+
+  std::vector<TaintSet> taint(sym.functions.size());
+  // Taints whose lease is declared in this function itself (as opposed to
+  // inherited through a lambda ref-capture). A lambda returning a view of a
+  // *captured* lease is fine while the enclosing function runs — the
+  // dangerous case, the lambda itself escaping, is reported at the parent.
+  std::vector<TaintSet> own_taint(sym.functions.size());
+
+  const auto is_member_name = [&](std::size_t name_tok) {
+    const std::string_view name = toks[name_tok].text;
+    if (!name.empty() && name.back() == '_') return true;
+    return name_tok >= 2 && is_punct(toks[name_tok - 1], "->") &&
+           is_ident(toks[name_tok - 2], "this");
+  };
+
+  for (std::size_t f = 0; f < sym.functions.size(); ++f) {
+    const FunctionSym& fn = sym.functions[f];
+    if (fn.body_open == kNpos || fn.body_close == kNpos) continue;
+    TaintSet& tt = taint[f];
+    TaintSet& own = own_taint[f];
+    if (fn.is_lambda && fn.parent != kNpos) {
+      tt = lambda_ref_taints(ctx.tu, fn, taint[fn.parent]);
+    }
+
+    // Lambdas (by index) whose expression sits inside the current
+    // statement — needed to catch `cb_ = [&]{ use(sp); };`.
+    std::vector<std::size_t> stmt_lambdas;
+
+    const auto process_stmt = [&](std::size_t s, std::size_t e) {
+      if (s >= e) return;
+
+      // Lease declarations: `ScratchReal buf(ws, n);` (also {..} or =).
+      for (std::size_t k = s; k < e; ++k) {
+        if (toks[k].kind != Tok::kIdent ||
+            !kLeaseTypes.contains(toks[k].text)) {
+          continue;
+        }
+        if (k > 0 && (is_ident(toks[k - 1], "class") ||
+                      is_ident(toks[k - 1], "struct") ||
+                      is_ident(toks[k - 1], "using") ||
+                      is_punct(toks[k - 1], "="))) {
+          continue;  // definition or alias of the lease type itself
+        }
+        std::size_t j = skip_template_args(toks, k + 1);
+        if (j < e && toks[j].kind == Tok::kIdent && j + 1 < e &&
+            (is_punct(toks[j + 1], "(") || is_punct(toks[j + 1], "{") ||
+             is_punct(toks[j + 1], "="))) {
+          tt.insert(toks[j].text);
+          own.insert(toks[j].text);
+        }
+      }
+
+      // Does any lambda in this statement ref-capture a tainted lease?
+      std::string_view lam_taint;
+      for (std::size_t lf : stmt_lambdas) {
+        const TaintSet caps =
+            lambda_ref_taints(ctx.tu, sym.functions[lf], tt);
+        if (!caps.empty()) {
+          lam_taint = *caps.begin();
+          break;
+        }
+      }
+
+      // `return <expr>;` escaping the lease or a view of it.
+      if (is_ident(toks[s], "return")) {
+        const std::string_view via = expr_derives_view(toks, s + 1, e, own);
+        if (!via.empty()) {
+          ctx.report(toks[s].line, toks[s].col, "lease-escape",
+                     "Workspace lease '" + std::string(via) +
+                         "' (or a span derived from it) is returned from " +
+                         fn_display(fn) +
+                         "; the arena reclaims the buffer when the lease "
+                         "dies, so the caller holds a dangling view");
+        } else if (!lam_taint.empty()) {
+          ctx.report(toks[s].line, toks[s].col, "lease-escape",
+                     "returned lambda captures Workspace lease '" +
+                         std::string(lam_taint) +
+                         "' by reference; the lease dies with " +
+                         fn_display(fn) + ", leaving a dangling capture");
+        }
+        return;
+      }
+
+      // Top-level assignment: find `=` at paren/bracket depth 0.
+      std::size_t eq = kNpos;
+      int depth = 0;
+      for (std::size_t k = s; k < e; ++k) {
+        if (toks[k].kind != Tok::kPunct) continue;
+        const std::string_view p = toks[k].text;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        if (p == "=" && depth == 0) {
+          eq = k;
+          break;
+        }
+      }
+      if (eq == kNpos || eq == s || toks[eq - 1].kind != Tok::kIdent) return;
+
+      const std::size_t name_tok = eq - 1;
+      const std::string_view name = toks[name_tok].text;
+      const std::string_view via = expr_derives_view(toks, eq + 1, e, tt);
+      const bool member = is_member_name(name_tok);
+      const bool global = globals.contains(std::string(name));
+
+      if (!via.empty() || !lam_taint.empty()) {
+        const std::string what =
+            !via.empty()
+                ? "a view of Workspace lease '" + std::string(via) + "'"
+                : "a lambda ref-capturing Workspace lease '" +
+                      std::string(lam_taint) + "'";
+        if (member) {
+          ctx.report(toks[name_tok].line, toks[name_tok].col, "lease-escape",
+                     "member '" + std::string(name) + "' stores " + what +
+                         "; the arena reclaims the buffer when " +
+                         fn_display(fn) +
+                         " returns, so the member dangles");
+          return;
+        }
+        if (global) {
+          ctx.report(toks[name_tok].line, toks[name_tok].col, "lease-escape",
+                     "global '" + std::string(name) + "' stores " + what +
+                         "; the arena reclaims the buffer when " +
+                         fn_display(fn) + " returns");
+          return;
+        }
+        if (!via.empty()) {
+          tt.insert(name);  // local view: propagate taint
+          if (own.contains(via)) own.insert(name);
+        }
+      }
+    };
+
+    std::size_t stmt = fn.body_open + 1;
+    for (std::size_t i = fn.body_open + 1; i < fn.body_close; ++i) {
+      // Skip a nested function/lambda body but remember the lambda for the
+      // statement-level capture checks.
+      if (is_punct(toks[i], "{")) {
+        const auto child = body_fn.find(i);
+        if (child != body_fn.end() && child->second != f) {
+          if (sym.functions[child->second].is_lambda) {
+            stmt_lambdas.push_back(child->second);
+          }
+          const std::size_t close = sym.functions[child->second].body_close;
+          if (close != kNpos && close > i) {
+            i = close;  // loop ++ steps past the closing brace
+            continue;
+          }
+        }
+      }
+      if (is_punct(toks[i], ";") || is_punct(toks[i], "{") ||
+          is_punct(toks[i], "}")) {
+        process_stmt(stmt, i);
+        stmt = i + 1;
+        stmt_lambdas.clear();
+      }
+    }
+    process_stmt(stmt, fn.body_close);
+  }
+}
+
 void check_unused_suppressions(Ctx& ctx) {
-  for (const Suppression& s : ctx.sups) {
+  for (const Suppression& s : ctx.tu.sups) {
     if (s.used) continue;
+    if (s.rule == "hot-fn-exempt") {
+      if (!ctx.opts.enabled("hot-alloc")) continue;
+      ctx.out.push_back(
+          {ctx.tu.file, s.line, 0, "suppression",
+           "unused hot-alloc-ok function exemption: no hot path reaches "
+           "this function — remove it so annotations stay honest"});
+      continue;
+    }
+    if (!ctx.opts.enabled(s.rule)) continue;
     ctx.out.push_back(
-        {ctx.file, s.line, "suppression",
+        {ctx.tu.file, s.line, 0, "suppression",
          "unused suppression for rule '" + s.rule +
              "': no finding here — remove it so annotations stay honest"});
   }
 }
 
 // ---------------------------------------------------------------------------
-// Driver helpers.
+// Project driver: prepare each TU, link the call graph, run the families.
 // ---------------------------------------------------------------------------
 std::string derive_rel_path(const std::string& path) {
   // Use the last "src/" component so build trees and absolute paths both
   // resolve to repo-relative form.
   const std::size_t at = path.rfind("src/");
-  if (at != std::string::npos &&
-      (at == 0 || path[at - 1] == '/')) {
+  if (at != std::string::npos && (at == 0 || path[at - 1] == '/')) {
     return path.substr(at);
   }
   return path;
@@ -948,49 +1224,129 @@ std::string lint_as_override(const LexResult& lx) {
   return {};
 }
 
+std::vector<Finding> lint_project(std::vector<std::unique_ptr<Tu>> tus,
+                                  const LintOptions& opts,
+                                  std::vector<Finding> out) {
+  for (auto& tu : tus) {
+    tu->layer = layer_of(tu->rel);
+    tu->lx = lex(tu->source);
+    tu->m = match_pairs(tu->lx.tokens);
+    tu->sym = parse_symbols(tu->lx.tokens, tu->m, tu->lx.comments);
+    tu->blanked = blank_comments(tu->source, tu->lx.comments);
+    split_lines(tu->blanked, tu->lines);
+    Ctx ctx{*tu, opts, out};
+    parse_suppressions(ctx);
+    bind_function_exemptions(*tu);
+  }
+
+  // Stage 2: cross-TU call graph + hot propagation.
+  std::vector<CallGraphTu> cg;
+  cg.reserve(tus.size());
+  for (auto& tu : tus) {
+    cg.push_back({&tu->sym, tu->fn_exempt});
+  }
+  const HotInfo hot = propagate_hot(cg);
+  for (std::size_t t = 0; t < tus.size(); ++t) {
+    for (std::size_t f = 0; f < tus[t]->sym.functions.size(); ++f) {
+      if (hot.exempt_used[t][f] && tus[t]->fn_exempt_sup[f] != kNpos) {
+        tus[t]->sups[tus[t]->fn_exempt_sup[f]].used = true;
+      }
+    }
+  }
+
+  // Project-wide guarded-field and global-name maps (fields live in
+  // headers, method bodies in the matching .cpp).
+  GuardMap guards;
+  std::unordered_set<std::string> global_names;
+  for (const auto& tu : tus) {
+    for (const GuardedFieldSym& g : tu->sym.guarded_fields) {
+      guards[g.class_name].push_back({g.field, g.mutex_name});
+    }
+    for (const GlobalSym& g : tu->sym.globals) {
+      if (!g.is_const) global_names.insert(g.name);
+    }
+  }
+
+  // Stage 3: rule families per TU.
+  for (std::size_t t = 0; t < tus.size(); ++t) {
+    Ctx ctx{*tus[t], opts, out};
+    if (opts.enabled("layering")) check_layering(ctx);
+    if (opts.enabled("hot-alloc") || opts.enabled("hot-throw")) {
+      const std::vector<char> mask = hot_token_mask(*tus[t], hot.hot[t]);
+      if (opts.enabled("hot-alloc")) {
+        check_hot_alloc(ctx, mask, hot.chain[t]);
+      }
+      if (opts.enabled("hot-throw")) {
+        check_hot_throw(ctx, mask, hot.chain[t]);
+      }
+    }
+    if (opts.enabled("pos-sub")) check_pos_sub(ctx);
+    if (opts.enabled("determinism")) check_determinism(ctx);
+    if (opts.enabled("float-narrow")) check_float_narrow(ctx);
+    if (opts.enabled("global-state")) check_global_state(ctx);
+    if (opts.enabled("guarded-by")) check_guarded_by(ctx, guards);
+    if (opts.enabled("lease-escape")) check_lease_escape(ctx, global_names);
+    check_unused_suppressions(ctx);
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.col < b.col;
+                   });
+  return out;
+}
+
+std::unique_ptr<Tu> load_tu(const std::string& path, std::vector<Finding>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.push_back({path, 0, 0, "io", "cannot open file"});
+    return nullptr;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto tu = std::make_unique<Tu>();
+  tu->file = path;
+  tu->source = buf.str();
+  // Peek at the first lines for a lint-as override; the real lex result is
+  // produced again inside lint_project (cheap, and keeps load_tu dumb).
+  const LexResult lx = lex(tu->source);
+  tu->rel = lint_as_override(lx);
+  if (tu->rel.empty()) tu->rel = derive_rel_path(path);
+  return tu;
+}
+
 }  // namespace
 
 std::vector<Finding> lint_source(const std::string& display_path,
                                  const std::string& rel_path,
-                                 std::string_view source) {
-  Ctx ctx;
-  ctx.file = display_path;
-  ctx.rel = rel_path;
-  ctx.layer = layer_of(rel_path);
-  ctx.stripped = strip_comments(source);
-  split_lines(ctx.stripped, ctx.lines);
-  ctx.lx = lex(source);
-
-  parse_suppressions(ctx);
-  const Matches m = match_pairs(ctx.lx.tokens);
-  const std::vector<char> hot = hot_mask(ctx.lx.tokens, m);
-  check_layering(ctx);
-  check_hot_alloc(ctx, hot, m);
-  check_pos_sub(ctx, m);
-  check_determinism(ctx, m);
-  check_float_narrow(ctx);
-  check_unused_suppressions(ctx);
-  return std::move(ctx.out);
+                                 std::string_view source,
+                                 const LintOptions& options) {
+  auto tu = std::make_unique<Tu>();
+  tu->file = display_path;
+  tu->rel = rel_path;
+  tu->source = std::string(source);
+  std::vector<std::unique_ptr<Tu>> tus;
+  tus.push_back(std::move(tu));
+  return lint_project(std::move(tus), options, {});
 }
 
-std::vector<Finding> lint_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return {{path, 0, "io", "cannot open file"}};
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string source = buf.str();
-  const LexResult lx = lex(source);
-  std::string rel = lint_as_override(lx);
-  if (rel.empty()) rel = derive_rel_path(path);
-  return lint_source(path, rel, source);
+std::vector<Finding> lint_file(const std::string& path,
+                               const LintOptions& options) {
+  std::vector<Finding> pre;
+  auto tu = load_tu(path, pre);
+  if (!tu) return pre;
+  std::vector<std::unique_ptr<Tu>> tus;
+  tus.push_back(std::move(tu));
+  return lint_project(std::move(tus), options, std::move(pre));
 }
 
-std::vector<Finding> lint_paths(const std::vector<std::string>& paths) {
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                const LintOptions& options) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
-  std::vector<Finding> out;
+  std::vector<Finding> pre;
   for (const std::string& p : paths) {
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
@@ -1002,25 +1358,19 @@ std::vector<Finding> lint_paths(const std::vector<std::string>& paths) {
           files.push_back(it->path().generic_string());
         }
       }
-      if (ec) out.push_back({p, 0, "io", "walk failed: " + ec.message()});
+      if (ec) pre.push_back({p, 0, 0, "io", "walk failed: " + ec.message()});
     } else if (fs::exists(p, ec)) {
       files.push_back(p);
     } else {
-      out.push_back({p, 0, "io", "no such file or directory"});
+      pre.push_back({p, 0, 0, "io", "no such file or directory"});
     }
   }
   std::sort(files.begin(), files.end());
+  std::vector<std::unique_ptr<Tu>> tus;
   for (const std::string& f : files) {
-    std::vector<Finding> fnd = lint_file(f);
-    out.insert(out.end(), std::make_move_iterator(fnd.begin()),
-               std::make_move_iterator(fnd.end()));
+    if (auto tu = load_tu(f, pre)) tus.push_back(std::move(tu));
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const Finding& a, const Finding& b) {
-                     if (a.file != b.file) return a.file < b.file;
-                     return a.line < b.line;
-                   });
-  return out;
+  return lint_project(std::move(tus), options, std::move(pre));
 }
 
 std::string rules_help() {
@@ -1032,8 +1382,22 @@ std::string rules_help() {
       "                             impl < mac < sim)\n"
       "  hot-alloc    [alloc-ok]    new/make_unique/make_shared anywhere in\n"
       "                             dsp/phy/core; owning-container growth and\n"
-      "                             thread_local_workspace() inside functions\n"
-      "                             taking a dsp::Workspace&\n"
+      "                             thread_local_workspace() in any function\n"
+      "                             reached from a Workspace&-taking entry\n"
+      "                             (interprocedural; // lint: hot-alloc-ok\n"
+      "                             on a definition exempts the function and\n"
+      "                             stops propagation)\n"
+      "  hot-throw    [throw-ok]    `throw` inside hot-path functions,\n"
+      "                             including transitively-reached helpers\n"
+      "  lease-escape [lease-ok]    a Workspace Scratch lease or a span/\n"
+      "                             pointer derived from it stored into a\n"
+      "                             member/global, ref-captured by an\n"
+      "                             escaping lambda, or returned\n"
+      "  guarded-by   [guard-ok]    fields annotated AQUA_GUARDED_BY(m) must\n"
+      "                             only be touched under a lock of m\n"
+      "  global-state [global-ok]   namespace-scope mutable non-atomic\n"
+      "                             variables in src/; thread_local outside\n"
+      "                             src/dsp/workspace.cpp and src/dsp/fft.cpp\n"
       "  pos-sub      [pos-sub-ok]  unguarded size_t subtraction on sample-\n"
       "                             position identifiers (*_pos, *_base,\n"
       "                             abs_*)\n"
@@ -1049,6 +1413,8 @@ std::string rules_help() {
       "                             explicit static_cast<float>\n"
       "  suppression  (always on)   suppressions must carry a reason and\n"
       "                             must match a finding\n"
+      "Explicit call-graph edge for dispatch the scanner cannot see:\n"
+      "  // lint-call: Cls::callee   (inside the calling function's body)\n"
       "Suppress one finding: trailing or preceding own-line comment\n"
       "  // lint: alloc-ok(<why this site is safe>)\n";
 }
