@@ -25,5 +25,23 @@ int main() {
     }
   }
   std::printf("\n(paper: 3 tx: 53%% -> 7%%; 2 tx: 33%% -> 5%%)\n");
+
+  // Scaling curve past the paper's 3 transmitters: delivery ratio on a
+  // square grid as the network grows (the claim the 10/50-node MacSim
+  // tests pin down).
+  std::printf("\n=== grid scaling: delivery ratio vs network size ===\n");
+  for (int n : {3, 10, 20, 50}) {
+    mac::MacSimConfig cfg;
+    cfg.placement = mac::Placement::kGrid;
+    cfg.num_transmitters = n;
+    cfg.packets_per_transmitter = n <= 20 ? 40 : 10;
+    cfg.seed = 3000 + static_cast<std::uint64_t>(n);
+    cfg.carrier_sense = false;
+    const double without = mac::run_mac_simulation(cfg).delivery_ratio();
+    cfg.carrier_sense = true;
+    const double with = mac::run_mac_simulation(cfg).delivery_ratio();
+    std::printf("N=%2d: delivery %5.1f%% without CS -> %5.1f%% with CS\n", n,
+                100.0 * without, 100.0 * with);
+  }
   return 0;
 }

@@ -10,7 +10,7 @@ namespace aqua::channel {
 
 namespace {
 
-constexpr std::size_t kBlockSamples = 480;   // 10 ms update rate
+constexpr std::size_t kBlockSamples = kMultipathBlockSamples;  // 10 ms grid
 constexpr std::size_t kDeviceFirTaps = 512;  // ~94 Hz response resolution
 constexpr double kReferenceMargin_s = 0.002; // room for motion toward rx
 
@@ -24,6 +24,23 @@ std::uint64_t mic_noise_seed(std::uint64_t link_seed) {
   return link_seed * 6151 + 3;
 }
 
+std::uint64_t mic_noise_seed(std::uint64_t base_seed, int node_id) {
+  // splitmix64 finalizer over (base, id): a pure function of node identity,
+  // so rebuilding a topology with a different attach order cannot reshuffle
+  // which ocean each microphone hears.
+  std::uint64_t z = mic_noise_seed(base_seed) +
+                    0x9E3779B97F4A7C15ULL *
+                        (static_cast<std::uint64_t>(node_id) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+MobilityModel link_mobility(const LinkConfig& config) {
+  return MobilityModel(config.motion, config.seed * 7919 + 13,
+                       config.in_air ? 0.0 : config.site.drift_mps);
+}
+
 LinkConfig reverse_link(const LinkConfig& fwd) {
   LinkConfig rev = fwd;
   std::swap(rev.tx_device, rev.rx_device);
@@ -34,8 +51,7 @@ LinkConfig reverse_link(const LinkConfig& fwd) {
 
 UnderwaterChannel::UnderwaterChannel(const LinkConfig& config)
     : config_(config),
-      mobility_(config.motion, config.seed * 7919 + 13,
-                config.in_air ? 0.0 : config.site.drift_mps),
+      mobility_(link_mobility(config)),
       tx_filter_(device_fir(/*speaker=*/true)),
       rx_filter_(device_fir(/*speaker=*/false)),
       roughness_rng_(config.seed * 104729 + 7) {
@@ -112,19 +128,23 @@ std::vector<Path> UnderwaterChannel::paths_at(double t_s,
   return paths_at(t_s, block_index, roughness_rng_);
 }
 
-std::vector<double> UnderwaterChannel::device_fir(bool speaker) const {
-  const DeviceProfile& dev = speaker ? config_.tx_device : config_.rx_device;
-  const bool immersed = !config_.in_air;
+std::vector<double> link_device_fir(const LinkConfig& config, bool speaker) {
+  const DeviceProfile& dev = speaker ? config.tx_device : config.rx_device;
+  const bool immersed = !config.in_air;
   std::vector<double> mag(kDeviceFirTaps / 2 + 1);
   for (std::size_t k = 0; k < mag.size(); ++k) {
-    const double f = static_cast<double>(k) * config_.sample_rate_hz /
+    const double f = static_cast<double>(k) * config.sample_rate_hz /
                      static_cast<double>(kDeviceFirTaps);
     mag[k] = speaker ? dev.speaker_gain(f, immersed) : dev.mic_gain(f, immersed);
-    if (speaker && config_.tx_azimuth_deg != 0.0) {
-      mag[k] *= dev.orientation_gain(config_.tx_azimuth_deg, f);
+    if (speaker && config.tx_azimuth_deg != 0.0) {
+      mag[k] *= dev.orientation_gain(config.tx_azimuth_deg, f);
     }
   }
   return dsp::design_from_magnitude(mag, kDeviceFirTaps);
+}
+
+std::vector<double> UnderwaterChannel::device_fir(bool speaker) const {
+  return link_device_fir(config_, speaker);
 }
 
 std::vector<double> UnderwaterChannel::transmit(std::span<const double> tx,
@@ -204,10 +224,18 @@ std::vector<double> UnderwaterChannel::ambient(std::size_t n) {
   return noise_->generate(n);
 }
 
-UnderwaterChannel::Stream::Stream(const UnderwaterChannel& ch)
+UnderwaterChannel::Stream::Stream(const UnderwaterChannel& ch,
+                                  double start_time_s,
+                                  std::uint64_t start_block)
     : ch_(&ch),
+      time_offset_s_(start_time_s),
+      block_offset_(start_block),
       tx_stream_(ch.tx_filter_, dsp::kMaxStreamStep),
       rx_stream_(ch.rx_filter_, dsp::kMaxStreamStep),
+      // Seeded exactly like the channel's own RNG. A stream opened at an
+      // offset starts this sequence fresh rather than fast-forwarding it —
+      // roughness draws are i.i.d. per block, so the re-opened path sees
+      // the same wave statistics even though the draws differ.
       roughness_rng_(ch.config_.seed * 104729 + 7) {
   if (ch.fixed_ir_filter_) {
     ir_stream_.emplace(*ch.fixed_ir_filter_, dsp::kMaxStreamStep);
@@ -235,9 +263,10 @@ void UnderwaterChannel::Stream::run_multipath(std::span<const double> shaped) {
   while (shaped_pending_.size() - head >= kBlockSamples) {
     const std::uint64_t block_start = mp_blocks_ * kBlockSamples;
     const double t_mid =
+        time_offset_s_ +
         (static_cast<double>(block_start) + 0.5 * kBlockSamples) / fs;
     const std::vector<Path> paths =
-        ch_->paths_at(t_mid, mp_blocks_ + 1, roughness_rng_);
+        ch_->paths_at(t_mid, block_offset_ + mp_blocks_ + 1, roughness_rng_);
     const std::vector<double> ir = paths_to_impulse_response_ref(
         paths, fs, ch_->reference_delay_s_);
     const std::vector<double> y = dsp::convolve(

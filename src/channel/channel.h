@@ -25,6 +25,11 @@
 
 namespace aqua::channel {
 
+/// Granularity of the time-varying multipath rendering: each 10 ms block
+/// gets its own impulse response. Exposed so the medium can convert its
+/// sample clock into the block index a re-opened stream should start at.
+inline constexpr std::size_t kMultipathBlockSamples = 480;
+
 /// Configuration of one directed acoustic link (transmitter -> receiver).
 struct LinkConfig {
   SitePreset site = site_preset(Site::kBridge);
@@ -105,11 +110,14 @@ class UnderwaterChannel {
 
    private:
     friend class UnderwaterChannel;
-    explicit Stream(const UnderwaterChannel& ch);
+    Stream(const UnderwaterChannel& ch, double start_time_s,
+           std::uint64_t start_block);
 
     void run_multipath(std::span<const double> shaped);
 
     const UnderwaterChannel* ch_;
+    double time_offset_s_ = 0.0;      ///< medium time at stream start
+    std::uint64_t block_offset_ = 0;  ///< 10 ms block index at stream start
     dsp::FftFilter::Stream tx_stream_;
     std::optional<dsp::FftFilter::Stream> ir_stream_;  ///< fixed geometry
     dsp::FftFilter::Stream rx_stream_;
@@ -129,7 +137,17 @@ class UnderwaterChannel {
   };
 
   /// Opens a streaming signal path over this link.
-  Stream stream() const { return Stream(*this); }
+  Stream stream() const { return Stream(*this, 0.0, 0); }
+
+  /// Opens a streaming signal path whose mobility/roughness timeline starts
+  /// at `start_time_s` (seconds) / `start_block` (10 ms blocks) instead of
+  /// zero. The sharded medium uses this to re-open a path that was
+  /// audibility-culled: the re-created stream evaluates geometry at the
+  /// medium's absolute clock, so a node that drifted while the path was
+  /// dormant reappears where it actually is, not where it was.
+  Stream stream_at(double start_time_s, std::uint64_t start_block) const {
+    return Stream(*this, start_time_s, start_block);
+  }
 
  private:
   Geometry geometry_at(double t_s) const;
@@ -165,5 +183,22 @@ LinkConfig reverse_link(const LinkConfig& fwd);
 /// UnderwaterChannel's own derivation, exposed so an AcousticMedium's
 /// per-mic processes hear the same kind of ocean as the packet channels.
 std::uint64_t mic_noise_seed(std::uint64_t link_seed);
+
+/// Ambient-noise seed for the microphone of node `node_id` in a deployment
+/// seeded `base_seed`. A pure function of (base_seed, node_id) — NOT of
+/// attach order — so a topology rebuilt with endpoints added in any order
+/// hears the same ocean at every node (splitmix64-style mixing keeps
+/// adjacent ids statistically independent).
+std::uint64_t mic_noise_seed(std::uint64_t base_seed, int node_id);
+
+/// The mobility model `UnderwaterChannel` derives from a link config,
+/// exposed so the medium's audibility culler can evaluate the same
+/// trajectory for paths whose channel is currently dormant (culled).
+MobilityModel link_mobility(const LinkConfig& config);
+
+/// The speaker- or microphone-response FIR `UnderwaterChannel` builds for
+/// `config` (device + case + static orientation). The culler uses its L1
+/// norm as a rigorous peak-gain bound for the filter stage.
+std::vector<double> link_device_fir(const LinkConfig& config, bool speaker);
 
 }  // namespace aqua::channel

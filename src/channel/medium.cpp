@@ -1,6 +1,9 @@
 #include "channel/medium.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/sink.h"
 
@@ -16,20 +19,50 @@ LinkConfig path_config(const LinkConfig& cfg) {
   return c;
 }
 
+double block_peak(std::span<const double> block) {
+  double peak = 0.0;
+  for (const double v : block) peak = std::max(peak, std::abs(v));
+  return peak;
+}
+
 }  // namespace
 
-AcousticMedium::PathEntry::PathEntry(int f, int t, const LinkConfig& cfg)
-    : from(f), to(t), channel(path_config(cfg)), stream(channel.stream()) {}
+AcousticMedium::LiveStream::LiveStream(const LinkConfig& cfg,
+                                       double start_time_s,
+                                       std::uint64_t start_block)
+    : channel(cfg), stream(channel.stream_at(start_time_s, start_block)) {}
 
-AcousticMedium::AcousticMedium(double sample_rate_hz) : fs_(sample_rate_hz) {}
+AcousticMedium::PathSlot::PathSlot(int f, int t, int key, const LinkConfig& c)
+    : from(f), to(t), order_key(key), cfg(c), mobility(link_mobility(c)) {}
+
+AcousticMedium::AcousticMedium(double sample_rate_hz,
+                               const MediumConfig& config)
+    : fs_(sample_rate_hz),
+      config_(config),
+      pool_(std::make_unique<ShardPool>(ShardPool::resolve(config.workers))) {
+  shard_metrics_.resize(static_cast<std::size_t>(pool_->workers()));
+}
 
 int AcousticMedium::add_endpoint(const std::optional<NoiseParams>& noise,
                                  std::uint64_t noise_seed) {
+  return add_endpoint(noise, noise_seed, static_cast<int>(mics_.size()));
+}
+
+int AcousticMedium::add_endpoint(const std::optional<NoiseParams>& noise,
+                                 std::uint64_t noise_seed, int stable_id) {
   if (noise) {
     mics_.emplace_back(std::in_place, *noise, fs_, noise_seed);
+    mic_floor_.push_back(noise_floor_rms(*noise));
   } else {
     mics_.emplace_back(std::nullopt);
+    mic_floor_.push_back(0.0);
   }
+  stable_ids_.push_back(stable_id);
+  active_.push_back(true);
+  observed_peak_.push_back(0.0);
+  peak_at_last_eval_.push_back(0.0);
+  noise_ready_.emplace_back(0);
+  mix_order_.emplace_back();
   return static_cast<int>(mics_.size()) - 1;
 }
 
@@ -38,7 +71,169 @@ void AcousticMedium::connect(int from, int to, const LinkConfig& cfg) {
       to >= endpoints()) {
     throw std::invalid_argument("AcousticMedium: bad endpoint pair");
   }
-  paths_.push_back(std::make_unique<PathEntry>(from, to, cfg));
+  const LinkConfig pc = path_config(cfg);
+  auto slot = std::make_unique<PathSlot>(
+      from, to, stable_ids_[static_cast<std::size_t>(from)], pc);
+  const int idx = static_cast<int>(slots_.size());
+  slot->owner = idx % pool_->workers();
+  if (config_.cull_enabled) {
+    // Deferred: the first evaluation decides audibility and builds every
+    // live stream in parallel across the pool.
+    slot->audible = false;
+    slot->device_l1 = 0.0;  // filled by evaluate_culling
+    eval_pending_ = true;
+  } else {
+    slot->live = std::make_unique<LiveStream>(
+        pc, static_cast<double>(clock_) / fs_, clock_ / kMultipathBlockSamples);
+  }
+  slots_.push_back(std::move(slot));
+  mix_order_[static_cast<std::size_t>(to)].push_back(idx);
+  mix_order_dirty_ = true;
+}
+
+void AcousticMedium::set_endpoint_active(int endpoint, bool active) {
+  if (endpoint < 0 || endpoint >= endpoints()) {
+    throw std::invalid_argument("AcousticMedium: bad endpoint");
+  }
+  if (active_[static_cast<std::size_t>(endpoint)] == active) return;
+  active_[static_cast<std::size_t>(endpoint)] = active;
+  eval_pending_ = true;
+}
+
+std::size_t AcousticMedium::audible_paths() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_) {
+    if (s->audible) ++n;
+  }
+  return n;
+}
+
+obs::Registry AcousticMedium::metrics() const {
+  obs::Registry merged;
+  for (const obs::Registry& r : shard_metrics_) merged.merge(r);
+  return merged;
+}
+
+void AcousticMedium::rebuild_mix_order() {
+  for (std::vector<int>& order : mix_order_) {
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return slots_[static_cast<std::size_t>(a)]->order_key <
+             slots_[static_cast<std::size_t>(b)]->order_key;
+    });
+  }
+  mix_order_dirty_ = false;
+}
+
+// Re-decides which pairs are worth rendering. Every input — geometry,
+// mobility bounds, observed peaks, activity — is deterministic medium
+// state, so the decision sequence is identical for every worker count.
+// lint: hot-alloc-ok(setup-rate: runs once per horizon or on churn/peak growth, never per sample block; designs FIRs and builds streams, both inherently allocating)
+void AcousticMedium::evaluate_culling(double now_s) {
+  std::vector<int> to_build;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    PathSlot& slot = *slots_[i];
+    bool want = active_[static_cast<std::size_t>(slot.from)] &&
+                active_[static_cast<std::size_t>(slot.to)];
+    if (want && config_.cull_enabled) {
+      if (slot.device_l1 <= 0.0) {
+        const auto l1 = [](const std::vector<double>& fir) {
+          double s = 0.0;
+          for (const double v : fir) s += std::abs(v);
+          return s;
+        };
+        slot.device_l1 = l1(link_device_fir(slot.cfg, /*speaker=*/true)) *
+                         l1(link_device_fir(slot.cfg, /*speaker=*/false));
+      }
+      const double tx_peak =
+          std::max(config_.cull.tx_peak,
+                   observed_peak_[static_cast<std::size_t>(slot.from)]);
+      const double bound =
+          peak_gain_bound(slot.cfg, slot.mobility, slot.device_l1, now_s,
+                          config_.cull.horizon_s);
+      want = !pair_inaudible(bound, tx_peak,
+                             mic_floor_[static_cast<std::size_t>(slot.to)],
+                             config_.cull.margin_db);
+    }
+    if (want && !slot.live) {
+      to_build.push_back(static_cast<int>(i));
+    } else if (!want && slot.live) {
+      slot.live.reset();
+    }
+    slot.audible = want;
+  }
+  if (!to_build.empty()) {
+    // Stream construction (FIR design, initial path solve) dominates
+    // large-N setup; build the new lives across the pool. Each worker
+    // touches a disjoint slot subset, so no synchronization is needed
+    // beyond the pool barrier.
+    const int workers = pool_->workers();
+    const double t0 = now_s;
+    const std::uint64_t b0 = clock_ / kMultipathBlockSamples;
+    pool_->run([&](int w) {
+      for (std::size_t k = static_cast<std::size_t>(w); k < to_build.size();
+           k += static_cast<std::size_t>(workers)) {
+        PathSlot& slot = *slots_[static_cast<std::size_t>(to_build[k])];
+        slot.live = std::make_unique<LiveStream>(slot.cfg, t0, b0);
+      }
+    });
+  }
+  // Rebalance ownership over the currently audible set.
+  int rank = 0;
+  for (const auto& s : slots_) {
+    if (s->audible) s->owner = rank++ % pool_->workers();
+  }
+  peak_at_last_eval_ = observed_peak_;
+  eval_pending_ = false;
+  next_eval_clock_ =
+      clock_ + static_cast<std::uint64_t>(
+                   std::max(config_.cull.horizon_s, 0.01) * fs_);
+  shard_metrics_[0].add("medium.cull_evals");
+  shard_metrics_[0].record("medium.audible_pairs",
+                           static_cast<double>(rank));
+}
+
+void AcousticMedium::fill_mic(std::size_t m, std::vector<double>& dst,
+                              std::size_t n) {
+  if (mics_[m]) {
+    dst = mics_[m]->generate(n);
+  } else {
+    dst.assign(n, 0.0);
+  }
+}
+
+void AcousticMedium::render_slot(PathSlot& slot,
+                                 std::span<const double> tx_block,
+                                 dsp::Workspace& ws, int worker) {
+  slot.scratch.clear();
+  slot.live->stream.push(tx_block, slot.scratch, ws);
+  shard_metrics_[static_cast<std::size_t>(worker)].record(
+      "medium.ring_occupancy", static_cast<double>(slot.ring.available()));
+  slot.ring.push(slot.scratch);
+  shard_metrics_[static_cast<std::size_t>(worker)].add(
+      "medium.rendered_blocks");
+}
+
+// Canonical accumulation: every microphone starts from its own noise block
+// and adds its audible paths in ascending (from stable id, connect order).
+// This order never depends on the worker count or on which worker rendered
+// a path, which is the whole bit-identical-mixing contract.
+void AcousticMedium::mix(std::vector<std::vector<double>>& rx, std::size_t n,
+                         std::uint64_t seq) {
+  for (std::size_t m = 0; m < mics_.size(); ++m) {
+    while (noise_ready_[m].load(std::memory_order_acquire) != seq) {
+      if (abort_.load(std::memory_order_relaxed)) return;
+      std::this_thread::yield();
+    }
+    for (const int idx : mix_order_[m]) {
+      PathSlot& slot = *slots_[static_cast<std::size_t>(idx)];
+      if (!slot.audible) continue;
+      while (slot.ring.available() < n) {
+        if (abort_.load(std::memory_order_relaxed)) return;
+        std::this_thread::yield();
+      }
+      slot.ring.consume_add(rx[m], n);
+    }
+  }
 }
 
 void AcousticMedium::step(const std::vector<std::span<const double>>& tx,
@@ -54,28 +249,92 @@ void AcousticMedium::step(const std::vector<std::span<const double>>& tx,
       throw std::invalid_argument("AcousticMedium: tx blocks must match");
     }
   }
+  if (eval_pending_ ||
+      (config_.cull_enabled && clock_ >= next_eval_clock_)) {
+    evaluate_culling(static_cast<double>(clock_) / fs_);
+  }
+  if (mix_order_dirty_) rebuild_mix_order();
   rx.resize(eps);
-  for (std::size_t i = 0; i < eps; ++i) {
-    if (mics_[i]) {
-      rx[i] = mics_[i]->generate(n);
-    } else {
-      rx[i].assign(n, 0.0);
+
+  std::size_t audible = 0;
+  for (const auto& s : slots_) {
+    if (s->audible) ++audible;
+  }
+
+  if (pool_->workers() == 1) {
+    // Serial fast path: no rings, no atomics — today's exact code shape.
+    for (std::size_t m = 0; m < eps; ++m) {
+      fill_mic(m, rx[m], n);
+      if (config_.cull_enabled) {
+        observed_peak_[m] = std::max(observed_peak_[m], block_peak(tx[m]));
+      }
     }
+    for (std::size_t m = 0; m < eps; ++m) {
+      for (const int idx : mix_order_[m]) {
+        PathSlot& slot = *slots_[static_cast<std::size_t>(idx)];
+        if (!slot.audible) continue;
+        path_tmp_.clear();
+        slot.live->stream.push(tx[static_cast<std::size_t>(slot.from)],
+                               path_tmp_, ws);
+        std::vector<double>& dst = rx[m];
+        for (std::size_t i = 0; i < n; ++i) dst[i] += path_tmp_[i];
+      }
+    }
+    shard_metrics_[0].add("medium.rendered_blocks", audible);
+  } else {
+    abort_.store(false, std::memory_order_relaxed);
+    for (const auto& s : slots_) {
+      if (s->audible) s->ring.ensure_capacity(n);
+    }
+    const std::uint64_t seq = ++step_seq_;
+    const int workers = pool_->workers();
+    pool_->run([&](int w) {
+      try {
+        for (std::size_t m = static_cast<std::size_t>(w); m < eps;
+             m += static_cast<std::size_t>(workers)) {
+          fill_mic(m, rx[m], n);
+          if (config_.cull_enabled) {
+            observed_peak_[m] =
+                std::max(observed_peak_[m], block_peak(tx[m]));
+          }
+          noise_ready_[m].store(seq, std::memory_order_release);
+        }
+        dsp::Workspace& worker_ws = w == 0 ? ws : pool_->workspace(w);
+        for (const auto& s : slots_) {
+          if (s->audible && s->owner == w) {
+            render_slot(*s, tx[static_cast<std::size_t>(s->from)], worker_ws,
+                        w);
+          }
+        }
+      } catch (...) {
+        // A dead producer would deadlock the mixer's spin; trip the abort
+        // flag first, then let the pool rethrow after the barrier.
+        abort_.store(true, std::memory_order_relaxed);
+        throw;
+      }
+      if (w == 0) mix(rx, n, seq);
+    });
   }
-  // Paths are walked in insertion order and each mixes additively, so the
-  // result is independent of how callers interleave their pushes.
-  for (const std::unique_ptr<PathEntry>& p : paths_) {
-    path_tmp_.clear();
-    p->stream.push(tx[static_cast<std::size_t>(p->from)], path_tmp_, ws);
-    std::vector<double>& dst = rx[static_cast<std::size_t>(p->to)];
-    for (std::size_t i = 0; i < n; ++i) dst[i] += path_tmp_[i];
-  }
+  shard_metrics_[0].add("medium.culled_convolutions",
+                        slots_.size() - audible);
+
   if (sink_) {
     for (std::size_t i = 0; i < eps; ++i) {
       sink_->on_medium_rx(static_cast<int>(i), clock_, rx[i]);
     }
   }
   clock_ += n;
+  if (config_.cull_enabled && !eval_pending_) {
+    // A louder-than-ever transmission can invalidate a cull decision made
+    // with a smaller assumed peak; re-evaluate at the next step (5%
+    // hysteresis so a slowly creeping peak does not re-solve every block).
+    for (std::size_t i = 0; i < eps; ++i) {
+      if (observed_peak_[i] > peak_at_last_eval_[i] * 1.05 + 1e-9) {
+        eval_pending_ = true;
+        break;
+      }
+    }
+  }
 }
 
 std::pair<int, int> add_duplex_link(AcousticMedium& medium,

@@ -1,4 +1,4 @@
-// Full-duplex shared acoustic medium.
+// Full-duplex shared acoustic medium, sharded across a fixed worker pool.
 //
 // N endpoints (speaker + microphone pairs) hang off one medium; every
 // connected ordered pair gets a directed UnderwaterChannel streamed through
@@ -8,18 +8,40 @@
 // clocks together, block by block, which is what lets duplex modem
 // endpoints run the real protocol against each other on a continuous
 // sample timeline instead of oracle-spliced captures.
+//
+// Scaling model (same discipline as sim::SweepRunner):
+//  - Directed-path streams and per-mic noise are statically partitioned
+//    over a fixed ShardPool; each worker renders into a private SpscRing
+//    per path, and the coordinating thread accumulates every microphone in
+//    one canonical order — ascending (from-endpoint stable id, connect
+//    sequence) after the mic's own noise. Floating-point accumulation
+//    order is therefore fixed, so the mix is bit-identical for any worker
+//    count AND for any endpoint attach order.
+//  - Audibility culling (opt-in): a pair whose conservative peak-gain
+//    bound keeps it `margin_db` below the receiving mic's noise floor is
+//    skipped entirely — no stream state, no convolution. Decisions are
+//    re-evaluated every `horizon_s` of medium time (the geometry bound
+//    covers the whole window) and immediately when an endpoint transmits
+//    louder than previously observed. Dense deployments therefore cost
+//    O(audible pairs) per step, not O(N^2).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "channel/audibility.h"
 #include "channel/channel.h"
 #include "channel/noise.h"
+#include "channel/shard_pool.h"
+#include "channel/spsc_ring.h"
 #include "dsp/workspace.h"
+#include "obs/registry.h"
 
 namespace aqua::obs {
 class TraceSink;
@@ -27,17 +49,36 @@ class TraceSink;
 
 namespace aqua::channel {
 
+/// Scaling knobs of a shared medium. The defaults reproduce the legacy
+/// serial medium exactly: one worker, no culling.
+struct MediumConfig {
+  /// Fixed worker-pool size (>= 1). 0 resolves AQUA_MEDIUM_WORKERS
+  /// (defaulting to 1). Output is bit-identical for every value.
+  int workers = 1;
+  /// Skip paths provably below the receivers' noise floors. Off by
+  /// default: small deployments keep today's exact waveforms; dense ones
+  /// opt in and are validated by decoded-event equivalence instead.
+  bool cull_enabled = false;
+  /// Conservative-cull tuning (margin, horizon, assumed speaker peak).
+  AudibilityParams cull;
+};
+
 /// N-endpoint full-duplex shared acoustic medium: a directed
 /// UnderwaterChannel::Stream per connected ordered pair, one ambient-noise
 /// process per microphone, sample-level mixing on one shared clock.
 class AcousticMedium {
  public:
-  explicit AcousticMedium(double sample_rate_hz = 48000.0);
+  explicit AcousticMedium(double sample_rate_hz = 48000.0,
+                          const MediumConfig& config = {});
 
   /// Adds an endpoint; returns its index. `noise` is the ambient process
   /// at this endpoint's microphone (nullopt = silent medium, e.g. tests).
+  /// The endpoint's stable id (which orders its transmissions in every
+  /// mix, independent of attach order) defaults to its index.
   int add_endpoint(const std::optional<NoiseParams>& noise,
                    std::uint64_t noise_seed);
+  int add_endpoint(const std::optional<NoiseParams>& noise,
+                   std::uint64_t noise_seed, int stable_id);
 
   /// Opens the directed signal path `from` -> `to`. `cfg.noise_enabled`
   /// and `cfg.seed`-derived noise are ignored here (see the per-mic noise
@@ -46,6 +87,14 @@ class AcousticMedium {
   void connect(int from, int to, const LinkConfig& cfg);
 
   int endpoints() const { return static_cast<int>(mics_.size()); }
+
+  /// Join/leave churn: an inactive endpoint's paths are force-culled (its
+  /// speaker is silent and its microphone hears only ambient noise until
+  /// it rejoins). Takes effect at the next step.
+  void set_endpoint_active(int endpoint, bool active);
+  bool endpoint_active(int endpoint) const {
+    return active_[static_cast<std::size_t>(endpoint)];
+  }
 
   /// Advances the medium by one block: tx[i] is endpoint i's speaker block
   /// (all blocks the same size), and rx[i] is filled with endpoint i's
@@ -65,20 +114,83 @@ class AcousticMedium {
   /// what was actually "in the water". nullptr detaches.
   void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
 
+  int workers() const { return pool_->workers(); }
+
+  /// The medium's worker pool — callers clocking N modems against this
+  /// medium shard their per-modem DSP over the same workers (and the same
+  /// per-worker arenas) so one pool serves the whole deployment.
+  ShardPool& pool() { return *pool_; }
+
+  /// Directed paths ever connected / currently audible (not culled).
+  std::size_t connected_paths() const { return slots_.size(); }
+  std::size_t audible_paths() const;
+
+  /// Per-shard metrics: counter "medium.rendered_blocks" (convolutions
+  /// actually run, shard-resident) plus, on shard 0, counters
+  /// "medium.culled_convolutions" / "medium.cull_evals" and histograms
+  /// "medium.audible_pairs" (per evaluation) / "medium.ring_occupancy"
+  /// (samples pending at push; timing-dependent, diagnostics only).
+  const obs::Registry& shard_metrics(int shard) const {
+    return shard_metrics_[static_cast<std::size_t>(shard)];
+  }
+  /// All shards merged in shard order.
+  obs::Registry metrics() const;
+
  private:
-  struct PathEntry {
-    int from;
-    int to;
-    UnderwaterChannel channel;        ///< owns filters / path model
-    UnderwaterChannel::Stream stream; ///< streaming state over `channel`
-    PathEntry(int f, int t, const LinkConfig& cfg);
+  /// A path's live DSP state, present only while the path is audible.
+  struct LiveStream {
+    UnderwaterChannel channel;         ///< owns filters / path model
+    UnderwaterChannel::Stream stream;  ///< streaming state over `channel`
+    LiveStream(const LinkConfig& cfg, double start_time_s,
+               std::uint64_t start_block);
   };
 
+  /// One directed pair, live or culled.
+  struct PathSlot {
+    int from = 0;
+    int to = 0;
+    int order_key = 0;    ///< from-endpoint stable id (canonical mix order)
+    LinkConfig cfg;
+    MobilityModel mobility;   ///< same trajectory the channel would follow
+    double device_l1 = 1.0;   ///< ||h_tx||_1 * ||h_rx||_1 (cull bound)
+    bool audible = true;
+    int owner = 0;            ///< rendering worker while audible
+    std::unique_ptr<LiveStream> live;  ///< null while culled
+    SpscRing ring;            ///< rendered samples, worker -> mixer
+    std::vector<double> scratch;       ///< render buffer (owner-only)
+    PathSlot(int f, int t, int key, const LinkConfig& c);
+  };
+
+  void evaluate_culling(double now_s);
+  void rebuild_mix_order();
+  void render_slot(PathSlot& slot, std::span<const double> tx_block,
+                   dsp::Workspace& ws, int worker);
+  void mix(std::vector<std::vector<double>>& rx, std::size_t n,
+           std::uint64_t seq);
+  void fill_mic(std::size_t m, std::vector<double>& dst, std::size_t n);
+
   double fs_;
+  MediumConfig config_;
+  std::unique_ptr<ShardPool> pool_;
   std::vector<std::optional<NoiseGenerator>> mics_;
-  std::vector<std::unique_ptr<PathEntry>> paths_;
+  std::vector<double> mic_floor_;     ///< 0 for silent microphones
+  std::vector<int> stable_ids_;
+  std::vector<bool> active_;
+  std::vector<double> observed_peak_;      ///< per endpoint, monotone
+  std::vector<double> peak_at_last_eval_;
+  std::vector<std::unique_ptr<PathSlot>> slots_;
+  std::vector<std::vector<int>> mix_order_;  ///< per mic, canonical order
+  bool mix_order_dirty_ = false;
   std::uint64_t clock_ = 0;
-  std::vector<double> path_tmp_;
+  std::uint64_t next_eval_clock_ = 0;
+  bool eval_pending_ = false;  ///< connect/churn/peak-growth triggered
+  std::uint64_t step_seq_ = 0;
+  /// Per-mic "noise rendered" publication for the current step (holds the
+  /// step sequence number once ready). deque: atomics are not movable.
+  std::deque<std::atomic<std::uint64_t>> noise_ready_;
+  std::atomic<bool> abort_{false};
+  std::vector<obs::Registry> shard_metrics_;  ///< one per worker
+  std::vector<double> path_tmp_;              ///< serial-path scratch
   obs::TraceSink* sink_ = nullptr;  ///< borrowed capture hook; may be null
 };
 

@@ -66,6 +66,13 @@ double MobilityModel::depth_offset_m(double t_s) const {
   return z;
 }
 
+double MobilityModel::max_offset_m(double t_end_s) const {
+  double bound = std::abs(drift_mps_) * std::max(t_end_s, 0.0);
+  for (const Component& c : horiz_) bound += std::abs(c.amp);
+  for (const Component& c : vert_) bound += std::abs(c.amp);
+  return bound;
+}
+
 double MobilityModel::azimuth_deg(double t_s) const {
   // Bounded wander: oscillate across +/-90 degrees rather than spinning
   // without limit.

@@ -29,6 +29,13 @@ class MobilityModel {
   /// Device azimuth rotation at time `t_s` (degrees).
   double azimuth_deg(double t_s) const;
 
+  /// Conservative bound on |range_offset_m(t)| and |depth_offset_m(t)| for
+  /// every t in [0, t_end_s]: the sum of swing amplitudes plus the drift
+  /// excursion. The audibility culler subtracts this from the nominal
+  /// range, so "how close can mobility bring the pair" is never
+  /// underestimated.
+  double max_offset_m(double t_end_s) const;
+
   /// RMS acceleration implied by the model (for reporting; matches the
   /// paper's 2.5 / 5.1 m/s^2 readings).
   double rms_acceleration() const { return rms_accel_; }

@@ -4,6 +4,10 @@
 
 namespace aqua::channel {
 
+double noise_floor_rms(const NoiseParams& p) {
+  return p.reference_rms * dsp::db_to_amplitude(p.level_db);
+}
+
 std::vector<double> NoiseGenerator::design_shaping_filter(
     const NoiseParams& p, double fs) {
   // Frequency-sampled magnitude: low-frequency bump below the knee,
@@ -47,8 +51,7 @@ NoiseGenerator::NoiseGenerator(const NoiseParams& params,
   for (double& v : white) v = g(warm_rng);
   std::vector<double> shaped = warm.process(white);
   const double raw_rms = dsp::rms(shaped);
-  const double target =
-      params_.reference_rms * dsp::db_to_amplitude(params_.level_db);
+  const double target = noise_floor_rms(params_);
   floor_rms_ = target;
   gain_ = raw_rms > 0.0 ? target / raw_rms : 0.0;
 }

@@ -28,6 +28,12 @@ struct NoiseParams {
   double boat_tone_gain = 3.0;    ///< tone amplitude relative to floor RMS
 };
 
+/// RMS of the shaped noise floor a NoiseGenerator built from `p` would
+/// report, without constructing one (the floor is a pure function of the
+/// params). The audibility culler compares conservative path-gain bounds
+/// against this value.
+double noise_floor_rms(const NoiseParams& p);
+
 /// Streaming colored-noise generator. Deterministic for a given seed, and
 /// chunking-invariant: generate(a) followed by generate(b) produces the
 /// same samples as generate(a + b). The noise floor and the impulsive

@@ -1,0 +1,69 @@
+// Fixed worker pool for the sharded acoustic medium.
+//
+// The pool follows the sim::SweepRunner discipline: worker count is fixed
+// at construction, every worker owns a private dsp::Workspace arena, and
+// all cross-thread aggregation happens on the coordinating thread in a
+// fixed order — the pool itself only provides the "run this job on every
+// worker index and wait" barrier. One worker (index 0) is always the
+// calling thread, so a single-worker pool spawns no threads at all and
+// run() degenerates to a plain function call, which keeps legacy
+// single-threaded callers on exactly the code path they had before.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dsp/workspace.h"
+
+namespace aqua::channel {
+
+/// Epoch-barrier worker pool: run(job) invokes job(w) once per worker
+/// index w in [0, workers()), with worker 0 on the calling thread, and
+/// returns when every invocation finished. Exceptions thrown by any
+/// worker's job are rethrown (first one wins) after the barrier.
+class ShardPool {
+ public:
+  explicit ShardPool(int workers);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int workers() const { return static_cast<int>(workspaces_.size()); }
+
+  /// Per-worker scratch arena (stable addresses for the pool's lifetime).
+  dsp::Workspace& workspace(int w) {
+    return *workspaces_[static_cast<std::size_t>(w)];
+  }
+
+  void run(const std::function<void(int)>& job);
+
+  /// Resolves a requested worker count: values >= 1 pass through; 0 reads
+  /// AQUA_MEDIUM_WORKERS (defaulting to 1 when unset or invalid). The
+  /// medium's output is bit-identical for every worker count, so this only
+  /// trades wall-clock for threads, never results.
+  static int resolve(int requested);
+
+ private:
+  void worker_main(int w);
+
+  std::vector<std::unique_ptr<dsp::Workspace>> workspaces_;
+  std::vector<std::thread> threads_;  ///< workers 1..W-1 (0 is the caller)
+
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace aqua::channel

@@ -170,7 +170,7 @@ void LinkSession::ensure_duplex() {
   if (medium_) return;
   // lint: alloc-ok(session construction, before any streaming)
   medium_ = std::make_unique<channel::AcousticMedium>(
-      config_.forward.sample_rate_hz);
+      config_.forward.sample_rate_hz, config_.medium);
   channel::add_duplex_link(*medium_, config_.forward);
 
   ModemConfig mc;

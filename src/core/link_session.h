@@ -54,6 +54,10 @@ struct SessionConfig {
   /// through the shared medium. Results are bit-identical for any value:
   /// every decision in the pipeline lives on the absolute sample grid.
   std::size_t medium_block_samples = 480;
+  /// Shared-medium scaling knobs (worker pool, audibility culling). The
+  /// defaults keep a two-endpoint session on the serial legacy path;
+  /// results are bit-identical for any worker count either way.
+  channel::MediumConfig medium;
 };
 
 /// Everything observable about one packet exchange.

@@ -1,0 +1,135 @@
+// Churn soak for the sharded medium: a dense harbor deployment under a
+// deterministic join/leave/traffic schedule, with site drift moving every
+// node, run once on one worker (the golden replay) and once on the full
+// worker pool. The two event streams must not diverge in any way — same
+// events, same sample positions, same payloads — which is the end-to-end
+// statement of the mixing-determinism invariant under concurrency, churn
+// and mobility at once.
+//
+// Sized by environment knobs so the TSan CI job (and anyone on a slow
+// box) can shrink it without touching the schedule's determinism:
+//   AQUA_SOAK_NODES    deployment size (default 50)
+//   AQUA_SOAK_SECONDS  simulated seconds per churn segment x 3 (default 0.9)
+//   AQUA_SOAK_WORKERS  pool size of the non-golden run (default 8)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "mac/netsim.h"
+
+namespace aqua {
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);  // lint: det-ok(soak-size knob: selects how much work to run, never what the DSP computes)
+  if (!v) return fallback;
+  const int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+double env_seconds(const char* name, double fallback) {
+  const char* v = std::getenv(name);  // lint: det-ok(soak-size knob: selects how much work to run, never what the DSP computes)
+  if (!v) return fallback;
+  const double parsed = std::atof(v);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+// One full soak run: returns every node's event stream. The schedule is a
+// pure function of (nodes, seconds, seed) — worker count must not leak
+// into anything it produces.
+std::vector<std::vector<core::ModemEvent>> run_soak(int workers, int nodes,
+                                                    double seconds,
+                                                    std::uint64_t seed) {
+  mac::ModemNetworkConfig cfg;
+  cfg.nodes = nodes;
+  cfg.site = channel::Site::kMuseum;  // non-zero drift: mobility churn
+  cfg.placement = mac::Placement::kHarbor;
+  cfg.spacing_m = 5.0;
+  cfg.seed = seed;
+  // Node ids are active-bin indices (60 subcarriers => ids 0..59); base 10
+  // leaves room for exactly 50 nodes, the soak's maximum.
+  cfg.id_base = 10;
+  cfg.medium_workers = workers;
+  cfg.cull = true;
+  // Explicit radius: in-cluster pairs plus nothing else, so the soak's
+  // cost stays O(cluster size x N) at any deployment size.
+  cfg.connect_radius_m = 60.0;
+  mac::ModemNetwork net(cfg);
+
+  std::mt19937_64 rng(seed * 1009 + 7);
+  std::vector<std::uint8_t> payload(16);
+  const auto fresh_payload = [&] {
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng() & 1);
+  };
+
+  std::vector<std::vector<core::ModemEvent>> events(
+      static_cast<std::size_t>(nodes));
+  const auto append = [&](std::vector<std::vector<core::ModemEvent>> seg) {
+    for (std::size_t i = 0; i < seg.size(); ++i) {
+      for (core::ModemEvent& e : seg[i]) events[i].push_back(std::move(e));
+    }
+  };
+
+  // Segment 1: in-cluster traffic from the head of every cluster.
+  for (int c = 0; c * 10 + 1 < nodes; ++c) {
+    fresh_payload();
+    net.send(c * 10, payload, c * 10 + 1);
+  }
+  append(net.run(seconds / 3.0));
+
+  // Segment 2: a deterministic third of the nodes leaves mid-exchange.
+  for (int i = 2; i < nodes; i += 3) net.set_node_active(i, false);
+  fresh_payload();
+  net.send(0, payload, 1);
+  append(net.run(seconds / 3.0));
+
+  // Segment 3: leavers rejoin, a different third leaves, traffic resumes.
+  for (int i = 2; i < nodes; i += 3) net.set_node_active(i, true);
+  for (int i = 1; i < nodes; i += 3) net.set_node_active(i, false);
+  for (int c = 0; c * 10 + 3 < nodes; ++c) {
+    fresh_payload();
+    net.send(c * 10, payload, c * 10 + 3);
+  }
+  append(net.run(seconds / 3.0));
+  return events;
+}
+
+TEST(MediumSoak, ChurnEventsMatchGoldenReplayAcrossWorkerCounts) {
+  const int nodes = std::min(env_int("AQUA_SOAK_NODES", 50), 50);
+  const double seconds = env_seconds("AQUA_SOAK_SECONDS", 0.9);
+  const int workers = env_int("AQUA_SOAK_WORKERS", 8);
+  const std::uint64_t seed = 2026;
+
+  const auto golden = run_soak(1, nodes, seconds, seed);
+  const auto sharded = run_soak(workers, nodes, seconds, seed);
+
+  ASSERT_EQ(golden.size(), sharded.size());
+  std::size_t total = 0;
+  for (std::size_t n = 0; n < golden.size(); ++n) {
+    ASSERT_EQ(golden[n].size(), sharded[n].size()) << "node " << n;
+    total += golden[n].size();
+    for (std::size_t e = 0; e < golden[n].size(); ++e) {
+      const core::ModemEvent& g = golden[n][e];
+      const core::ModemEvent& s = sharded[n][e];
+      EXPECT_EQ(g.type, s.type) << "node " << n << " event " << e;
+      EXPECT_EQ(g.stream_pos, s.stream_pos) << "node " << n << " event " << e;
+      EXPECT_EQ(g.preamble_metric, s.preamble_metric)
+          << "node " << n << " event " << e;
+      EXPECT_EQ(g.training_metric, s.training_metric)
+          << "node " << n << " event " << e;
+      EXPECT_EQ(g.payload_bits, s.payload_bits)
+          << "node " << n << " event " << e;
+      EXPECT_EQ(g.band.begin_bin, s.band.begin_bin);
+      EXPECT_EQ(g.band.end_bin, s.band.end_bin);
+      EXPECT_EQ(g.ack_received, s.ack_received);
+    }
+  }
+  // The schedule must generate real protocol activity to be a soak at all.
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace aqua
